@@ -1,0 +1,258 @@
+// Benchmarks that regenerate every table and figure of the paper's
+// evaluation (see DESIGN.md's experiment index). Each benchmark runs the
+// corresponding harness experiment at a reduced scale and reports the
+// headline numbers as custom metrics:
+//
+//	go test -bench=Fig4 -benchmem
+//	go test -bench=. -benchmem            # everything
+//
+// cmd/experiments runs the same experiments at full scale with full
+// tabular output.
+package everest_test
+
+import (
+	"testing"
+
+	"github.com/everest-project/everest/internal/harness"
+)
+
+// benchScale keeps each figure's benchmark in the seconds range on one
+// CPU core; cmd/experiments uses the full default scale.
+func benchScale() harness.Scale {
+	return harness.Scale{Frames: 4000, Seed: 1}
+}
+
+func reportQuality(b *testing.B, prec, speedup float64) {
+	b.ReportMetric(prec, "precision")
+	b.ReportMetric(speedup, "speedup")
+}
+
+func BenchmarkFig4Overall(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := harness.Fig4(benchScale(), 10, 0.9)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var prec, speed float64
+		n := 0
+		for _, r := range rows {
+			if r.System == "everest" {
+				prec += r.Quality.Precision
+				speed += r.Speedup
+				n++
+			}
+		}
+		reportQuality(b, prec/float64(n), speed/float64(n))
+	}
+}
+
+func BenchmarkTable8Breakdown(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := harness.Table8(benchScale(), 10, 0.9)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var cleaned, p1 float64
+		for _, r := range rows {
+			cleaned += r.CleanedFrac
+			p1 += r.LabelShare + r.TrainShare + r.PopulateShare
+		}
+		b.ReportMetric(100*cleaned/float64(len(rows)), "%frames-cleaned")
+		b.ReportMetric(100*p1/float64(len(rows)), "%phase1-share")
+	}
+}
+
+func BenchmarkFig5K(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := harness.Fig5(benchScale(), 0.9)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var prec, speed float64
+		for _, r := range rows {
+			prec += r.Quality.Precision
+			speed += r.Speedup
+		}
+		reportQuality(b, prec/float64(len(rows)), speed/float64(len(rows)))
+	}
+}
+
+func BenchmarkFig6Thres(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := harness.Fig6(benchScale(), 10)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var prec, speed float64
+		for _, r := range rows {
+			prec += r.Quality.Precision
+			speed += r.Speedup
+		}
+		reportQuality(b, prec/float64(len(rows)), speed/float64(len(rows)))
+	}
+}
+
+func BenchmarkFig7Windows(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := harness.Fig7(benchScale(), 10, 0.9)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var prec, speed float64
+		for _, r := range rows {
+			prec += r.Quality.Precision
+			speed += r.Speedup
+		}
+		reportQuality(b, prec/float64(len(rows)), speed/float64(len(rows)))
+	}
+}
+
+func BenchmarkFig8VisualRoad(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := harness.Fig8(benchScale(), 10, 0.9)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var prec, speed float64
+		for _, r := range rows {
+			prec += r.Quality.Precision
+			speed += r.Speedup
+		}
+		reportQuality(b, prec/float64(len(rows)), speed/float64(len(rows)))
+	}
+}
+
+func BenchmarkFig9Depth(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := harness.Fig9(benchScale())
+		if err != nil {
+			b.Fatal(err)
+		}
+		var prec, speed float64
+		for _, r := range rows {
+			prec += r.Quality.Precision
+			speed += r.Speedup
+		}
+		reportQuality(b, prec/float64(len(rows)), speed/float64(len(rows)))
+	}
+}
+
+func BenchmarkAblationEarlyStop(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := harness.AblationEarlyStop(benchScale(), 10, 0.9)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(rows[0].MS, "pruned-ms")
+		b.ReportMetric(rows[1].MS, "exhaustive-ms")
+	}
+}
+
+func BenchmarkAblationResort(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := harness.AblationResort(benchScale(), 10, 0.9); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationBatch(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := harness.AblationBatch(benchScale(), 10, 0.9); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationDiff(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := harness.AblationDiff(benchScale(), 10, 0.9); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationPrefetch(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := harness.AblationPrefetch(benchScale(), 10, 0.9); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationSemantics(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := harness.AblationSemantics(benchScale(), 10, 0.9); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkScaleoutScalability regenerates the RAM3S-style scale-out
+// sweep (E1): wall-clock latency vs worker count.
+func BenchmarkScaleoutScalability(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := harness.ScaleoutScalability(benchScale(), 10, 0.9)
+		if err != nil {
+			b.Fatal(err)
+		}
+		base, best := rows[0].WallMS, rows[0].WallMS
+		for _, r := range rows {
+			if r.WallMS < best {
+				best = r.WallMS
+			}
+		}
+		b.ReportMetric(base/best, "parallel-speedup")
+		b.ReportMetric(rows[len(rows)-1].Quality.Precision, "precision")
+	}
+}
+
+// BenchmarkSessionReuse regenerates the cross-query work-sharing study
+// (E2): the marginal cost of a repeated query inside a session.
+func BenchmarkSessionReuse(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := harness.SessionAmortization(benchScale(), 10, 0.9)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var sessionMS, aloneMS float64
+		for _, r := range rows {
+			sessionMS += r.SessionMS
+			aloneMS += r.AloneMS
+		}
+		if sessionMS > 0 {
+			b.ReportMetric(aloneMS/sessionMS, "work-sharing-gain")
+		}
+		b.ReportMetric(float64(rows[len(rows)-1].CacheSize), "cached-labels")
+	}
+}
+
+// BenchmarkSlidingWindows regenerates the sliding-vs-tumbling comparison
+// (E3): the cleaning price of the dependence-safe union bound.
+func BenchmarkSlidingWindows(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := harness.SlidingWindows(benchScale(), 5, 0.9)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var prec float64
+		for _, r := range rows {
+			prec += r.Quality.Precision
+		}
+		b.ReportMetric(prec/float64(len(rows)), "precision")
+		b.ReportMetric(float64(rows[len(rows)-1].Cleaned), "cleaned-overlapping")
+	}
+}
+
+// BenchmarkAblationBound regenerates ablation A7: exact product vs union
+// bound on the same frame query.
+func BenchmarkAblationBound(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := harness.AblationBound(benchScale(), 10, 0.9)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(rows[0].MS, "exact-ms")
+		b.ReportMetric(rows[1].MS, "union-ms")
+	}
+}

@@ -1,0 +1,198 @@
+// Command everest runs a single Top-K or Top-K-window query against one of
+// the built-in synthetic datasets and prints the guaranteed result with
+// its simulated cost breakdown.
+//
+// Usage:
+//
+//	everest -dataset Taipei-bus -k 50 -thres 0.9
+//	everest -dataset Archie -k 10 -window 30
+//	everest -dataset Archie -k 10 -window 300 -stride 30   # sliding windows
+//	everest -dataset Archie -k 50 -parallel 4              # scale-out
+//	everest -dataset Dashcam-California -udf tailgate -k 50
+//	everest -query 'SELECT TOP 10 WINDOWS OF 300 EVERY 30 FROM Archie RANK BY count(car)' [-explain]
+//	everest -repl
+//	everest -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	everest "github.com/everest-project/everest"
+	"github.com/everest-project/everest/internal/eql"
+	"github.com/everest-project/everest/internal/repl"
+	"github.com/everest-project/everest/internal/video"
+	"github.com/everest-project/everest/internal/vision"
+)
+
+func main() {
+	var (
+		dataset = flag.String("dataset", "Archie", "dataset name (see -list)")
+		k       = flag.Int("k", 50, "result size K")
+		thres   = flag.Float64("thres", 0.9, "probabilistic guarantee threshold")
+		window  = flag.Int("window", 0, "window size in frames (0 = frame query)")
+		stride  = flag.Int("stride", 0, "window stride in frames (0 = tumbling; < window slides with the union bound)")
+		workers = flag.Int("parallel", 1, "scale-out worker count")
+		frames  = flag.Int("frames", 0, "override frame count (0 = dataset default)")
+		udfName = flag.String("udf", "count", "scoring UDF: count | tailgate | sentiment")
+		seed    = flag.Uint64("seed", 1, "random seed")
+		list    = flag.Bool("list", false, "list datasets and exit")
+		query   = flag.String("query", "", `EQL statement, e.g. 'SELECT TOP 50 FRAMES FROM "Taipei-bus" RANK BY count(car) THRESHOLD 0.9'`)
+		explain = flag.Bool("explain", false, "describe the EQL query's plan without running it")
+		shell   = flag.Bool("repl", false, "interactive EQL shell (ingest-once, session-shared queries)")
+		saveIx  = flag.String("saveindex", "", "run Phase 1 only and save an ingestion index to this file")
+		useIx   = flag.String("useindex", "", "answer from a saved ingestion index (Phase 2 only)")
+	)
+	flag.Parse()
+
+	if *shell {
+		if err := repl.New(os.Stdout).Run(os.Stdin); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	if *query != "" {
+		if *explain {
+			out, err := eql.Explain(*query)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Print(out)
+			return
+		}
+		res, plan, err := eql.Execute(*query)
+		if err != nil {
+			fatal(err)
+		}
+		printResult(res, plan.Source.FPS(), *query)
+		return
+	}
+
+	if *list {
+		fmt.Printf("%-22s %-8s %12s %8s\n", "name", "object", "paper-frames", "hours")
+		for _, d := range video.Datasets() {
+			fmt.Printf("%-22s %-8s %12d %8.1f\n", d.Name, d.Config.Class, d.PaperFrames, d.PaperHours)
+		}
+		return
+	}
+
+	spec, err := video.DatasetByName(*dataset)
+	if err != nil {
+		fatal(err)
+	}
+	src, err := spec.Build(*frames)
+	if err != nil {
+		fatal(err)
+	}
+
+	var udf vision.UDF
+	switch *udfName {
+	case "count":
+		udf = vision.CountUDF{Class: src.TargetClass()}
+	case "tailgate":
+		udf = vision.TailgateUDF{}
+	case "sentiment":
+		udf = vision.SentimentUDF{}
+	default:
+		fatal(fmt.Errorf("unknown UDF %q", *udfName))
+	}
+
+	cfg := everest.Config{
+		K:         *k,
+		Threshold: *thres,
+		Window:    *window,
+		Stride:    *stride,
+		Seed:      *seed,
+	}
+
+	if *saveIx != "" {
+		ix, err := everest.BuildIndex(src, udf, cfg)
+		if err != nil {
+			fatal(err)
+		}
+		f, err := os.Create(*saveIx)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := ix.Save(f); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("index for %s / %s written to %s (ingest cost %.0f sim-ms, %d retained frames)\n",
+			ix.Dataset(), ix.UDFName(), *saveIx, ix.IngestMS(), ix.Info().Retained)
+		return
+	}
+
+	fmt.Printf("everest: Top-%d over %s (%d frames, %d fps), UDF %s, thres %.2f",
+		*k, src.Name(), src.NumFrames(), src.FPS(), udf.Name(), *thres)
+	if *window > 0 {
+		fmt.Printf(", window %d frames", *window)
+	}
+	fmt.Println()
+
+	var res *everest.Result
+	if *useIx != "" {
+		f, err := os.Open(*useIx)
+		if err != nil {
+			fatal(err)
+		}
+		ix, err := everest.LoadIndex(f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+		res, err = ix.Query(src, udf, cfg)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("(served from index %s; ingest cost %.0f sim-ms amortized)\n", *useIx, ix.IngestMS())
+	} else if *workers > 1 {
+		pres, err := everest.RunParallel(src, udf, cfg, *workers)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("(scale-out: %d workers; phase 1 bill %.0f sim-ms, BSP wall below)\n",
+			pres.Workers, pres.WorkerSumMS)
+		res = &pres.Result
+	} else {
+		var err error
+		res, err = everest.Run(src, udf, cfg)
+		if err != nil {
+			fatal(err)
+		}
+	}
+
+	printResult(res, src.FPS(), "")
+}
+
+func printResult(res *everest.Result, fps int, query string) {
+	unit := "frame"
+	if res.IsWindow {
+		unit = "window"
+	}
+	if query != "" {
+		fmt.Printf("query: %s\n", query)
+	}
+	fmt.Printf("\nresult (confidence %.4f):\n", res.Confidence)
+	for i, id := range res.IDs {
+		sec := float64(id) / float64(fps)
+		if res.IsWindow {
+			sec = float64(id*res.WindowStride) / float64(fps)
+		}
+		fmt.Printf("  #%-3d %s %-8d t=%8.1fs  score %.2f\n", i+1, unit, id, sec, res.Scores[i])
+	}
+	fmt.Printf("\nphase 1: %d+%d oracle-labelled samples, %d/%d frames retained, CMDN g=%d h=%d (holdout NLL %.3f)\n",
+		res.Phase1.TrainSamples, res.Phase1.HoldoutSamples,
+		res.Phase1.Retained, res.Phase1.TotalFrames,
+		res.Phase1.Hyper.G, res.Phase1.Hyper.H, res.Phase1.HoldoutNLL)
+	fmt.Printf("phase 2: %d iterations, %d tuples confirmed by the oracle\n",
+		res.EngineStats.Iterations, res.EngineStats.Cleaned)
+	fmt.Printf("\nsimulated cost:\n%s", res.Clock)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "everest:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,171 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation (§4) plus the ablation studies listed in DESIGN.md, printing
+// the same rows/series the paper reports.
+//
+// Usage:
+//
+//	experiments                  # run everything at the default scale
+//	experiments -exp fig4,table8 # run a subset
+//	experiments -frames 20000    # override per-dataset frame counts
+//	experiments -fullgrid        # train the paper's full 12-point CMDN grid
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"github.com/everest-project/everest/internal/harness"
+)
+
+func main() {
+	var (
+		expList  = flag.String("exp", "fig4,lambda,table8,fig5,fig6,fig7,fig8,fig9,ingest,ablations,scaleout,session,sliding", "comma-separated experiments")
+		frames   = flag.Int("frames", 0, "frames per dataset (0 = dataset default, capped)")
+		cap      = flag.Int("cap", 60000, "per-dataset frame cap")
+		k        = flag.Int("k", 50, "default K")
+		thres    = flag.Float64("thres", 0.9, "default threshold")
+		seed     = flag.Uint64("seed", 1, "random seed")
+		fullGrid = flag.Bool("fullgrid", false, "train the paper's full 12-point CMDN grid")
+	)
+	flag.Parse()
+
+	scale := harness.Scale{Frames: *frames, FramesCap: *cap, Seed: *seed, FullGrid: *fullGrid}
+	out := os.Stdout
+	want := map[string]bool{}
+	for _, e := range strings.Split(*expList, ",") {
+		want[strings.TrimSpace(e)] = true
+	}
+
+	run := func(name string, fn func() error) {
+		if !want[name] && !want["all"] {
+			return
+		}
+		start := time.Now()
+		if err := fn(); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(out, "(%s completed in %s wall time)\n\n", name, time.Since(start).Round(time.Millisecond))
+	}
+
+	run("fig4", func() error {
+		rows, err := harness.Fig4(scale, *k, *thres)
+		if err != nil {
+			return err
+		}
+		harness.WriteSystemRows(out, fmt.Sprintf("Fig. 4: overall comparison (Top-%d, thres=%.2f)", *k, *thres), rows)
+		return nil
+	})
+	run("lambda", func() error {
+		rows, err := harness.SelectTopkSensitivity(scale, *k)
+		if err != nil {
+			return err
+		}
+		harness.WriteLambdaRows(out, rows)
+		return nil
+	})
+	run("table8", func() error {
+		rows, err := harness.Table8(scale, *k, *thres)
+		if err != nil {
+			return err
+		}
+		harness.WriteTable8(out, rows)
+		return nil
+	})
+	run("fig5", func() error {
+		rows, err := harness.Fig5(scale, *thres)
+		if err != nil {
+			return err
+		}
+		harness.WriteSweepRows(out, "Fig. 5: impact of K", "K", rows)
+		return nil
+	})
+	run("fig6", func() error {
+		rows, err := harness.Fig6(scale, *k)
+		if err != nil {
+			return err
+		}
+		harness.WriteSweepRows(out, "Fig. 6: impact of thres", "thres", rows)
+		return nil
+	})
+	run("fig7", func() error {
+		rows, err := harness.Fig7(scale, *k, *thres)
+		if err != nil {
+			return err
+		}
+		harness.WriteSweepRows(out, "Fig. 7: Top-K windows (10% window sampling)", "window", rows)
+		return nil
+	})
+	run("fig8", func() error {
+		rows, err := harness.Fig8(scale, *k, *thres)
+		if err != nil {
+			return err
+		}
+		harness.WriteSweepRows(out, "Fig. 8: Visual Road object density", "cars", rows)
+		return nil
+	})
+	run("fig9", func() error {
+		rows, err := harness.Fig9(scale)
+		if err != nil {
+			return err
+		}
+		harness.WriteSystemRows(out, "Fig. 9: depth-estimator UDF on dashcam videos", rows)
+		return nil
+	})
+	run("ingest", func() error {
+		rows, err := harness.IngestionAmortization(scale, *thres)
+		if err != nil {
+			return err
+		}
+		harness.WriteIngestRows(out, rows)
+		return nil
+	})
+	run("ablations", func() error {
+		for _, ab := range []struct {
+			title string
+			fn    func(harness.Scale, int, float64) ([]harness.AblationRow, error)
+		}{
+			{"A1: ψ early stopping", harness.AblationEarlyStop},
+			{"A2: ψ re-sort schedule", harness.AblationResort},
+			{"A3: batch size b", harness.AblationBatch},
+			{"A4: difference detector", harness.AblationDiff},
+			{"A5: uncertain Top-K semantics", harness.AblationSemantics},
+			{"A6: ψ-order prefetching", harness.AblationPrefetch},
+			{"A7: confidence bound (exact vs union)", harness.AblationBound},
+		} {
+			rows, err := ab.fn(scale, *k, *thres)
+			if err != nil {
+				return err
+			}
+			harness.WriteAblationRows(out, ab.title, rows)
+		}
+		return nil
+	})
+	run("scaleout", func() error {
+		rows, err := harness.ScaleoutScalability(scale, *k, *thres)
+		if err != nil {
+			return err
+		}
+		harness.WriteScaleRows(out, rows)
+		return nil
+	})
+	run("session", func() error {
+		rows, err := harness.SessionAmortization(scale, *k, *thres)
+		if err != nil {
+			return err
+		}
+		harness.WriteSessionRows(out, rows)
+		return nil
+	})
+	run("sliding", func() error {
+		rows, err := harness.SlidingWindows(scale, *k, *thres)
+		if err != nil {
+			return err
+		}
+		harness.WriteSlidingRows(out, rows)
+		return nil
+	})
+}

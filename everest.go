@@ -1,0 +1,344 @@
+// Package everest is a from-scratch Go reproduction of "Top-K Deep Video
+// Analytics: A Probabilistic Approach" (SIGMOD 2021) — the Everest system.
+//
+// Everest answers Top-K and Top-K-window queries over video with a
+// probabilistic guarantee: the returned result has probability ≥ thres of
+// being the exact Top-K under possible-world semantics, and every returned
+// score has been confirmed by the accurate oracle model.
+//
+// A query runs in two phases. Phase 1 samples frames, labels them with the
+// oracle UDF, trains a convolutional mixture density network (CMDN) proxy,
+// removes near-duplicate frames with a difference detector, and quantizes
+// the proxy's score distributions into an uncertain relation D0. Phase 2
+// is oracle-in-the-loop uncertain Top-K processing: it repeatedly cleans
+// the uncertain tuples whose confirmation maximizes the expected result
+// confidence until the guarantee holds.
+//
+// Usage:
+//
+//	src, _ := video.DatasetByName("Archie")   // or any video.Source
+//	udf := vision.CountUDF{Class: video.ClassCar}
+//	res, err := everest.Run(source, udf, everest.Config{K: 50, Threshold: 0.9})
+//
+// Beyond one-shot queries, the package implements the paper's stated
+// future work and the multi-query layer it enables:
+//
+//   - RunParallel executes a query with P-way scale-out (partitioned
+//     Phase 1, parallel batched cleaning — the RAM3S direction of §3.5).
+//   - Config.Stride turns window queries into sliding windows; when
+//     windows overlap the engine switches to a dependence-safe union
+//     bound so the guarantee survives correlation.
+//   - BuildIndex runs Phase 1 once at ingestion time; Index.Query serves
+//     any number of Phase-2-only queries, Index.Extend ingests appended
+//     footage incrementally, and Save/LoadIndex persist the artifact.
+//   - NewSession shares every oracle-revealed frame score across the
+//     queries of one analysis session, making repeats and drill-downs
+//     oracle-free.
+//
+// All "runtimes" are simulated milliseconds accumulated on a
+// simclock.Clock using a cost model calibrated to the paper's hardware;
+// see internal/simclock.
+package everest
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/everest-project/everest/internal/cmdn"
+	"github.com/everest-project/everest/internal/core"
+	"github.com/everest-project/everest/internal/diffdet"
+	"github.com/everest-project/everest/internal/phase1"
+	"github.com/everest-project/everest/internal/simclock"
+	"github.com/everest-project/everest/internal/uncertain"
+	"github.com/everest-project/everest/internal/video"
+	"github.com/everest-project/everest/internal/vision"
+	"github.com/everest-project/everest/internal/windows"
+)
+
+// Config parameterizes one Top-K query.
+type Config struct {
+	// K is the result size. Required.
+	K int
+	// Threshold is the probabilistic guarantee thres ∈ (0,1]; zero means
+	// 0.9, the paper's default.
+	Threshold float64
+	// Window, when positive, turns the query into a Top-K tumbling-window
+	// query over windows of this many frames (§3.4).
+	Window int
+	// Stride is the offset between consecutive window starts; zero means
+	// Window (tumbling, the paper's §3.4). Stride < Window produces
+	// overlapping sliding windows — an extension beyond the paper — whose
+	// scores are correlated; the engine then automatically switches to the
+	// dependence-safe union bound.
+	Stride int
+	// WindowSampleFrac is the fraction of a window's frames the oracle
+	// scores when confirming it; zero means 0.1 (the paper's 10%).
+	WindowSampleFrac float64
+	// BatchSize is the Phase 2 cleaning batch b; zero means 8 (§3.5).
+	BatchSize int
+	// SampleFrac is the fraction of frames labelled for CMDN training.
+	// Zero means 0.02. (The paper uses 0.5% of multi-million-frame videos;
+	// scaled-down reproductions need a larger fraction to keep absolute
+	// sample counts trainable — see DESIGN.md.)
+	SampleFrac float64
+	// SampleCap bounds the absolute number of training samples; zero
+	// means 30000 (the paper's cap).
+	SampleCap int
+	// MinSamples floors the number of training samples; zero means 400.
+	MinSamples int
+	// HoldoutFrac sizes the holdout set relative to the training set;
+	// zero means 0.1 (the paper's 3000-of-30000 ratio).
+	HoldoutFrac float64
+	// Diff configures the difference detector (§3.5 defaults when zero).
+	Diff diffdet.Options
+	// Proxy configures CMDN training; zero values use the paper grid with
+	// the pooled backbone.
+	Proxy cmdn.Config
+	// Cost is the simulated cost model; zero-value means
+	// simclock.Default().
+	Cost simclock.CostModel
+	// Seed drives all randomness; queries are bit-reproducible.
+	Seed uint64
+	// MaxCleaned caps Phase 2 oracle invocations (0 = none); a test and
+	// safety valve, not a paper knob.
+	MaxCleaned int
+
+	// DisableDiff skips the difference detector (ablation A4).
+	DisableDiff bool
+	// DisableEarlyStop disables the ψ-bound pruning (ablation A1).
+	DisableEarlyStop bool
+	// ResortOnce freezes the ψ sort at iteration 0 (ablation A2).
+	ResortOnce bool
+	// DisablePrefetch stops hiding cleaned frames' decode latency behind
+	// oracle compute (§3.5 Prefetching; ablation A6).
+	DisablePrefetch bool
+	// UnionBound forces the Bonferroni confidence lower bound even when
+	// the tuples are independent (ablation A7). Overlapping sliding
+	// windows use it regardless of this flag.
+	UnionBound bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.Threshold == 0 {
+		c.Threshold = 0.9
+	}
+	if c.WindowSampleFrac == 0 {
+		c.WindowSampleFrac = 0.1
+	}
+	if c.BatchSize == 0 {
+		c.BatchSize = 8
+	}
+	if c.SampleFrac == 0 {
+		c.SampleFrac = 0.02
+	}
+	if c.SampleCap == 0 {
+		c.SampleCap = 30000
+	}
+	if c.MinSamples == 0 {
+		c.MinSamples = 600
+	}
+	if c.HoldoutFrac == 0 {
+		c.HoldoutFrac = 0.1
+	}
+	if c.Cost == (simclock.CostModel{}) {
+		c.Cost = simclock.Default()
+	}
+	return c
+}
+
+// windowStride returns the effective window stride (tumbling by default).
+func (c Config) windowStride() int {
+	if c.Stride <= 0 {
+		return c.Window
+	}
+	return c.Stride
+}
+
+// boundKind selects the Phase 2 confidence computation: the paper's exact
+// independent product unless the tuples are correlated (overlapping
+// windows) or the caller forces the conservative bound.
+func (c Config) boundKind() core.BoundKind {
+	if c.UnionBound || (c.Window > 0 && c.windowStride() < c.Window) {
+		return core.BoundUnion
+	}
+	return core.BoundIndependent
+}
+
+// Phase1Info reports what Phase 1 did.
+type Phase1Info struct {
+	// TotalFrames is the video length.
+	TotalFrames int
+	// TrainSamples and HoldoutSamples are the labelled sample counts.
+	TrainSamples, HoldoutSamples int
+	// Retained is the number of frames surviving the difference detector.
+	Retained int
+	// Tuples is the size of the uncertain relation D0 (frames or windows).
+	Tuples int
+	// Hyper is the selected CMDN grid point.
+	Hyper cmdn.Hyper
+	// HoldoutNLL is its selection criterion value.
+	HoldoutNLL float64
+}
+
+// Result is a guaranteed Top-K answer.
+type Result struct {
+	// IDs lists the Top-K frame indices (or window indices for window
+	// queries) in descending score order.
+	IDs []int
+	// Scores are the oracle-confirmed scores of IDs (level-quantized for
+	// non-counting UDFs).
+	Scores []float64
+	// Confidence is Pr(result = exact Top-K) ≥ Threshold at termination.
+	// Under the union bound (overlapping windows, Config.UnionBound) it is
+	// a lower bound on that probability.
+	Confidence float64
+	// Bound records the confidence computation used.
+	Bound core.BoundKind
+	// IsWindow marks window-query results.
+	IsWindow bool
+	// WindowSize echoes Config.Window for window queries.
+	WindowSize int
+	// WindowStride echoes the effective stride for window queries
+	// (WindowSize for tumbling).
+	WindowStride int
+	// Clock holds the simulated cost of the whole query, by phase.
+	Clock *simclock.Clock
+	// EngineStats are the Phase 2 counters (Table 8b).
+	EngineStats core.Stats
+	// Phase1 reports Phase 1 statistics (Table 8a).
+	Phase1 Phase1Info
+}
+
+// Run executes a Top-K query over src with the given scoring UDF.
+func Run(src video.Source, udf vision.UDF, cfg Config) (*Result, error) {
+	if src == nil || udf == nil {
+		return nil, errors.New("everest: nil source or UDF")
+	}
+	cfg = cfg.withDefaults()
+	if cfg.K <= 0 {
+		return nil, fmt.Errorf("everest: K must be positive, got %d", cfg.K)
+	}
+	if cfg.Threshold <= 0 || cfg.Threshold > 1 {
+		return nil, fmt.Errorf("everest: threshold must be in (0,1], got %v", cfg.Threshold)
+	}
+	n := src.NumFrames()
+	if n == 0 {
+		return nil, errors.New("everest: empty video")
+	}
+	if cfg.Window < 0 {
+		return nil, fmt.Errorf("everest: negative window %d", cfg.Window)
+	}
+	if cfg.Window == 0 && cfg.Stride > 0 {
+		return nil, fmt.Errorf("everest: stride %d given without a window", cfg.Stride)
+	}
+	if cfg.Window > 0 {
+		if nw := windows.NumSlidingWindows(n, cfg.Window, cfg.windowStride()); nw < cfg.K {
+			return nil, fmt.Errorf("everest: only %d windows of %d frames (stride %d) but K=%d",
+				nw, cfg.Window, cfg.windowStride(), cfg.K)
+		}
+	}
+
+	clock := simclock.NewClock()
+	p1, err := phase1.Run(src, udf, phase1.Options{
+		SampleFrac:  cfg.SampleFrac,
+		SampleCap:   cfg.SampleCap,
+		MinSamples:  cfg.MinSamples,
+		HoldoutFrac: cfg.HoldoutFrac,
+		Diff:        cfg.Diff,
+		DisableDiff: cfg.DisableDiff,
+		Proxy:       cfg.Proxy,
+		Cost:        cfg.Cost,
+		Seed:        cfg.Seed,
+	}, clock)
+	if err != nil {
+		return nil, err
+	}
+
+	qopt := udf.Quantize()
+	var rel uncertain.Relation
+	var oracle core.Oracle
+	engineCost := cfg.Cost
+	if cfg.Window > 0 {
+		rel, err = p1.WindowRelationStrided(cfg.Window, cfg.windowStride(), qopt)
+		if err != nil {
+			return nil, err
+		}
+		wOracle := &windows.Oracle{
+			ScoreFrames: func(ids []int) ([]float64, error) {
+				return udf.Score(src, ids), nil
+			},
+			Size:       cfg.Window,
+			Stride:     cfg.windowStride(),
+			SampleFrac: cfg.WindowSampleFrac,
+			Step:       qopt.Step,
+			Seed:       cfg.Seed,
+		}
+		// The engine charges OracleMS per cleaned tuple; a window
+		// confirmation scores SamplesPerWindow frames.
+		engineCost.OracleMS = cfg.Cost.OracleMS * float64(wOracle.SamplesPerWindow())
+		oracle = wOracle
+	} else {
+		rel = p1.FrameRelation(qopt)
+		oracle = core.OracleFunc(func(ids []int) ([]int, error) {
+			scores := udf.Score(src, ids)
+			levels := make([]int, len(ids))
+			for i, s := range scores {
+				levels[i] = uncertain.LevelOf(s, qopt.Step)
+			}
+			return levels, nil
+		})
+	}
+	if cfg.K > len(rel) {
+		return nil, fmt.Errorf("everest: K=%d exceeds relation size %d", cfg.K, len(rel))
+	}
+
+	coreCfg := core.Config{
+		K:                cfg.K,
+		Threshold:        cfg.Threshold,
+		BatchSize:        cfg.BatchSize,
+		MaxCleaned:       cfg.MaxCleaned,
+		DisableEarlyStop: cfg.DisableEarlyStop,
+		ResortOnce:       cfg.ResortOnce,
+		Bound:            cfg.boundKind(),
+	}
+	if cfg.DisablePrefetch {
+		coreCfg.UnhiddenDecodeMS = cfg.Cost.DecodeMS
+	}
+	eng, err := core.NewEngine(rel, coreCfg, oracle, clock, engineCost)
+	if err != nil {
+		return nil, err
+	}
+	coreRes, err := eng.Run()
+	if err != nil {
+		return nil, err
+	}
+
+	scores := make([]float64, len(coreRes.Levels))
+	for i, lvl := range coreRes.Levels {
+		scores[i] = uncertain.LevelValue(lvl, qopt.Step)
+	}
+	stride := 0
+	if cfg.Window > 0 {
+		stride = cfg.windowStride()
+	}
+	return &Result{
+		IDs:          coreRes.IDs,
+		Scores:       scores,
+		Confidence:   coreRes.Confidence,
+		Bound:        coreRes.Bound,
+		IsWindow:     cfg.Window > 0,
+		WindowSize:   cfg.Window,
+		WindowStride: stride,
+		Clock:        clock,
+		EngineStats:  coreRes.Stats,
+		Phase1: Phase1Info{
+			TotalFrames:    p1.Info.TotalFrames,
+			TrainSamples:   p1.Info.TrainSamples,
+			HoldoutSamples: p1.Info.HoldoutSamples,
+			Retained:       p1.Info.Retained,
+			Tuples:         len(rel),
+			Hyper:          p1.Info.Hyper,
+			HoldoutNLL:     p1.Info.HoldoutNLL,
+		},
+	}, nil
+}

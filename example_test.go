@@ -1,0 +1,122 @@
+package everest_test
+
+import (
+	"fmt"
+	"log"
+
+	everest "github.com/everest-project/everest"
+	"github.com/everest-project/everest/internal/video"
+	"github.com/everest-project/everest/internal/vision"
+)
+
+// ExampleRun answers a guaranteed Top-5 object-counting query on a small
+// synthetic traffic video.
+func ExampleRun() {
+	src, err := video.NewSynthetic(video.Config{
+		Name: "example", Kind: video.KindTraffic, Class: video.ClassCar,
+		Frames: 6000, FPS: 30, Seed: 8, MeanPopulation: 3, BurstRate: 4,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := everest.Run(src, vision.CountUDF{Class: video.ClassCar}, everest.Config{
+		K: 5, Threshold: 0.9, Seed: 1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("results:", len(res.IDs))
+	fmt.Println("guaranteed:", res.Confidence >= 0.9)
+	// Output:
+	// results: 5
+	// guaranteed: true
+}
+
+// ExampleBuildIndex ingests a video once and serves two differently-shaped
+// queries from the index without repeating Phase 1.
+func ExampleBuildIndex() {
+	src, err := video.NewSynthetic(video.Config{
+		Name: "example-ix", Kind: video.KindTraffic, Class: video.ClassCar,
+		Frames: 6000, FPS: 30, Seed: 9, MeanPopulation: 3, BurstRate: 4,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	udf := vision.CountUDF{Class: video.ClassCar}
+	cfg := everest.Config{K: 5, Threshold: 0.9, Seed: 1}
+	ix, err := everest.BuildIndex(src, udf, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	top5, err := ix.Query(src, udf, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg.K = 10
+	top10, err := ix.Query(src, udf, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(len(top5.IDs), len(top10.IDs))
+	fmt.Println("phase 2 only:", top5.Clock.TotalMS() < ix.IngestMS())
+	// Output:
+	// 5 10
+	// phase 2 only: true
+}
+
+// ExampleNewSession opens a work-sharing session over an index: the
+// second, identical query reuses every oracle label of the first and
+// cleans nothing.
+func ExampleNewSession() {
+	src, err := video.NewSynthetic(video.Config{
+		Name: "example-sess", Kind: video.KindTraffic, Class: video.ClassCar,
+		Frames: 6000, FPS: 30, Seed: 10, MeanPopulation: 3, BurstRate: 4,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	udf := vision.CountUDF{Class: video.ClassCar}
+	cfg := everest.Config{K: 5, Threshold: 0.9, Seed: 1}
+	ix, err := everest.BuildIndex(src, udf, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sess, err := everest.NewSession(ix, src, udf)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := sess.Query(cfg); err != nil {
+		log.Fatal(err)
+	}
+	again, err := sess.Query(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("repeat cleaned:", again.EngineStats.Cleaned)
+	// Output:
+	// repeat cleaned: 0
+}
+
+// ExampleRunParallel answers the same query with 2-way scale-out; the
+// result keeps its probabilistic guarantee while Phase 1 runs partitioned.
+func ExampleRunParallel() {
+	src, err := video.NewSynthetic(video.Config{
+		Name: "example-par", Kind: video.KindTraffic, Class: video.ClassCar,
+		Frames: 6000, FPS: 30, Seed: 12, MeanPopulation: 3, BurstRate: 4,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := everest.RunParallel(src, vision.CountUDF{Class: video.ClassCar},
+		everest.Config{K: 5, Threshold: 0.9, Seed: 1}, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("results:", len(res.IDs))
+	fmt.Println("guaranteed:", res.Confidence >= 0.9)
+	fmt.Println("shards:", len(res.Shards))
+	// Output:
+	// results: 5
+	// guaranteed: true
+	// shards: 2
+}

@@ -1,0 +1,58 @@
+// Thumbnail generation (paper §1, use case 2): a social platform picks
+// video thumbnails by visual sentiment — the Top-10 happiest moments, as
+// scored by a deep visual sentimentalizer, maximize click-through.
+//
+// This example also demonstrates window queries: besides single frames, it
+// asks for the happiest 2-second clips (Top-K tumbling windows, §3.4),
+// which make better animated previews than isolated frames.
+//
+//	go run ./examples/thumbnails
+package main
+
+import (
+	"fmt"
+	"log"
+
+	everest "github.com/everest-project/everest"
+	"github.com/everest-project/everest/internal/video"
+	"github.com/everest-project/everest/internal/vision"
+)
+
+func main() {
+	spec, err := video.DatasetByName("Daxi-old-street")
+	if err != nil {
+		log.Fatal(err)
+	}
+	src, err := spec.Build(24000)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	udf := vision.SentimentUDF{}
+
+	// Top-10 happiest frames → static thumbnails.
+	frames, err := everest.Run(src, udf, everest.Config{K: 10, Threshold: 0.9, Seed: 11})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("static thumbnail candidates (confidence %.3f):\n", frames.Confidence)
+	for i, id := range frames.IDs {
+		fmt.Printf("  #%-2d frame %-6d t=%6.1fs happiness %3.0f/100\n",
+			i+1, id, float64(id)/float64(src.FPS()), frames.Scores[i])
+	}
+
+	// Top-3 happiest 2-second clips → animated previews.
+	const clip = 60 // 2 s at 30 fps
+	clips, err := everest.Run(src, udf, everest.Config{
+		K: 3, Threshold: 0.9, Window: clip, Seed: 11,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nanimated preview candidates (confidence %.3f):\n", clips.Confidence)
+	for i, w := range clips.IDs {
+		start := float64(w*clip) / float64(src.FPS())
+		fmt.Printf("  #%-2d clip [%6.1fs – %6.1fs] mean happiness %5.1f/100\n",
+			i+1, start, start+2, clips.Scores[i])
+	}
+}

@@ -1,0 +1,93 @@
+package everest
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/everest-project/everest/internal/phase1"
+	"github.com/everest-project/everest/internal/simclock"
+	"github.com/everest-project/everest/internal/video"
+	"github.com/everest-project/everest/internal/vision"
+)
+
+// Extend incrementally ingests footage appended to an indexed video: src
+// must be the same camera feed, now longer than when the index was built.
+// The appended tail [indexed frames, src frames) runs the full Phase 1
+// pipeline — its own sampling, labelling, and a tail-specialized CMDN —
+// and the outputs are merged into the index, exactly as the scale-out
+// executor specializes one proxy per shard. Nothing already ingested is
+// recomputed, so a nightly append costs Phase 1 of the new footage only.
+//
+// Per-segment specialization is also the honest answer to model drift:
+// the paper defers drift handling (§3.1), and scoring tonight's frames
+// with a proxy trained on tonight's frames sidesteps it for the batch
+// append case.
+//
+// The returned cost is the tail's simulated ingestion time; it is also
+// added to IngestMS.
+func (ix *Index) Extend(src video.Source, udf vision.UDF, cfg Config) (tailMS float64, err error) {
+	if src == nil || udf == nil {
+		return 0, errors.New("everest: nil source or UDF")
+	}
+	if src.Name() != ix.dataset {
+		return 0, fmt.Errorf("everest: index was built for %s, not %s", ix.dataset, src.Name())
+	}
+	if udf.Name() != ix.udfName {
+		return 0, fmt.Errorf("everest: index was built for UDF %s, not %s", ix.udfName, udf.Name())
+	}
+	n := src.NumFrames()
+	if n <= ix.totalFrames {
+		return 0, fmt.Errorf("everest: source has %d frames, index already covers %d — nothing to append",
+			n, ix.totalFrames)
+	}
+	cfg = cfg.withDefaults()
+
+	lo := ix.totalFrames
+	tail, err := video.Slice(src, lo, n)
+	if err != nil {
+		return 0, err
+	}
+	clock := simclock.NewClock()
+	st, err := phase1.Run(tail, udf, phase1.Options{
+		SampleFrac:  cfg.SampleFrac,
+		SampleCap:   cfg.SampleCap,
+		MinSamples:  cfg.MinSamples,
+		HoldoutFrac: cfg.HoldoutFrac,
+		Diff:        cfg.Diff,
+		DisableDiff: cfg.DisableDiff,
+		Proxy:       cfg.Proxy,
+		Cost:        cfg.Cost,
+		Seed:        cfg.Seed ^ uint64(lo), // a fresh stream per append
+	}, clock)
+	if err != nil {
+		return 0, fmt.Errorf("everest: extending index: %w", err)
+	}
+
+	// Merge in global coordinates. The difference detector never links
+	// across the append boundary; the first tail frame always starts a new
+	// segment, which at worst retains one redundant frame.
+	for _, rep := range st.Diff.RepOf {
+		ix.repOf = append(ix.repOf, int32(lo)+rep)
+	}
+	inferred := 0
+	for _, f := range st.Diff.Retained {
+		g := int32(lo + f)
+		ix.retained = append(ix.retained, g)
+		if s, ok := st.Labeled[f]; ok {
+			ix.exact[g] = s
+			continue
+		}
+		inferred++
+		ix.mixtures[g] = st.MixtureOf(f)
+	}
+	clock.Charge(simclock.PhasePopulateD0, float64(inferred)*cfg.Cost.ProxyMS)
+
+	ix.totalFrames = n
+	ix.info.TotalFrames = n
+	ix.info.TrainSamples += st.Info.TrainSamples
+	ix.info.HoldoutSamples += st.Info.HoldoutSamples
+	ix.info.Retained += st.Info.Retained
+	tailMS = clock.TotalMS()
+	ix.ingestMS += tailMS
+	return tailMS, nil
+}

@@ -1,0 +1,187 @@
+package everest
+
+import (
+	"bytes"
+	"testing"
+
+	"github.com/everest-project/everest/internal/video"
+	"github.com/everest-project/everest/internal/vision"
+)
+
+// growableSources builds two views of the same camera feed: the feed
+// observed after `short` frames (a prefix of the full video) and the same
+// feed after the append. The prefix view keeps the camera's name, so the
+// index recognizes both as the same feed.
+func growableSources(t *testing.T, short, long int, seed uint64) (video.Source, *video.Synthetic) {
+	t.Helper()
+	full, err := video.NewSynthetic(video.Config{
+		Name: "growing", Kind: video.KindTraffic, Class: video.ClassCar,
+		Frames: long, FPS: 30, Seed: seed, MeanPopulation: 3, BurstRate: 3,
+		DailyCycle: true, DistractorPopulation: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	day1, err := video.Prefix(full, short)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return day1, full
+}
+
+func TestExtendIndexCoversAppendedFootage(t *testing.T) {
+	day1, full := growableSources(t, 6000, 12000, 107)
+	udf := vision.CountUDF{Class: video.ClassCar}
+	cfg := smallCfg(5)
+
+	ix, err := BuildIndex(day1, udf, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ingestDay1 := ix.IngestMS()
+	tailMS, err := ix.Extend(full, udf, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tailMS <= 0 {
+		t.Fatal("tail ingestion cost not recorded")
+	}
+	if ix.IngestMS() != ingestDay1+tailMS {
+		t.Fatalf("IngestMS %v, want %v + %v", ix.IngestMS(), ingestDay1, tailMS)
+	}
+	if ix.Info().TotalFrames != 12000 {
+		t.Fatalf("index covers %d frames, want 12000", ix.Info().TotalFrames)
+	}
+
+	// Queries over the extended index see the whole feed and keep the
+	// guarantee and the certain-result condition.
+	res, err := ix.Query(full, udf, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Confidence < 0.9 {
+		t.Fatalf("confidence %v < 0.9", res.Confidence)
+	}
+	sawTail := false
+	for i, id := range res.IDs {
+		if int(res.Scores[i]) != full.TrueCountFast(id) {
+			t.Fatalf("frame %d score %v, truth %d", id, res.Scores[i], full.TrueCountFast(id))
+		}
+		if id >= 6000 {
+			sawTail = true
+		}
+	}
+	_ = sawTail // tail frames are eligible; whether they win depends on content
+}
+
+func TestExtendedIndexAnswersWindowQueries(t *testing.T) {
+	day1, full := growableSources(t, 6000, 9000, 109)
+	udf := vision.CountUDF{Class: video.ClassCar}
+	cfg := smallCfg(5)
+	ix, err := BuildIndex(day1, udf, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ix.Extend(full, udf, cfg); err != nil {
+		t.Fatal(err)
+	}
+	wcfg := cfg
+	wcfg.Window = 60
+	res, err := ix.Query(full, udf, wcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.IsWindow || res.Confidence < 0.9 {
+		t.Fatalf("window query over extended index: %+v", res)
+	}
+	nw := 9000 / 60
+	for _, w := range res.IDs {
+		if w < 0 || w >= nw {
+			t.Fatalf("window %d out of [0, %d)", w, nw)
+		}
+	}
+}
+
+func TestExtendValidation(t *testing.T) {
+	day1, full := growableSources(t, 6000, 9000, 113)
+	udf := vision.CountUDF{Class: video.ClassCar}
+	cfg := smallCfg(5)
+	ix, err := BuildIndex(day1, udf, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ix.Extend(day1, udf, cfg); err == nil {
+		t.Fatal("extending with the already-covered video must fail")
+	}
+	if _, err := ix.Extend(full, vision.CountUDF{Class: video.ClassBus}, cfg); err == nil {
+		t.Fatal("extending with a different UDF must fail")
+	}
+	other := testSource(t, 9000, 115)
+	if _, err := ix.Extend(other, udf, cfg); err == nil {
+		t.Fatal("extending with a different video must fail")
+	}
+	if _, err := ix.Extend(nil, udf, cfg); err == nil {
+		t.Fatal("nil source must fail")
+	}
+}
+
+func TestExtendedIndexSurvivesSaveLoad(t *testing.T) {
+	day1, full := growableSources(t, 6000, 9000, 117)
+	udf := vision.CountUDF{Class: video.ClassCar}
+	cfg := smallCfg(5)
+	ix, err := BuildIndex(day1, udf, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ix.Extend(full, udf, cfg); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := ix.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadIndex(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := ix.Query(full, udf, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := back.Query(full, udf, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.IDs {
+		if a.IDs[i] != b.IDs[i] {
+			t.Fatalf("round-tripped index diverges at %d", i)
+		}
+	}
+}
+
+func TestExtendThenSessionSharesWork(t *testing.T) {
+	day1, full := growableSources(t, 6000, 9000, 119)
+	udf := vision.CountUDF{Class: video.ClassCar}
+	cfg := smallCfg(5)
+	ix, err := BuildIndex(day1, udf, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ix.Extend(full, udf, cfg); err != nil {
+		t.Fatal(err)
+	}
+	sess, err := NewSession(ix, full, udf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.Query(cfg); err != nil {
+		t.Fatal(err)
+	}
+	again, err := sess.Query(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.EngineStats.Cleaned != 0 {
+		t.Fatalf("repeat over extended index cleaned %d, want 0", again.EngineStats.Cleaned)
+	}
+}

@@ -1,0 +1,357 @@
+package everest
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+
+	"github.com/everest-project/everest/internal/core"
+	"github.com/everest-project/everest/internal/diffdet"
+	"github.com/everest-project/everest/internal/phase1"
+	"github.com/everest-project/everest/internal/simclock"
+	"github.com/everest-project/everest/internal/uncertain"
+	"github.com/everest-project/everest/internal/video"
+	"github.com/everest-project/everest/internal/vision"
+	"github.com/everest-project/everest/internal/windows"
+)
+
+// Index is a precomputed Phase 1 artifact: the difference-detector
+// structure plus, per retained frame, either the exact oracle label or the
+// CMDN's score mixture. The paper observes (§4.2) that "Phase 1 can be
+// done offline during data ingestion (e.g., Focus [32]) or even at the
+// edge"; an Index is that ingestion product. Once built, any number of
+// Top-K and Top-K-window queries — different K, thres, window size — run
+// Phase 2 only, paying no sampling, training, decoding or proxy-inference
+// cost.
+//
+// An Index is tied to one (video, UDF) pair and can be persisted with
+// Save and restored with LoadIndex.
+type Index struct {
+	dataset     string
+	udfName     string
+	totalFrames int
+	retained    []int32
+	repOf       []int32
+	exact       map[int32]float64
+	mixtures    map[int32]uncertain.Mixture
+	info        Phase1Info
+	ingestMS    float64
+}
+
+// Dataset returns the indexed video's name.
+func (ix *Index) Dataset() string { return ix.dataset }
+
+// UDFName returns the indexed scoring function's name.
+func (ix *Index) UDFName() string { return ix.udfName }
+
+// IngestMS returns the simulated one-off ingestion cost (Phase 1).
+func (ix *Index) IngestMS() float64 { return ix.ingestMS }
+
+// Info returns the Phase 1 statistics captured at ingestion.
+func (ix *Index) Info() Phase1Info { return ix.info }
+
+// BuildIndex runs Phase 1 once and captures its outputs for reuse.
+func BuildIndex(src video.Source, udf vision.UDF, cfg Config) (*Index, error) {
+	if src == nil || udf == nil {
+		return nil, errors.New("everest: nil source or UDF")
+	}
+	cfg = cfg.withDefaults()
+	clock := simclock.NewClock()
+	st, err := phase1.Run(src, udf, phase1.Options{
+		SampleFrac:  cfg.SampleFrac,
+		SampleCap:   cfg.SampleCap,
+		MinSamples:  cfg.MinSamples,
+		HoldoutFrac: cfg.HoldoutFrac,
+		Diff:        cfg.Diff,
+		DisableDiff: cfg.DisableDiff,
+		Proxy:       cfg.Proxy,
+		Cost:        cfg.Cost,
+		Seed:        cfg.Seed,
+	}, clock)
+	if err != nil {
+		return nil, err
+	}
+	ix := &Index{
+		dataset:     src.Name(),
+		udfName:     udf.Name(),
+		totalFrames: src.NumFrames(),
+		repOf:       append([]int32(nil), st.Diff.RepOf...),
+		exact:       make(map[int32]float64),
+		mixtures:    make(map[int32]uncertain.Mixture),
+		info: Phase1Info{
+			TotalFrames:    st.Info.TotalFrames,
+			TrainSamples:   st.Info.TrainSamples,
+			HoldoutSamples: st.Info.HoldoutSamples,
+			Retained:       st.Info.Retained,
+			Hyper:          st.Info.Hyper,
+			HoldoutNLL:     st.Info.HoldoutNLL,
+		},
+	}
+	inferred := 0
+	for _, f := range st.Diff.Retained {
+		ix.retained = append(ix.retained, int32(f))
+		if s, ok := st.Labeled[f]; ok {
+			ix.exact[int32(f)] = s
+			continue
+		}
+		inferred++
+		ix.mixtures[int32(f)] = st.MixtureOf(f)
+	}
+	clock.Charge(simclock.PhasePopulateD0, float64(inferred)*cfg.Cost.ProxyMS)
+	ix.ingestMS = clock.TotalMS()
+	return ix, nil
+}
+
+// frameRelation rebuilds D0 from the captured mixtures. labels, when
+// non-nil, supplies exact scores confirmed by earlier queries in the same
+// Session; those frames enter D0 certain.
+func (ix *Index) frameRelation(qopt uncertain.QuantizeOptions, labels map[int]float64) (uncertain.Relation, error) {
+	rel := make(uncertain.Relation, 0, len(ix.retained))
+	for _, f := range ix.retained {
+		if s, ok := ix.exact[f]; ok {
+			lvl := phase1.ClampLevel(uncertain.LevelOf(s, qopt.Step), qopt)
+			rel = append(rel, uncertain.XTuple{ID: int(f), Dist: uncertain.Certain(lvl)})
+			continue
+		}
+		if s, ok := labels[int(f)]; ok {
+			lvl := phase1.ClampLevel(uncertain.LevelOf(s, qopt.Step), qopt)
+			rel = append(rel, uncertain.XTuple{ID: int(f), Dist: uncertain.Certain(lvl)})
+			continue
+		}
+		mix, ok := ix.mixtures[f]
+		if !ok {
+			return nil, fmt.Errorf("everest: index missing mixture for frame %d", f)
+		}
+		d, err := uncertain.Quantize(mix, qopt)
+		if err != nil {
+			d = uncertain.Certain(phase1.ClampLevel(uncertain.LevelOf(mix.Mean(), qopt.Step), qopt))
+		}
+		rel = append(rel, uncertain.XTuple{ID: int(f), Dist: d})
+	}
+	return rel, nil
+}
+
+// windowRelation rebuilds the window-level D0 (Eq. 9) from the captured
+// mixtures and segment structure. labels, when non-nil, supplies exact
+// scores confirmed by earlier queries in the same Session.
+func (ix *Index) windowRelation(size, stride int, qopt uncertain.QuantizeOptions, labels map[int]float64) (uncertain.Relation, error) {
+	diff := diffdet.Result{RepOf: ix.repOf}
+	maxLevel := 0
+	if qopt.MaxLevel > 0 && qopt.MaxLevel < int(^uint(0)>>1) {
+		maxLevel = qopt.MaxLevel
+	}
+	return windows.BuildRelation(func(rep int) windows.FrameScore {
+		if s, ok := ix.exact[int32(rep)]; ok {
+			return windows.FrameScore{IsExact: true, Exact: s}
+		}
+		if s, ok := labels[rep]; ok {
+			return windows.FrameScore{IsExact: true, Exact: s}
+		}
+		return windows.FrameScore{Mix: ix.mixtures[int32(rep)]}
+	}, diff, windows.Options{Size: size, Stride: stride, Step: qopt.Step, MaxLevel: maxLevel})
+}
+
+// Query runs Phase 2 against the index. The source and UDF must be the
+// ones the index was built from; only Phase 2 costs are charged.
+func (ix *Index) Query(src video.Source, udf vision.UDF, cfg Config) (*Result, error) {
+	return ix.query(src, udf, cfg, nil)
+}
+
+// validateFor checks that (src, udf) is what the index was built from.
+func (ix *Index) validateFor(src video.Source, udf vision.UDF) error {
+	if src == nil || udf == nil {
+		return errors.New("everest: nil source or UDF")
+	}
+	if src.Name() != ix.dataset || src.NumFrames() != ix.totalFrames {
+		return fmt.Errorf("everest: index was built for %s (%d frames), not %s (%d frames)",
+			ix.dataset, ix.totalFrames, src.Name(), src.NumFrames())
+	}
+	if udf.Name() != ix.udfName {
+		return fmt.Errorf("everest: index was built for UDF %s, not %s", ix.udfName, udf.Name())
+	}
+	return nil
+}
+
+// query is the shared Phase 2 path for Index.Query and Session.Query.
+// When labels is non-nil it is the session's cross-query cache: frames in
+// it enter D0 certain, cleaned frames are recorded into it, and oracle
+// cost is charged only for cache misses.
+func (ix *Index) query(src video.Source, udf vision.UDF, cfg Config, labels map[int]float64) (*Result, error) {
+	if err := ix.validateFor(src, udf); err != nil {
+		return nil, err
+	}
+	cfg = cfg.withDefaults()
+	if cfg.K <= 0 {
+		return nil, fmt.Errorf("everest: K must be positive, got %d", cfg.K)
+	}
+	if cfg.Window == 0 && cfg.Stride > 0 {
+		return nil, fmt.Errorf("everest: stride %d given without a window", cfg.Stride)
+	}
+
+	clock := simclock.NewClock()
+	qopt := udf.Quantize()
+	// scoreFrames is the frame-level oracle shared by both query kinds:
+	// it consults and feeds the session cache and charges per miss.
+	scoreFrames := func(ids []int) ([]float64, error) {
+		scores := make([]float64, len(ids))
+		var missAt, missIDs []int
+		for i, id := range ids {
+			if s, ok := labels[id]; ok {
+				scores[i] = s
+				continue
+			}
+			missAt = append(missAt, i)
+			missIDs = append(missIDs, id)
+		}
+		if len(missIDs) > 0 {
+			fresh := udf.Score(src, missIDs)
+			for j, i := range missAt {
+				scores[i] = fresh[j]
+				if labels != nil {
+					labels[missIDs[j]] = fresh[j]
+				}
+			}
+			clock.Charge(simclock.PhaseConfirm, float64(len(missIDs))*udf.OracleCostMS(cfg.Cost))
+		}
+		return scores, nil
+	}
+
+	var rel uncertain.Relation
+	var oracle core.Oracle
+	// The frame-level oracle above charges its own per-frame cost, so the
+	// engine charges only the per-call overhead (and unhidden decode).
+	engineCost := cfg.Cost
+	engineCost.OracleMS = 0
+	var err error
+	if cfg.Window > 0 {
+		rel, err = ix.windowRelation(cfg.Window, cfg.windowStride(), qopt, labels)
+		if err != nil {
+			return nil, err
+		}
+		oracle = &windows.Oracle{
+			ScoreFrames: scoreFrames,
+			Size:        cfg.Window,
+			Stride:      cfg.windowStride(),
+			SampleFrac:  cfg.WindowSampleFrac,
+			Step:        qopt.Step,
+			Seed:        cfg.Seed,
+		}
+	} else {
+		rel, err = ix.frameRelation(qopt, labels)
+		if err != nil {
+			return nil, err
+		}
+		oracle = core.OracleFunc(func(ids []int) ([]int, error) {
+			scores, err := scoreFrames(ids)
+			if err != nil {
+				return nil, err
+			}
+			levels := make([]int, len(ids))
+			for i, s := range scores {
+				levels[i] = uncertain.LevelOf(s, qopt.Step)
+			}
+			return levels, nil
+		})
+	}
+	if cfg.K > len(rel) {
+		return nil, fmt.Errorf("everest: K=%d exceeds relation size %d", cfg.K, len(rel))
+	}
+
+	coreCfg := core.Config{
+		K:                cfg.K,
+		Threshold:        cfg.Threshold,
+		BatchSize:        cfg.BatchSize,
+		MaxCleaned:       cfg.MaxCleaned,
+		DisableEarlyStop: cfg.DisableEarlyStop,
+		ResortOnce:       cfg.ResortOnce,
+		Bound:            cfg.boundKind(),
+	}
+	if cfg.DisablePrefetch {
+		coreCfg.UnhiddenDecodeMS = cfg.Cost.DecodeMS
+	}
+	eng, err := core.NewEngine(rel, coreCfg, oracle, clock, engineCost)
+	if err != nil {
+		return nil, err
+	}
+	coreRes, err := eng.Run()
+	if err != nil {
+		return nil, err
+	}
+	scores := make([]float64, len(coreRes.Levels))
+	for i, lvl := range coreRes.Levels {
+		scores[i] = uncertain.LevelValue(lvl, qopt.Step)
+	}
+	info := ix.info
+	info.Tuples = len(rel)
+	stride := 0
+	if cfg.Window > 0 {
+		stride = cfg.windowStride()
+	}
+	return &Result{
+		IDs:          coreRes.IDs,
+		Scores:       scores,
+		Confidence:   coreRes.Confidence,
+		Bound:        coreRes.Bound,
+		IsWindow:     cfg.Window > 0,
+		WindowSize:   cfg.Window,
+		WindowStride: stride,
+		Clock:        clock,
+		EngineStats:  coreRes.Stats,
+		Phase1:       info,
+	}, nil
+}
+
+// indexCodec is the gob wire form of an Index.
+type indexCodec struct {
+	Version     int
+	Dataset     string
+	UDFName     string
+	TotalFrames int
+	Retained    []int32
+	RepOf       []int32
+	Exact       map[int32]float64
+	Mixtures    map[int32]uncertain.Mixture
+	Info        Phase1Info
+	IngestMS    float64
+}
+
+const indexVersion = 1
+
+// Save persists the index.
+func (ix *Index) Save(w io.Writer) error {
+	return gob.NewEncoder(w).Encode(indexCodec{
+		Version:     indexVersion,
+		Dataset:     ix.dataset,
+		UDFName:     ix.udfName,
+		TotalFrames: ix.totalFrames,
+		Retained:    ix.retained,
+		RepOf:       ix.repOf,
+		Exact:       ix.exact,
+		Mixtures:    ix.mixtures,
+		Info:        ix.info,
+		IngestMS:    ix.ingestMS,
+	})
+}
+
+// LoadIndex restores an index written by Save.
+func LoadIndex(r io.Reader) (*Index, error) {
+	var c indexCodec
+	if err := gob.NewDecoder(r).Decode(&c); err != nil {
+		return nil, fmt.Errorf("everest: decoding index: %w", err)
+	}
+	if c.Version != indexVersion {
+		return nil, fmt.Errorf("everest: index version %d not supported (want %d)", c.Version, indexVersion)
+	}
+	return &Index{
+		dataset:     c.Dataset,
+		udfName:     c.UDFName,
+		totalFrames: c.TotalFrames,
+		retained:    c.Retained,
+		repOf:       c.RepOf,
+		exact:       c.Exact,
+		mixtures:    c.Mixtures,
+		info:        c.Info,
+		ingestMS:    c.IngestMS,
+	}, nil
+}

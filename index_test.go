@@ -1,0 +1,179 @@
+package everest
+
+import (
+	"bytes"
+	"testing"
+
+	"github.com/everest-project/everest/internal/video"
+	"github.com/everest-project/everest/internal/vision"
+)
+
+func TestBuildIndexAndQuery(t *testing.T) {
+	src := testSource(t, 9000, 41)
+	udf := vision.CountUDF{Class: video.ClassCar}
+	cfg := smallCfg(5)
+
+	ix, err := BuildIndex(src, udf, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix.Dataset() != src.Name() || ix.UDFName() != udf.Name() {
+		t.Fatalf("index metadata wrong: %s / %s", ix.Dataset(), ix.UDFName())
+	}
+	if ix.IngestMS() <= 0 {
+		t.Fatal("ingestion cost not recorded")
+	}
+
+	res, err := ix.Query(src, udf, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Confidence < 0.9 {
+		t.Fatalf("confidence %v", res.Confidence)
+	}
+	// Indexed queries pay Phase 2 only: far below the ingestion cost and
+	// below a fresh end-to-end run.
+	if res.Clock.TotalMS() >= ix.IngestMS() {
+		t.Fatalf("indexed query cost %v not below ingest cost %v",
+			res.Clock.TotalMS(), ix.IngestMS())
+	}
+	// Certain-result condition still holds.
+	for i, id := range res.IDs {
+		if int(res.Scores[i]) != src.TrueCountFast(id) {
+			t.Fatalf("frame %d score %v, truth %d", id, res.Scores[i], src.TrueCountFast(id))
+		}
+	}
+}
+
+func TestIndexMatchesFreshRun(t *testing.T) {
+	// The index captures exactly Phase 1's outputs, so an indexed query
+	// must return the same result set as a fresh end-to-end run with the
+	// same seed.
+	src := testSource(t, 9000, 43)
+	udf := vision.CountUDF{Class: video.ClassCar}
+	cfg := smallCfg(5)
+
+	fresh, err := Run(src, udf, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix, err := BuildIndex(src, udf, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	indexed, err := ix.Query(src, udf, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fresh.IDs) != len(indexed.IDs) {
+		t.Fatalf("result sizes differ: %d vs %d", len(fresh.IDs), len(indexed.IDs))
+	}
+	for i := range fresh.IDs {
+		if fresh.IDs[i] != indexed.IDs[i] {
+			t.Fatalf("results diverge at %d: %v vs %v", i, fresh.IDs, indexed.IDs)
+		}
+	}
+	if fresh.Confidence != indexed.Confidence {
+		t.Fatalf("confidence diverges: %v vs %v", fresh.Confidence, indexed.Confidence)
+	}
+}
+
+func TestIndexAmortizesAcrossQueries(t *testing.T) {
+	src := testSource(t, 9000, 47)
+	udf := vision.CountUDF{Class: video.ClassCar}
+	base := smallCfg(5)
+	ix, err := BuildIndex(src, udf, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Different K and thres reuse the same index.
+	for _, k := range []int{1, 3, 10} {
+		cfg := base
+		cfg.K = k
+		res, err := ix.Query(src, udf, cfg)
+		if err != nil {
+			t.Fatalf("K=%d: %v", k, err)
+		}
+		if len(res.IDs) != k || res.Confidence < 0.9 {
+			t.Fatalf("K=%d: size %d confidence %v", k, len(res.IDs), res.Confidence)
+		}
+	}
+	// Window query from the same index.
+	cfg := base
+	cfg.K = 3
+	cfg.Window = 30
+	res, err := ix.Query(src, udf, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.IsWindow || len(res.IDs) != 3 {
+		t.Fatalf("window query from index: %+v", res)
+	}
+}
+
+func TestIndexValidation(t *testing.T) {
+	src := testSource(t, 6000, 53)
+	other := testSource(t, 6000, 54)
+	udf := vision.CountUDF{Class: video.ClassCar}
+	ix, err := BuildIndex(src, udf, smallCfg(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Different video (name differs only via config name... same name here,
+	// so check the frame-count mismatch path).
+	short := testSource(t, 3000, 53)
+	if _, err := ix.Query(short, udf, smallCfg(3)); err == nil {
+		t.Fatal("frame-count mismatch should be rejected")
+	}
+	// Different UDF.
+	if _, err := ix.Query(src, vision.CountUDF{Class: video.ClassPerson}, smallCfg(3)); err == nil {
+		t.Fatal("UDF mismatch should be rejected")
+	}
+	// K too large.
+	big := smallCfg(3)
+	big.K = 10_000_000
+	if _, err := ix.Query(src, udf, big); err == nil {
+		t.Fatal("oversized K should be rejected")
+	}
+	_ = other
+}
+
+func TestIndexSaveLoadRoundTrip(t *testing.T) {
+	src := testSource(t, 6000, 59)
+	udf := vision.CountUDF{Class: video.ClassCar}
+	cfg := smallCfg(4)
+	ix, err := BuildIndex(src, udf, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := ix.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadIndex(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := ix.Query(src, udf, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := loaded.Query(src, udf, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.IDs {
+		if a.IDs[i] != b.IDs[i] {
+			t.Fatalf("round-tripped index diverges: %v vs %v", a.IDs, b.IDs)
+		}
+	}
+	if loaded.IngestMS() != ix.IngestMS() {
+		t.Fatal("ingest cost lost in round trip")
+	}
+}
+
+func TestLoadIndexRejectsGarbage(t *testing.T) {
+	if _, err := LoadIndex(bytes.NewReader([]byte("not an index"))); err == nil {
+		t.Fatal("garbage input should fail to decode")
+	}
+}

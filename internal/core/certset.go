@@ -1,0 +1,79 @@
+package core
+
+import "sort"
+
+// certainSet tracks the tuples whose exact scores are known and answers
+// order-statistics queries for the top of the score order.
+//
+// Phase 2 only ever needs the K-th and (K−1)-st largest certain scores
+// (S_k and S_p) and, at termination, the Top-K list itself. Certain scores
+// never change once confirmed, so the set keeps just the current Top-K in
+// a small sorted buffer (level descending, ID ascending for deterministic
+// ties) and discards everything below — an O(K) insert instead of a full
+// order-statistics tree.
+type certEntry struct {
+	id    int
+	level int
+}
+
+type certainSet struct {
+	cap int // number of top entries retained (the query's K)
+	top []certEntry
+	n   int // total certain tuples ever added
+}
+
+func newCertainSet() *certainSet { return &certainSet{cap: 1} }
+
+// reserve grows the retained-top capacity; must be called before adds that
+// matter for the given K. The engine calls it once with cfg.K.
+func (s *certainSet) reserve(k int) {
+	if k > s.cap {
+		s.cap = k
+	}
+}
+
+// add records a confirmed (id, level) pair.
+func (s *certainSet) add(id, level int) {
+	s.n++
+	e := certEntry{id: id, level: level}
+	// Find insertion point in the descending order.
+	i := sort.Search(len(s.top), func(i int) bool {
+		if s.top[i].level != e.level {
+			return s.top[i].level < e.level
+		}
+		return s.top[i].id > e.id
+	})
+	if i >= s.cap {
+		return // below the retained top
+	}
+	s.top = append(s.top, certEntry{})
+	copy(s.top[i+1:], s.top[i:])
+	s.top[i] = e
+	if len(s.top) > s.cap {
+		s.top = s.top[:s.cap]
+	}
+}
+
+// len returns the total number of certain tuples.
+func (s *certainSet) len() int { return s.n }
+
+// kth returns the k-th largest certain level (1-based). It panics if fewer
+// than k tuples are certain or k exceeds the reserved capacity.
+func (s *certainSet) kth(k int) int {
+	if k <= 0 || k > s.cap {
+		panic("core: certainSet.kth out of reserved range")
+	}
+	return s.top[k-1].level
+}
+
+// topK returns the IDs and levels of the current Top-K in descending score
+// order. It panics if fewer than k tuples are certain.
+func (s *certainSet) topK(k int) (ids, levels []int) {
+	ids = make([]int, k)
+	levels = make([]int, k)
+	for i := 0; i < k; i++ {
+		ids[i] = s.top[i].id
+		levels[i] = s.top[i].level
+	}
+	return ids, levels
+}

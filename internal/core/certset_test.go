@@ -1,0 +1,92 @@
+package core
+
+import "testing"
+
+func TestCertainSetBasicOrder(t *testing.T) {
+	s := newCertainSet()
+	s.reserve(3)
+	s.add(10, 5)
+	s.add(11, 9)
+	s.add(12, 1)
+	s.add(13, 7)
+	ids, levels := s.topK(3)
+	wantIDs := []int{11, 13, 10}
+	wantLv := []int{9, 7, 5}
+	for i := range wantIDs {
+		if ids[i] != wantIDs[i] || levels[i] != wantLv[i] {
+			t.Fatalf("topK = %v/%v, want %v/%v", ids, levels, wantIDs, wantLv)
+		}
+	}
+	if s.kth(1) != 9 || s.kth(2) != 7 || s.kth(3) != 5 {
+		t.Fatal("kth wrong")
+	}
+	if s.len() != 4 {
+		t.Fatalf("len = %d, want 4", s.len())
+	}
+}
+
+func TestCertainSetTieBreaksByID(t *testing.T) {
+	s := newCertainSet()
+	s.reserve(2)
+	s.add(9, 5)
+	s.add(3, 5)
+	s.add(6, 5)
+	ids, _ := s.topK(2)
+	if ids[0] != 3 || ids[1] != 6 {
+		t.Fatalf("tie break wrong: %v", ids)
+	}
+}
+
+func TestCertainSetDiscardsBelowTop(t *testing.T) {
+	s := newCertainSet()
+	s.reserve(2)
+	for i := 0; i < 100; i++ {
+		s.add(i, i)
+	}
+	ids, levels := s.topK(2)
+	if ids[0] != 99 || ids[1] != 98 || levels[0] != 99 || levels[1] != 98 {
+		t.Fatalf("topK = %v/%v", ids, levels)
+	}
+	if len(s.top) != 2 {
+		t.Fatalf("retained %d entries, want 2", len(s.top))
+	}
+}
+
+func TestCertainSetKthPanicsOutOfRange(t *testing.T) {
+	s := newCertainSet()
+	s.reserve(2)
+	s.add(0, 1)
+	s.add(1, 2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("kth(3) beyond reserved capacity should panic")
+		}
+	}()
+	s.kth(3)
+}
+
+func TestCertainSetAscendingInserts(t *testing.T) {
+	s := newCertainSet()
+	s.reserve(4)
+	for i := 1; i <= 10; i++ {
+		s.add(i, i)
+	}
+	_, levels := s.topK(4)
+	want := []int{10, 9, 8, 7}
+	for i := range want {
+		if levels[i] != want[i] {
+			t.Fatalf("levels = %v, want %v", levels, want)
+		}
+	}
+}
+
+func TestCertainSetNegativeLevels(t *testing.T) {
+	s := newCertainSet()
+	s.reserve(2)
+	s.add(0, -5)
+	s.add(1, -2)
+	s.add(2, -9)
+	if s.kth(1) != -2 || s.kth(2) != -5 {
+		t.Fatal("negative levels mishandled")
+	}
+}

@@ -1,0 +1,307 @@
+// Package core implements Everest's primary contribution: Phase 2 of the
+// paper — uncertain Top-K query processing with an accurate but
+// slow-to-run oracle in the loop (§3.3).
+//
+// Given an uncertain relation D0 (one x-tuple per retained frame, §3.2)
+// and an oracle that can reveal any frame's exact score, the engine
+// iteratively
+//
+//  1. extracts the Top-K result R̂ from the certain tuples D_c
+//     (the certain-result condition, §3),
+//  2. computes the confidence p̂ = Pr(R̂ = R) in closed form (Eq. 2–3), and
+//  3. if p̂ < thres, selects the batch of uncertain frames whose cleaning
+//     maximizes the expected next-round confidence E[X_f] (Eq. 4–6),
+//     pruned by the ψ upper bound with lazy re-sorting (Eq. 7–8, §3.3.2),
+//     and confirms them with the oracle.
+//
+// All probability products are maintained in log space by
+// uncertain.JointCDF; selection work and oracle invocations are charged to
+// a simclock.Clock so experiments report the paper's cost breakdown.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"github.com/everest-project/everest/internal/simclock"
+	"github.com/everest-project/everest/internal/uncertain"
+)
+
+// Oracle reveals exact score levels for frames (or windows). Implementations
+// charge their own inference cost to the clock.
+type Oracle interface {
+	// CleanBatch returns the exact score level of each requested ID, in
+	// the same order.
+	CleanBatch(ids []int) ([]int, error)
+}
+
+// OracleFunc adapts a function to the Oracle interface.
+type OracleFunc func(ids []int) ([]int, error)
+
+// CleanBatch implements Oracle.
+func (f OracleFunc) CleanBatch(ids []int) ([]int, error) { return f(ids) }
+
+// Config controls a Phase 2 run.
+type Config struct {
+	// K is the result size.
+	K int
+	// Threshold is thres: the required probability that R̂ is exact.
+	Threshold float64
+	// BatchSize is b (§3.5 Batch Inference); 0 means 8, the paper default.
+	BatchSize int
+	// MaxCleaned caps the number of frames cleaned (0 = no cap); used only
+	// as a safety valve in tests.
+	MaxCleaned int
+	// DisableEarlyStop turns off the ψ-bound pruning so Select-candidate
+	// evaluates E[X_f] for every uncertain frame (ablation A1).
+	DisableEarlyStop bool
+	// ResortOnce freezes the ψ sort at j = 0 instead of the paper's
+	// adaptive schedule (ablation A2).
+	ResortOnce bool
+	// UnhiddenDecodeMS is the per-frame decode cost charged on cleaning
+	// when prefetching (§3.5) is disabled; with prefetching the decode of
+	// upcoming candidates overlaps oracle compute and costs nothing extra.
+	UnhiddenDecodeMS float64
+	// Bound selects the confidence computation: the paper's exact
+	// independent product (default) or the dependence-safe union bound
+	// required for overlapping sliding windows.
+	Bound BoundKind
+}
+
+func (c Config) validate(n int) error {
+	if c.K <= 0 {
+		return fmt.Errorf("core: K must be positive, got %d", c.K)
+	}
+	if c.K > n {
+		return fmt.Errorf("core: K=%d exceeds relation size %d", c.K, n)
+	}
+	if c.Threshold <= 0 || c.Threshold > 1 {
+		return fmt.Errorf("core: threshold must be in (0,1], got %v", c.Threshold)
+	}
+	return c.Bound.validate()
+}
+
+func (c Config) batch() int {
+	if c.BatchSize <= 0 {
+		return 8
+	}
+	return c.BatchSize
+}
+
+// Stats reports Phase 2 execution counters (Table 8b).
+type Stats struct {
+	// Iterations is the number of select-and-clean rounds (batches).
+	Iterations int
+	// Cleaned is the number of tuples confirmed by the oracle during
+	// Phase 2 (excludes tuples already certain in D0).
+	Cleaned int
+	// Examined is the number of E[X_f] evaluations across all rounds.
+	Examined int
+	// Pruned is the number of candidates skipped by the ψ bound.
+	Pruned int
+	// Resorts counts ψ re-sort passes.
+	Resorts int
+	// BootstrapCleaned counts frames cleaned just to reach |D_c| ≥ K.
+	BootstrapCleaned int
+	// OracleCalls counts oracle invocations (batches), each paying the
+	// per-call overhead of the cost model.
+	OracleCalls int
+}
+
+// Result is a probabilistically guaranteed Top-K answer.
+type Result struct {
+	// IDs are the Top-K tuple IDs in descending score order (ties broken
+	// by ascending ID). Every ID's score was confirmed by the oracle.
+	IDs []int
+	// Levels[i] is the exact score level of IDs[i].
+	Levels []int
+	// Confidence is p̂ = Pr(R̂ = R) ≥ thres at termination. Under
+	// BoundUnion it is a lower bound on that probability.
+	Confidence float64
+	// Bound echoes the confidence computation used.
+	Bound BoundKind
+	// Stats are execution counters.
+	Stats Stats
+}
+
+// ErrEmptyRelation is returned when the relation has no tuples.
+var ErrEmptyRelation = errors.New("core: empty relation")
+
+// Engine runs Phase 2 over one uncertain relation. An Engine is
+// single-use: construct with NewEngine, call Run once.
+type Engine struct {
+	cfg    Config
+	oracle Oracle
+	clock  *simclock.Clock
+	cost   simclock.CostModel
+
+	dists   map[int]uncertain.Dist // uncertain tuples only
+	prob    noExceed
+	certain *certainSet
+	sel     *selector
+	stats   Stats
+}
+
+// NewEngine validates inputs and indexes the relation. Tuples whose
+// distribution is already a point mass (Phase 1 training/holdout samples)
+// enter the certain set directly, so no oracle work is wasted (§3.2).
+func NewEngine(rel uncertain.Relation, cfg Config, oracle Oracle, clock *simclock.Clock, cost simclock.CostModel) (*Engine, error) {
+	if len(rel) == 0 {
+		return nil, ErrEmptyRelation
+	}
+	if err := cfg.validate(len(rel)); err != nil {
+		return nil, err
+	}
+	if oracle == nil {
+		return nil, errors.New("core: nil oracle")
+	}
+	if clock == nil {
+		clock = simclock.NewClock()
+	}
+	e := &Engine{
+		cfg:     cfg,
+		oracle:  oracle,
+		clock:   clock,
+		cost:    cost,
+		dists:   make(map[int]uncertain.Dist),
+		certain: newCertainSet(),
+	}
+	e.certain.reserve(cfg.K)
+	seen := make(map[int]bool, len(rel))
+	for _, x := range rel {
+		if seen[x.ID] {
+			return nil, fmt.Errorf("core: duplicate tuple ID %d", x.ID)
+		}
+		seen[x.ID] = true
+		if x.Dist.IsCertain() {
+			e.certain.add(x.ID, x.Dist.Min)
+		} else {
+			e.dists[x.ID] = x.Dist
+		}
+	}
+	e.prob = newNoExceed(rel, cfg.Bound)
+	e.sel = newSelector(e)
+	return e, nil
+}
+
+// Run executes Phase 2 to completion and returns the guaranteed Top-K.
+func (e *Engine) Run() (Result, error) {
+	if err := e.bootstrap(); err != nil {
+		return Result{}, err
+	}
+	for {
+		sk, _ := e.thresholds()
+		phat := e.prob.Prob(sk)
+		if phat >= e.cfg.Threshold || len(e.dists) == 0 {
+			return e.finish(phat), nil
+		}
+		if e.cfg.MaxCleaned > 0 && e.stats.Cleaned >= e.cfg.MaxCleaned {
+			return e.finish(phat), nil
+		}
+		batch := e.sel.selectBatch()
+		if len(batch) == 0 {
+			// No uncertain candidates can improve the result; p̂ is final.
+			return e.finish(phat), nil
+		}
+		if err := e.clean(batch); err != nil {
+			return Result{}, err
+		}
+		e.stats.Iterations++
+	}
+}
+
+// thresholds returns (S_k, S_p): the K-th and (K−1)-st certain scores.
+// For K == 1 the penultimate is +∞ (sentinel noPenultimate).
+func (e *Engine) thresholds() (sk, sp int) {
+	sk = e.certain.kth(e.cfg.K)
+	if e.cfg.K == 1 {
+		return sk, noPenultimate
+	}
+	return sk, e.certain.kth(e.cfg.K - 1)
+}
+
+// noPenultimate is the S_p sentinel when K == 1: any cleaned score makes
+// the frame the new threshold frame, so the "above penultimate" case of
+// Eq. 5 never applies.
+const noPenultimate = math.MaxInt
+
+// bootstrap ensures |D_c| ≥ K by cleaning the uncertain frames with the
+// highest mean scores. With Phase 1 sampling, D0 virtually always has far
+// more than K certain tuples already, so this is a no-op in practice.
+func (e *Engine) bootstrap() error {
+	need := e.cfg.K - e.certain.len()
+	if need <= 0 {
+		return nil
+	}
+	type cand struct {
+		id   int
+		mean float64
+	}
+	cands := make([]cand, 0, len(e.dists))
+	for id, d := range e.dists {
+		cands = append(cands, cand{id, d.Mean()})
+	}
+	if len(cands) < need {
+		return fmt.Errorf("core: relation has only %d tuples but K=%d", e.certain.len()+len(cands), e.cfg.K)
+	}
+	// Descending mean, ascending id for determinism.
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].mean != cands[j].mean {
+			return cands[i].mean > cands[j].mean
+		}
+		return cands[i].id < cands[j].id
+	})
+	ids := make([]int, need)
+	for i := 0; i < need; i++ {
+		ids[i] = cands[i].id
+	}
+	if err := e.clean(ids); err != nil {
+		return err
+	}
+	e.stats.BootstrapCleaned = need
+	return nil
+}
+
+// clean confirms the given uncertain tuples with the oracle and promotes
+// them to the certain set.
+func (e *Engine) clean(ids []int) error {
+	levels, err := e.oracle.CleanBatch(ids)
+	if err != nil {
+		return fmt.Errorf("core: oracle failed: %w", err)
+	}
+	if len(levels) != len(ids) {
+		return fmt.Errorf("core: oracle returned %d levels for %d ids", len(levels), len(ids))
+	}
+	e.clock.Charge(simclock.PhaseConfirm,
+		float64(len(ids))*(e.cost.OracleMS+e.cfg.UnhiddenDecodeMS)+e.cost.OracleCallMS)
+	e.stats.OracleCalls++
+	for i, id := range ids {
+		d, ok := e.dists[id]
+		if !ok {
+			return fmt.Errorf("core: cleaning unknown or already-certain tuple %d", id)
+		}
+		e.prob.Remove(d)
+		delete(e.dists, id)
+		e.certain.add(id, levels[i])
+	}
+	e.stats.Cleaned += len(ids)
+	return nil
+}
+
+func (e *Engine) finish(phat float64) Result {
+	ids, levels := e.certain.topK(e.cfg.K)
+	e.clock.Charge(simclock.PhaseTopkProb, 1e-3*float64(e.stats.Iterations+1))
+	return Result{IDs: ids, Levels: levels, Confidence: phat, Bound: e.cfg.Bound, Stats: e.stats}
+}
+
+// Confidence returns the current p̂ without advancing the engine; used by
+// tests and by incremental callers.
+func (e *Engine) Confidence() float64 {
+	if e.certain.len() < e.cfg.K {
+		return 0
+	}
+	sk, _ := e.thresholds()
+	return e.prob.Prob(sk)
+}

@@ -1,0 +1,267 @@
+package core
+
+import (
+	"math"
+	"sort"
+
+	"github.com/everest-project/everest/internal/simclock"
+	"github.com/everest-project/everest/internal/uncertain"
+)
+
+// selector implements Select-candidate (§3.3.2): it picks, per iteration,
+// the batch of uncertain frames whose cleaning maximizes the expected
+// next-round confidence E[X_f] (Eq. 4–6). Frames are examined in
+// descending order of the sort-factor ψ_j(f) = (1 − F_f(S_kj)) / F_f(S_pj)
+// computed at an earlier iteration j; since S_k and S_p only grow, ψ_j is
+// an upper-bound surrogate (Eq. 8) and the scan stops early once
+// p̂ + γ·ψ_j(f) cannot beat the batch's current worst E (Eq. 7).
+//
+// Re-sort schedule (paper §3.3.2): during the first 100 iterations ψ is
+// recomputed every 10 iterations; afterwards it is recomputed whenever S_k
+// or S_p changes.
+type selector struct {
+	e *Engine
+
+	order  []int     // uncertain IDs, descending ψ at last sort
+	psi    []float64 // ψ value parallel to order
+	sorted bool
+
+	lastSortIter int
+	sortSk       int
+	sortSp       int
+}
+
+func newSelector(e *Engine) *selector {
+	return &selector{e: e}
+}
+
+// needResort applies the paper's lazy re-sort schedule.
+func (s *selector) needResort(sk, sp int) bool {
+	if !s.sorted {
+		return true
+	}
+	if s.e.cfg.ResortOnce {
+		return false
+	}
+	iter := s.e.stats.Iterations
+	if iter < 100 {
+		return iter-s.lastSortIter >= 10
+	}
+	return sk != s.sortSk || sp != s.sortSp
+}
+
+// psiOf computes the sort factor at threshold levels (sk, sp).
+//
+// Independent bound (Eq. 7): ψ(f) = (1 − F_f(S_k)) / F_f(S_p), and
+// E[X_f] ≤ p̂ + γ·ψ(f) with γ = H(S_p)/Π F(S_p).
+//
+// Union bound: the analogous derivation gives E[X_f] ≤ (1 − T(S_p)) +
+// (1 − F_f(S_k)) because T_excl_f(t) ≥ T(S_p) − (1 − F_f(S_k)) for every
+// threshold t ≤ S_p the cleaning can produce, so ψ(f) = 1 − F_f(S_k)
+// with base Prob(S_p) and γ = 1. In both modes ψ computed at an earlier
+// iteration j over-estimates the current ψ (S_k and S_p only grow), so a
+// stale sort order still yields a sound early-stop bound (Eq. 8).
+func psiOf(d uncertain.Dist, sk, sp int, bound BoundKind) float64 {
+	num := 1 - d.CDF(sk)
+	if num <= 0 {
+		return 0
+	}
+	if bound == BoundUnion {
+		return num
+	}
+	var den float64
+	if sp == noPenultimate {
+		den = 1
+	} else {
+		den = d.CDF(sp)
+	}
+	if den == 0 {
+		return math.Inf(1)
+	}
+	return num / den
+}
+
+func (s *selector) resort(sk, sp int) {
+	n := len(s.e.dists)
+	if cap(s.order) < n {
+		s.order = make([]int, 0, n)
+		s.psi = make([]float64, 0, n)
+	}
+	s.order = s.order[:0]
+	s.psi = s.psi[:0]
+	for id := range s.e.dists {
+		s.order = append(s.order, id)
+	}
+	// Deterministic scan order under ψ ties.
+	sort.Ints(s.order)
+	s.psi = s.psi[:len(s.order)]
+	for i, id := range s.order {
+		s.psi[i] = psiOf(s.e.dists[id], sk, sp, s.e.cfg.Bound)
+	}
+	sortByPsi(s.order, s.psi)
+	s.sorted = true
+	s.lastSortIter = s.e.stats.Iterations
+	s.sortSk, s.sortSp = sk, sp
+	s.e.stats.Resorts++
+}
+
+// sortByPsi sorts (order, psi) jointly by ψ descending; ties keep the
+// pre-existing ascending-ID order (stable).
+func sortByPsi(order []int, psi []float64) {
+	idx := make([]int, len(order))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return psi[idx[a]] > psi[idx[b]] })
+	ord2 := make([]int, len(order))
+	psi2 := make([]float64, len(psi))
+	for i, j := range idx {
+		ord2[i] = order[j]
+		psi2[i] = psi[j]
+	}
+	copy(order, ord2)
+	copy(psi, psi2)
+}
+
+// expectedConfidence evaluates E[X_f] (Eq. 6) for the uncertain tuple with
+// distribution d, at current thresholds (sk, sp), using the engine's
+// no-exceed accumulator with f's own factor excluded (robust form of
+// Eq. 5; see JointCDF.AtExcluding / TailSum.AtExcluding). Under
+// BoundUnion the same three cases apply with the Bonferroni lower bound
+// in place of the exact product.
+func (s *selector) expectedConfidence(d uncertain.Dist, sk, sp int) float64 {
+	pr := s.e.prob
+	// Case s <= S_k: result and threshold unchanged; only f's uncertainty
+	// is discounted. Mass F_f(S_k) at value Π_{others} F(S_k).
+	e := d.CDF(sk) * pr.ProbExcluding(d, sk)
+	// Case S_k < s <= S_p: f becomes the new threshold frame with score s.
+	hiS := sp
+	if hiS == noPenultimate || hiS > d.Max() {
+		hiS = d.Max()
+	}
+	for lvl := max(sk+1, d.Min); lvl <= hiS; lvl++ {
+		p := d.Pr(lvl)
+		if p == 0 {
+			continue
+		}
+		e += p * pr.ProbExcluding(d, lvl)
+	}
+	// Case s > S_p: the old penultimate becomes the threshold frame.
+	if sp != noPenultimate {
+		tail := 1 - d.CDF(sp)
+		if tail > 0 {
+			e += tail * pr.ProbExcluding(d, sp)
+		}
+	}
+	return e
+}
+
+// batchItem is a candidate retained for the current batch.
+type batchItem struct {
+	id int
+	e  float64
+}
+
+// selectBatch returns up to cfg.batch() uncertain tuple IDs with the
+// highest E[X_f]. It returns an empty slice when no uncertain tuples
+// remain.
+func (s *selector) selectBatch() []int {
+	e := s.e
+	if len(e.dists) == 0 {
+		return nil
+	}
+	sk, sp := e.thresholds()
+	if s.needResort(sk, sp) {
+		s.resort(sk, sp)
+	}
+	// base + γ·ψ is the early-stop upper bound on E[X_f]; see psiOf for
+	// the per-mode derivation.
+	var base, gamma float64
+	if e.cfg.Bound == BoundUnion {
+		if sp == noPenultimate {
+			base = 1
+		} else {
+			base = e.prob.Prob(sp)
+		}
+		gamma = 1
+	} else {
+		base = e.prob.Prob(sk)
+		if sp == noPenultimate {
+			gamma = 1
+		} else {
+			gamma = e.prob.Prob(sp)
+		}
+	}
+
+	b := e.cfg.batch()
+	if b > len(e.dists) {
+		b = len(e.dists)
+	}
+	best := make([]batchItem, 0, b)
+	worst := func() float64 {
+		if len(best) < b {
+			return -1
+		}
+		w := best[0].e
+		for _, it := range best[1:] {
+			if it.e < w {
+				w = it.e
+			}
+		}
+		return w
+	}
+	insert := func(id int, ev float64) {
+		if len(best) < b {
+			best = append(best, batchItem{id, ev})
+			return
+		}
+		wi, wv := 0, best[0].e
+		for i, it := range best[1:] {
+			if it.e < wv {
+				wi, wv = i+1, it.e
+			}
+		}
+		if ev > wv {
+			best[wi] = batchItem{id, ev}
+		}
+	}
+
+	examined := 0
+	for i, id := range s.order {
+		d, ok := e.dists[id]
+		if !ok {
+			continue // cleaned since the last re-sort
+		}
+		if !e.cfg.DisableEarlyStop && len(best) == b {
+			// ψ_j is stale (computed at an earlier, lower S_k/S_p) and
+			// therefore an over-estimate: the bound is sound (Eq. 8).
+			bound := base + gamma*s.psi[i]
+			if bound <= worst() {
+				e.stats.Pruned += remainingLive(s.order[i:], e.dists)
+				break
+			}
+		}
+		ev := s.expectedConfidence(d, sk, sp)
+		examined++
+		insert(id, ev)
+	}
+	e.stats.Examined += examined
+	e.clock.Charge(simclock.PhaseSelect, float64(examined)*e.cost.SelectPerFrameMS)
+
+	ids := make([]int, len(best))
+	for i, it := range best {
+		ids[i] = it.id
+	}
+	sort.Ints(ids) // deterministic oracle call order
+	return ids
+}
+
+func remainingLive(tail []int, dists map[int]uncertain.Dist) int {
+	n := 0
+	for _, id := range tail {
+		if _, ok := dists[id]; ok {
+			n++
+		}
+	}
+	return n
+}

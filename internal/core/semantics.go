@@ -1,0 +1,181 @@
+package core
+
+import (
+	"math"
+	"sort"
+
+	"github.com/everest-project/everest/internal/uncertain"
+)
+
+// This file implements the alternative uncertain Top-K semantics surveyed
+// in §2 — U-TopK [57,61], U-KRanks [56,57] and probabilistic-threshold
+// Top-K (PT-k) [33] — for the no-oracle setting. They exist to reproduce
+// the paper's argument that none of these notions provides Everest's
+// guarantee: U-TopK's most probable set may still be very improbable,
+// U-KRanks' per-rank winners need not form a probable set, and PT-k may
+// return fewer (or more) than K tuples. The ablation harness contrasts
+// their precision against Everest's oracle-in-the-loop results.
+//
+// All three assume independent x-tuples. Ranks are defined by the number
+// of strictly greater scores (ties favour the tuple), matching the
+// tie-tolerant convention used elsewhere in this reproduction.
+
+// rankCountDP holds, per level t, the Poisson-binomial distribution of
+// the number of tuples scoring strictly above t, truncated at kMax —
+// together with per-tuple leave-one-out access via forward/backward
+// arrays.
+type rankCountDP struct {
+	rel  uncertain.Relation
+	kMax int
+}
+
+func newRankCountDP(rel uncertain.Relation, kMax int) *rankCountDP {
+	return &rankCountDP{rel: rel, kMax: kMax}
+}
+
+// countsExcluding returns the distribution (truncated at kMax, with the
+// tail mass in the last bucket) of #{g ≠ skip : S_g > t}. skip < 0 keeps
+// all tuples.
+func (d *rankCountDP) countsExcluding(skip int, t int) []float64 {
+	probs := make([]float64, d.kMax+2) // [0..kMax] plus overflow bucket
+	probs[0] = 1
+	for gi, g := range d.rel {
+		if gi == skip {
+			continue
+		}
+		q := 1 - g.Dist.CDF(t) // Pr(S_g > t)
+		if q == 0 {
+			continue
+		}
+		// In-place convolution with a Bernoulli(q), high to low. The top
+		// bucket is absorbing: counts at or above it stay there.
+		over := len(probs) - 1
+		probs[over] += probs[over-1] * q
+		for c := over - 1; c >= 1; c-- {
+			probs[c] = probs[c]*(1-q) + probs[c-1]*q
+		}
+		probs[0] *= 1 - q
+	}
+	return probs
+}
+
+// TopKMembershipProb returns, for each tuple, Pr(tuple ranks within the
+// top k): Σ_s Pr(S_f = s) · Pr(#{g≠f : S_g > s} ≤ k−1).
+func TopKMembershipProb(rel uncertain.Relation, k int) []float64 {
+	dp := newRankCountDP(rel, k)
+	out := make([]float64, len(rel))
+	for fi, f := range rel {
+		p := 0.0
+		for lvl := f.Dist.Min; lvl <= f.Dist.Max(); lvl++ {
+			pf := f.Dist.Pr(lvl)
+			if pf == 0 {
+				continue
+			}
+			counts := dp.countsExcluding(fi, lvl)
+			cum := 0.0
+			for c := 0; c <= k-1; c++ {
+				cum += counts[c]
+			}
+			p += pf * cum
+		}
+		out[fi] = math.Min(p, 1)
+	}
+	return out
+}
+
+// PTk returns the probabilistic-threshold Top-K answer [33]: every tuple
+// whose probability of being in the Top-K is at least p. The result may
+// contain fewer or more than k tuples — one of the paper's arguments
+// against this notion for video analytics.
+func PTk(rel uncertain.Relation, k int, p float64) []int {
+	probs := TopKMembershipProb(rel, k)
+	var ids []int
+	for i, pr := range probs {
+		if pr >= p {
+			ids = append(ids, rel[i].ID)
+		}
+	}
+	return ids
+}
+
+// UKRanks returns the U-KRanks answer [56,57]: for each rank i ∈ 1..k,
+// the tuple most likely to occupy exactly rank i. The same tuple may win
+// several ranks; winners need not form the most probable Top-K set.
+func UKRanks(rel uncertain.Relation, k int) []int {
+	dp := newRankCountDP(rel, k)
+	bestProb := make([]float64, k)
+	bestID := make([]int, k)
+	for i := range bestID {
+		bestID[i] = -1
+	}
+	for fi, f := range rel {
+		// rankProb[i] = Pr(exactly i tuples beat f) for i in 0..k-1.
+		rankProb := make([]float64, k)
+		for lvl := f.Dist.Min; lvl <= f.Dist.Max(); lvl++ {
+			pf := f.Dist.Pr(lvl)
+			if pf == 0 {
+				continue
+			}
+			counts := dp.countsExcluding(fi, lvl)
+			for i := 0; i < k; i++ {
+				rankProb[i] += pf * counts[i]
+			}
+		}
+		for i := 0; i < k; i++ {
+			if rankProb[i] > bestProb[i] ||
+				(rankProb[i] == bestProb[i] && bestID[i] >= 0 && rel[fi].ID < bestID[i]) {
+				bestProb[i] = rankProb[i]
+				bestID[i] = rel[fi].ID
+			}
+		}
+	}
+	return bestID
+}
+
+// UTopK returns the most probable Top-K set and its probability [57,61],
+// by exhaustive possible-world enumeration. Exponential — usable only on
+// small relations; it exists as a semantic reference, exactly the role it
+// plays in the paper's related-work discussion.
+func UTopK(rel uncertain.Relation, k int) ([]int, float64) {
+	type key string
+	setProb := make(map[key]float64)
+	setIDs := make(map[key][]int)
+	uncertain.EnumerateWorlds(rel, func(w uncertain.World) {
+		// Top-K of this world: k largest levels, ties by ascending ID.
+		idx := make([]int, len(rel))
+		for i := range idx {
+			idx[i] = i
+		}
+		sort.Slice(idx, func(a, b int) bool {
+			if w.Levels[idx[a]] != w.Levels[idx[b]] {
+				return w.Levels[idx[a]] > w.Levels[idx[b]]
+			}
+			return rel[idx[a]].ID < rel[idx[b]].ID
+		})
+		ids := make([]int, k)
+		for i := 0; i < k; i++ {
+			ids[i] = rel[idx[i]].ID
+		}
+		sort.Ints(ids)
+		kk := key(intsKey(ids))
+		setProb[kk] += w.Prob
+		setIDs[kk] = ids
+	})
+	bestP := -1.0
+	var bestKey key
+	for kk, p := range setProb {
+		if p > bestP || (p == bestP && kk < bestKey) {
+			bestP = p
+			bestKey = kk
+		}
+	}
+	return setIDs[bestKey], bestP
+}
+
+func intsKey(ids []int) string {
+	b := make([]byte, 0, len(ids)*3)
+	for _, id := range ids {
+		b = append(b, byte(id), byte(id>>8), byte(id>>16))
+	}
+	return string(b)
+}

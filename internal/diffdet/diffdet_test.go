@@ -1,0 +1,176 @@
+package diffdet
+
+import (
+	"math"
+	"testing"
+
+	"github.com/everest-project/everest/internal/simclock"
+	"github.com/everest-project/everest/internal/video"
+)
+
+func testSource(t *testing.T, frames int) *video.Synthetic {
+	t.Helper()
+	s, err := video.NewSynthetic(video.Config{
+		Name: "difftest", Kind: video.KindTraffic, Class: video.ClassCar,
+		Frames: frames, FPS: 30, Seed: 2, MeanPopulation: 2, BurstRate: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func mustRun(t *testing.T, src video.Source, opt Options) Result {
+	t.Helper()
+	res, err := Run(src, opt, nil, simclock.Default(), simclock.PhaseDiffDetect)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestInvariants(t *testing.T) {
+	src := testSource(t, 3000)
+	res := mustRun(t, src, Options{})
+	if res.NumFrames() != 3000 {
+		t.Fatalf("NumFrames = %d", res.NumFrames())
+	}
+	retained := make(map[int]bool)
+	for i, f := range res.Retained {
+		retained[f] = true
+		if i > 0 && res.Retained[i-1] >= f {
+			t.Fatal("Retained not strictly ascending")
+		}
+	}
+	for i, rep := range res.RepOf {
+		if !retained[int(rep)] {
+			t.Fatalf("frame %d represented by non-retained frame %d", i, rep)
+		}
+		if retained[i] && int(rep) != i {
+			t.Fatalf("retained frame %d has foreign representative %d", i, rep)
+		}
+	}
+}
+
+func TestMiddleFramesAlwaysRetained(t *testing.T) {
+	src := testSource(t, 900)
+	res := mustRun(t, src, Options{ClipSize: 30})
+	retained := make(map[int]bool)
+	for _, f := range res.Retained {
+		retained[f] = true
+	}
+	for c := 0; c < 30; c++ {
+		mid := c*30 + 15
+		if !retained[mid] {
+			t.Fatalf("clip %d middle frame %d not retained", c, mid)
+		}
+	}
+}
+
+func TestDiscardedFramesAreSimilar(t *testing.T) {
+	src := testSource(t, 1500)
+	opt := Options{}.withDefaults()
+	res := mustRun(t, src, Options{})
+	for i, rep := range res.RepOf {
+		if int(rep) == i {
+			continue
+		}
+		f, g := src.Render(i), src.Render(int(rep))
+		mse, err := f.MSE(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if mse >= opt.MSEThreshold {
+			t.Fatalf("discarded frame %d has MSE %v >= threshold vs rep %d", i, mse, rep)
+		}
+	}
+}
+
+func TestThresholdExtremes(t *testing.T) {
+	src := testSource(t, 300)
+	// Threshold so small nothing is discarded (noise alone exceeds it).
+	all := mustRun(t, src, Options{MSEThreshold: 1e-12})
+	if len(all.Retained) != 300 {
+		t.Fatalf("tiny threshold retained %d/300", len(all.Retained))
+	}
+	// Threshold so large only clip middles survive.
+	few := mustRun(t, src, Options{MSEThreshold: 10, ClipSize: 30})
+	if len(few.Retained) != 10 {
+		t.Fatalf("huge threshold retained %d, want 10 middles", len(few.Retained))
+	}
+}
+
+func TestReductionOnRealisticSource(t *testing.T) {
+	src := testSource(t, 6000)
+	res := mustRun(t, src, Options{})
+	ratio := float64(len(res.Retained)) / 6000
+	if ratio >= 1 {
+		t.Fatalf("difference detector discarded nothing (ratio %v)", ratio)
+	}
+	if ratio < 0.02 {
+		t.Fatalf("difference detector discarded almost everything (ratio %v)", ratio)
+	}
+	t.Logf("retention ratio %.3f", ratio)
+}
+
+func TestSegments(t *testing.T) {
+	res := Result{RepOf: []int32{0, 0, 2, 2, 2, 5}}
+	// Mark reps retained implicitly; Segments only reads RepOf.
+	segs := res.Segments(0, 6)
+	want := []Segment{{0, 2}, {2, 3}, {5, 1}}
+	if len(segs) != len(want) {
+		t.Fatalf("segments = %v", segs)
+	}
+	for i := range want {
+		if segs[i] != want[i] {
+			t.Fatalf("segments = %v, want %v", segs, want)
+		}
+	}
+	total := 0
+	for _, s := range segs {
+		total += s.Size
+	}
+	if total != 6 {
+		t.Fatalf("segment sizes sum to %d", total)
+	}
+	// Sub-range query.
+	sub := res.Segments(1, 4)
+	if len(sub) != 2 || sub[0] != (Segment{0, 1}) || sub[1] != (Segment{2, 2}) {
+		t.Fatalf("sub segments = %v", sub)
+	}
+}
+
+func TestClockCharging(t *testing.T) {
+	src := testSource(t, 500)
+	clock := simclock.NewClock()
+	cost := simclock.Default()
+	if _, err := Run(src, Options{}, clock, cost, simclock.PhasePopulateD0); err != nil {
+		t.Fatal(err)
+	}
+	want := 500 * (cost.DecodeMS + cost.DiffMS)
+	if got := clock.PhaseMS(simclock.PhasePopulateD0); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("charged %v, want %v", got, want)
+	}
+}
+
+func TestDeterministicAcrossParallelism(t *testing.T) {
+	src := testSource(t, 2000)
+	a := mustRun(t, src, Options{Parallelism: 1})
+	b := mustRun(t, src, Options{Parallelism: 8})
+	if len(a.Retained) != len(b.Retained) {
+		t.Fatal("parallelism changed the result")
+	}
+	for i := range a.Retained {
+		if a.Retained[i] != b.Retained[i] {
+			t.Fatal("parallelism changed retained set")
+		}
+	}
+}
+
+func TestShortVideo(t *testing.T) {
+	src := testSource(t, 7) // shorter than one clip
+	res := mustRun(t, src, Options{ClipSize: 30})
+	if len(res.Retained) == 0 {
+		t.Fatal("short video retained nothing")
+	}
+}

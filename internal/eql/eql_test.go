@@ -1,0 +1,143 @@
+package eql
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseFrameQuery(t *testing.T) {
+	q, err := Parse(`SELECT TOP 50 FRAMES FROM "Taipei-bus" RANK BY count(car) THRESHOLD 0.9`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.K != 50 || q.Window != 0 || q.Dataset != "Taipei-bus" {
+		t.Fatalf("parsed %+v", q)
+	}
+	if q.UDF != "count" || q.UDFArg != "car" || q.Threshold != 0.9 {
+		t.Fatalf("parsed %+v", q)
+	}
+}
+
+func TestParseWindowQuery(t *testing.T) {
+	q, err := Parse(`select top 10 windows of 150 from Archie rank by count() threshold 0.95 sample 0.2 seed 7`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Window != 150 || q.K != 10 || q.SampleFrac != 0.2 || q.Seed != 7 {
+		t.Fatalf("parsed %+v", q)
+	}
+	if q.UDFArg != "" {
+		t.Fatalf("empty arg expected, got %q", q.UDFArg)
+	}
+}
+
+func TestParseLimitFrames(t *testing.T) {
+	q, err := Parse(`SELECT TOP 5 FRAMES FROM Archie RANK BY count(car) LIMIT FRAMES 4000`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Frames != 4000 {
+		t.Fatalf("parsed %+v", q)
+	}
+}
+
+func TestParseCaseInsensitiveKeywords(t *testing.T) {
+	if _, err := Parse(`SeLeCt ToP 3 fRaMeS fRoM Archie RaNk By count(car)`); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		src, want string
+	}{
+		{``, "expected SELECT"},
+		{`SELECT 5`, "expected TOP"},
+		{`SELECT TOP x FRAMES FROM a RANK BY count`, "expected K"},
+		{`SELECT TOP 0 FRAMES FROM a RANK BY count`, "must be positive"},
+		{`SELECT TOP 5 CLIPS FROM a RANK BY count`, "expected FRAMES or WINDOWS"},
+		{`SELECT TOP 5 WINDOWS 30 FROM a RANK BY count`, "expected OF"},
+		{`SELECT TOP 5 FRAMES FROM a ORDER BY count`, "expected RANK"},
+		{`SELECT TOP 5 FRAMES FROM a RANK BY count(car) THRESHOLD 1.5`, "must be in (0,1]"},
+		{`SELECT TOP 5 FRAMES FROM a RANK BY count(car) SAMPLE 0`, "must be in (0,1]"},
+		{`SELECT TOP 5 FRAMES FROM a RANK BY count(car) garbage`, "unexpected trailing"},
+		{`SELECT TOP 5 FRAMES FROM a RANK BY count(car`, "expected )"},
+		{`SELECT TOP 5 FRAMES FROM "unclosed RANK BY count`, "unterminated string"},
+		{`SELECT TOP 5 FRAMES FROM a RANK BY count(car) SEED x`, "expected seed"},
+	}
+	for _, c := range cases {
+		_, err := Parse(c.src)
+		if err == nil {
+			t.Fatalf("Parse(%q) should fail", c.src)
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Fatalf("Parse(%q) error %q, want substring %q", c.src, err, c.want)
+		}
+	}
+}
+
+func TestBindValidation(t *testing.T) {
+	cases := []string{
+		`SELECT TOP 5 FRAMES FROM "no-such-video" RANK BY count(car)`,
+		`SELECT TOP 5 FRAMES FROM Archie RANK BY frobnicate()`,
+		`SELECT TOP 5 FRAMES FROM Archie RANK BY tailgate()`,  // not a dashcam
+		`SELECT TOP 5 FRAMES FROM Archie RANK BY sentiment()`, // not a street
+	}
+	for _, src := range cases {
+		q, err := Parse(src)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", src, err)
+		}
+		if _, err := Bind(q); err == nil {
+			t.Fatalf("Bind(%q) should fail", src)
+		}
+	}
+}
+
+func TestBindDefaultsClassToDatasetTarget(t *testing.T) {
+	q, err := Parse(`SELECT TOP 5 FRAMES FROM "Grand-Canal" RANK BY count() LIMIT FRAMES 2000`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := Bind(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := plan.UDF.Name(); got != "count(boat)" {
+		t.Fatalf("bound UDF %q, want count(boat)", got)
+	}
+}
+
+func TestExecuteEndToEnd(t *testing.T) {
+	res, plan, err := Execute(
+		`SELECT TOP 5 FRAMES FROM Archie RANK BY count(car) THRESHOLD 0.9 LIMIT FRAMES 6000 SEED 3`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.IDs) != 5 {
+		t.Fatalf("result size %d", len(res.IDs))
+	}
+	if res.Confidence < 0.9 {
+		t.Fatalf("confidence %v", res.Confidence)
+	}
+	if plan.Source.NumFrames() != 6000 {
+		t.Fatalf("frame limit not applied: %d", plan.Source.NumFrames())
+	}
+	// Certain-result condition flows through the language layer.
+	for i, id := range res.IDs {
+		if int(res.Scores[i]) != plan.Source.TrueCountFast(id) {
+			t.Fatalf("frame %d score %v, truth %d", id, res.Scores[i], plan.Source.TrueCountFast(id))
+		}
+	}
+}
+
+func TestExecuteWindowQuery(t *testing.T) {
+	res, _, err := Execute(
+		`SELECT TOP 3 WINDOWS OF 30 FROM Archie RANK BY count(car) LIMIT FRAMES 6000 SEED 3`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.IsWindow || len(res.IDs) != 3 {
+		t.Fatalf("window result wrong: %+v", res)
+	}
+}

@@ -1,0 +1,102 @@
+package eql
+
+import (
+	"fmt"
+
+	everest "github.com/everest-project/everest"
+	"github.com/everest-project/everest/internal/video"
+	"github.com/everest-project/everest/internal/vision"
+)
+
+// Plan is a validated, executable query: the bound dataset, UDF and
+// engine configuration.
+type Plan struct {
+	// Source is the bound video.
+	Source *video.Synthetic
+	// UDF is the bound scoring function.
+	UDF vision.UDF
+	// Config is the engine configuration derived from the query.
+	Config everest.Config
+	// Workers is the scale-out degree (1 = serial).
+	Workers int
+}
+
+// Bind resolves the query's dataset and ranking function against the
+// built-in catalog and produces an executable plan.
+func Bind(q *Query) (*Plan, error) {
+	spec, err := video.DatasetByName(q.Dataset)
+	if err != nil {
+		return nil, fmt.Errorf("eql: %w", err)
+	}
+	src, err := spec.Build(q.Frames)
+	if err != nil {
+		return nil, fmt.Errorf("eql: %w", err)
+	}
+
+	var udf vision.UDF
+	switch q.UDF {
+	case "count":
+		class := q.UDFArg
+		if class == "" {
+			class = src.TargetClass()
+		}
+		udf = vision.CountUDF{Class: class}
+	case "tailgate":
+		if spec.Config.Kind != video.KindDashcam {
+			return nil, fmt.Errorf("eql: tailgate() requires a dashcam dataset, %s is not one", q.Dataset)
+		}
+		udf = vision.TailgateUDF{}
+	case "sentiment":
+		if spec.Config.Kind != video.KindStreet {
+			return nil, fmt.Errorf("eql: sentiment() requires a street dataset, %s is not one", q.Dataset)
+		}
+		udf = vision.SentimentUDF{}
+	default:
+		return nil, fmt.Errorf("eql: unknown ranking function %q (count, tailgate, sentiment)", q.UDF)
+	}
+
+	cfg := everest.Config{
+		K:                q.K,
+		Threshold:        q.Threshold,
+		Window:           q.Window,
+		Stride:           q.Stride,
+		WindowSampleFrac: q.SampleFrac,
+		Seed:             q.Seed,
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	workers := q.Parallel
+	if workers == 0 {
+		workers = 1
+	}
+	return &Plan{Source: src, UDF: udf, Config: cfg, Workers: workers}, nil
+}
+
+// Execute parses, binds and runs an EQL statement. EXPLAIN statements are
+// rejected here; use Explain.
+func Execute(src string) (*everest.Result, *Plan, error) {
+	q, err := Parse(src)
+	if err != nil {
+		return nil, nil, err
+	}
+	if q.Explain {
+		return nil, nil, fmt.Errorf("eql: EXPLAIN statements describe a plan; use Explain")
+	}
+	plan, err := Bind(q)
+	if err != nil {
+		return nil, nil, err
+	}
+	if plan.Workers > 1 {
+		pres, err := everest.RunParallel(plan.Source, plan.UDF, plan.Config, plan.Workers)
+		if err != nil {
+			return nil, nil, err
+		}
+		return &pres.Result, plan, nil
+	}
+	res, err := everest.Run(plan.Source, plan.UDF, plan.Config)
+	if err != nil {
+		return nil, nil, err
+	}
+	return res, plan, nil
+}

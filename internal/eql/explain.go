@@ -1,0 +1,93 @@
+package eql
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/everest-project/everest/internal/simclock"
+	"github.com/everest-project/everest/internal/windows"
+)
+
+// Explain parses and binds an EQL statement (with or without the EXPLAIN
+// keyword) and renders the execution plan without running it: the bound
+// dataset and UDF, the query shape (frames vs windows, stride, bound
+// kind, scale-out degree), and cost estimates under the simulated cost
+// model — the naive scan-and-test cost the optimizer avoids and an upper
+// bound on Phase 1. Phase 2's oracle bill depends on the score
+// distribution and cannot be known before running; the plan says so
+// rather than guessing.
+func Explain(src string) (string, error) {
+	q, err := Parse(src)
+	if err != nil {
+		return "", err
+	}
+	plan, err := Bind(q)
+	if err != nil {
+		return "", err
+	}
+
+	cost := simclock.Default()
+	n := plan.Source.NumFrames()
+	udfMS := plan.UDF.OracleCostMS(cost)
+	scanMS := float64(n) * (udfMS + cost.DecodeMS)
+
+	// Mirror Phase 1's sampling arithmetic for the label estimate.
+	cfg := plan.Config
+	sampleFrac := cfg.SampleFrac
+	if sampleFrac == 0 {
+		sampleFrac = 0.02
+	}
+	trainN := int(sampleFrac * float64(n))
+	floor := cfg.MinSamples
+	if floor == 0 {
+		floor = 600
+	}
+	if trainN < floor {
+		trainN = floor
+	}
+	ceil := cfg.SampleCap
+	if ceil == 0 {
+		ceil = 30000
+	}
+	if trainN > ceil {
+		trainN = ceil
+	}
+	holdN := trainN / 10
+	if holdN < 100 {
+		holdN = 100
+	}
+	labelMS := float64(trainN+holdN) * (udfMS + cost.DecodeMS)
+	populateMS := float64(n) * (cost.DecodeMS + cost.DiffMS + cost.ProxyMS)
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "plan: everest top-%d", q.K)
+	if q.Window > 0 {
+		stride := q.Stride
+		if stride == 0 {
+			stride = q.Window
+		}
+		fmt.Fprintf(&b, " windows(size=%d stride=%d", q.Window, stride)
+		if (windows.Options{Size: q.Window, Stride: stride}).Overlapping() {
+			b.WriteString(" overlapping → union bound")
+		}
+		b.WriteString(")")
+	} else {
+		b.WriteString(" frames")
+	}
+	b.WriteString("\n")
+	fmt.Fprintf(&b, "  dataset   %s (%d frames, %d fps)\n", plan.Source.Name(), n, plan.Source.FPS())
+	fmt.Fprintf(&b, "  rank by   %s\n", plan.UDF.Name())
+	thres := q.Threshold
+	if thres == 0 {
+		thres = 0.9
+	}
+	fmt.Fprintf(&b, "  guarantee Pr(result = exact top-k) ≥ %.2f, certain-result condition\n", thres)
+	if plan.Workers > 1 {
+		fmt.Fprintf(&b, "  scale-out %d workers (partitioned phase 1, parallel cleaning)\n", plan.Workers)
+	}
+	fmt.Fprintf(&b, "  phase 1   label ≈%d samples (%.0f ms) + train grid + populate ≤ %.0f ms\n",
+		trainN+holdN, labelMS, populateMS)
+	b.WriteString("  phase 2   oracle-in-the-loop cleaning; bill depends on score skew (typically <2% of frames)\n")
+	fmt.Fprintf(&b, "  baseline  scan-and-test would cost %.0f ms\n", scanMS)
+	return b.String(), nil
+}

@@ -1,0 +1,148 @@
+package eql
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseSlidingWindowClause(t *testing.T) {
+	q, err := Parse("SELECT TOP 5 WINDOWS OF 300 EVERY 30 FROM Archie RANK BY count(car)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Window != 300 || q.Stride != 30 {
+		t.Fatalf("window/stride = %d/%d, want 300/30", q.Window, q.Stride)
+	}
+}
+
+func TestParseTumblingHasZeroStride(t *testing.T) {
+	q, err := Parse("SELECT TOP 5 WINDOWS OF 300 FROM Archie RANK BY count(car)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Stride != 0 {
+		t.Fatalf("stride = %d, want 0 (tumbling default)", q.Stride)
+	}
+}
+
+func TestParseParallelClause(t *testing.T) {
+	q, err := Parse("SELECT TOP 50 FRAMES FROM Archie RANK BY count(car) PARALLEL 4 SEED 2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Parallel != 4 || q.Seed != 2 {
+		t.Fatalf("parallel/seed = %d/%d, want 4/2", q.Parallel, q.Seed)
+	}
+}
+
+func TestParseExplainPrefix(t *testing.T) {
+	q, err := Parse("EXPLAIN SELECT TOP 5 FRAMES FROM Archie RANK BY count(car)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !q.Explain {
+		t.Fatal("EXPLAIN not recognized")
+	}
+}
+
+func TestParseNewClauseErrors(t *testing.T) {
+	bad := []string{
+		"SELECT TOP 5 WINDOWS OF 300 EVERY 0 FROM Archie RANK BY count(car)",
+		"SELECT TOP 5 WINDOWS OF 300 EVERY FROM Archie RANK BY count(car)",
+		"SELECT TOP 5 FRAMES FROM Archie RANK BY count(car) PARALLEL 0",
+		"SELECT TOP 5 FRAMES FROM Archie RANK BY count(car) PARALLEL x",
+		"EXPLAIN EXPLAIN SELECT TOP 5 FRAMES FROM Archie RANK BY count(car)",
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Fatalf("statement %q should fail to parse", src)
+		}
+	}
+}
+
+func TestExecuteRejectsExplain(t *testing.T) {
+	_, _, err := Execute("EXPLAIN SELECT TOP 5 FRAMES FROM Archie RANK BY count(car)")
+	if err == nil || !strings.Contains(err.Error(), "Explain") {
+		t.Fatalf("Execute on EXPLAIN should direct to Explain, got %v", err)
+	}
+}
+
+func TestExplainDescribesPlan(t *testing.T) {
+	out, err := Explain("EXPLAIN SELECT TOP 10 WINDOWS OF 300 EVERY 30 FROM Archie RANK BY count(car) THRESHOLD 0.95 PARALLEL 4 LIMIT FRAMES 9000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"top-10", "size=300 stride=30", "union bound", "0.95",
+		"4 workers", "scan-and-test", "phase 1", "phase 2",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("explain output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestExplainWorksWithoutKeyword(t *testing.T) {
+	out, err := Explain("SELECT TOP 5 FRAMES FROM Archie RANK BY count(car) LIMIT FRAMES 6000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "frames") || !strings.Contains(out, "Archie") {
+		t.Fatalf("explain output incomplete:\n%s", out)
+	}
+}
+
+func TestExplainBindErrorsSurface(t *testing.T) {
+	if _, err := Explain("SELECT TOP 5 FRAMES FROM NoSuchVideo RANK BY count(car)"); err == nil {
+		t.Fatal("unknown dataset must fail at bind time")
+	}
+}
+
+func TestBindPropagatesStrideAndWorkers(t *testing.T) {
+	q, err := Parse("SELECT TOP 3 WINDOWS OF 60 EVERY 20 FROM Archie RANK BY count(car) PARALLEL 2 LIMIT FRAMES 6000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := Bind(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Config.Window != 60 || plan.Config.Stride != 20 {
+		t.Fatalf("plan window/stride = %d/%d", plan.Config.Window, plan.Config.Stride)
+	}
+	if plan.Workers != 2 {
+		t.Fatalf("plan workers = %d, want 2", plan.Workers)
+	}
+}
+
+func TestExecuteSlidingWindowStatement(t *testing.T) {
+	res, plan, err := Execute("SELECT TOP 3 WINDOWS OF 60 EVERY 30 FROM Archie RANK BY count(car) LIMIT FRAMES 6000 SEED 4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Config.Stride != 30 {
+		t.Fatalf("plan stride = %d", plan.Config.Stride)
+	}
+	if !res.IsWindow || res.WindowStride != 30 {
+		t.Fatalf("result metadata: %+v", res)
+	}
+	if res.Bound.String() != "union" {
+		t.Fatalf("overlapping EQL windows must use the union bound, got %v", res.Bound)
+	}
+	if res.Confidence < 0.9 {
+		t.Fatalf("confidence %v", res.Confidence)
+	}
+}
+
+func TestExecuteParallelStatement(t *testing.T) {
+	res, plan, err := Execute("SELECT TOP 5 FRAMES FROM Archie RANK BY count(car) PARALLEL 2 LIMIT FRAMES 6000 SEED 4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Workers != 2 {
+		t.Fatalf("plan workers = %d", plan.Workers)
+	}
+	if len(res.IDs) != 5 || res.Confidence < 0.9 {
+		t.Fatalf("parallel EQL result: %d ids, confidence %v", len(res.IDs), res.Confidence)
+	}
+}

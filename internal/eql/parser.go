@@ -1,0 +1,226 @@
+package eql
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Query is the parsed form of an EQL statement.
+type Query struct {
+	// Explain marks an EXPLAIN statement: bind and describe, do not run.
+	Explain bool
+	// K is the result size.
+	K int
+	// Window is the window length in frames; 0 for frame queries.
+	Window int
+	// Stride is the window start offset (WINDOWS OF n EVERY m); 0 means
+	// Window (tumbling).
+	Stride int
+	// Parallel is the scale-out worker count; 0 or 1 means serial.
+	Parallel int
+	// Dataset names the video source.
+	Dataset string
+	// UDF is the ranking function name: count, tailgate or sentiment.
+	UDF string
+	// UDFArg is the argument (the class for count).
+	UDFArg string
+	// Threshold is the probabilistic guarantee; 0 means the 0.9 default.
+	Threshold float64
+	// SampleFrac overrides window confirmation sampling; 0 means default.
+	SampleFrac float64
+	// Frames overrides the dataset's frame count; 0 means default.
+	Frames int
+	// Seed fixes the query's randomness; 0 means default.
+	Seed uint64
+}
+
+// parser consumes the token stream.
+type parser struct {
+	toks []token
+	i    int
+}
+
+func (p *parser) peek() token { return p.toks[p.i] }
+
+func (p *parser) next() token {
+	t := p.toks[p.i]
+	if t.kind != tokEOF {
+		p.i++
+	}
+	return t
+}
+
+// keyword consumes an identifier matching word (case-insensitive).
+func (p *parser) keyword(word string) error {
+	t := p.next()
+	if t.kind != tokIdent || !strings.EqualFold(t.text, word) {
+		return fmt.Errorf("eql: expected %s, got %s", word, t)
+	}
+	return nil
+}
+
+func (p *parser) tryKeyword(word string) bool {
+	t := p.peek()
+	if t.kind == tokIdent && strings.EqualFold(t.text, word) {
+		p.i++
+		return true
+	}
+	return false
+}
+
+func (p *parser) integer(what string) (int, error) {
+	t := p.next()
+	if t.kind != tokNumber {
+		return 0, fmt.Errorf("eql: expected %s, got %s", what, t)
+	}
+	v, err := strconv.Atoi(t.text)
+	if err != nil {
+		return 0, fmt.Errorf("eql: %s must be an integer, got %q", what, t.text)
+	}
+	return v, nil
+}
+
+func (p *parser) number(what string) (float64, error) {
+	t := p.next()
+	if t.kind != tokNumber {
+		return 0, fmt.Errorf("eql: expected %s, got %s", what, t)
+	}
+	v, err := strconv.ParseFloat(t.text, 64)
+	if err != nil {
+		return 0, fmt.Errorf("eql: invalid %s %q", what, t.text)
+	}
+	return v, nil
+}
+
+func (p *parser) name(what string) (string, error) {
+	t := p.next()
+	if t.kind != tokIdent && t.kind != tokString {
+		return "", fmt.Errorf("eql: expected %s, got %s", what, t)
+	}
+	return t.text, nil
+}
+
+// Parse parses one EQL statement.
+func Parse(src string) (*Query, error) {
+	toks, err := lexAll(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	q := &Query{}
+
+	if p.tryKeyword("EXPLAIN") {
+		q.Explain = true
+	}
+	if err := p.keyword("SELECT"); err != nil {
+		return nil, err
+	}
+	if err := p.keyword("TOP"); err != nil {
+		return nil, err
+	}
+	if q.K, err = p.integer("K"); err != nil {
+		return nil, err
+	}
+	if q.K <= 0 {
+		return nil, fmt.Errorf("eql: TOP %d must be positive", q.K)
+	}
+
+	switch {
+	case p.tryKeyword("FRAMES"):
+		// frame query
+	case p.tryKeyword("WINDOWS"):
+		if err := p.keyword("OF"); err != nil {
+			return nil, err
+		}
+		if q.Window, err = p.integer("window size"); err != nil {
+			return nil, err
+		}
+		if q.Window <= 0 {
+			return nil, fmt.Errorf("eql: WINDOWS OF %d must be positive", q.Window)
+		}
+		if p.tryKeyword("EVERY") {
+			if q.Stride, err = p.integer("window stride"); err != nil {
+				return nil, err
+			}
+			if q.Stride <= 0 {
+				return nil, fmt.Errorf("eql: EVERY %d must be positive", q.Stride)
+			}
+		}
+	default:
+		return nil, fmt.Errorf("eql: expected FRAMES or WINDOWS, got %s", p.peek())
+	}
+
+	if err := p.keyword("FROM"); err != nil {
+		return nil, err
+	}
+	if q.Dataset, err = p.name("dataset name"); err != nil {
+		return nil, err
+	}
+
+	if err := p.keyword("RANK"); err != nil {
+		return nil, err
+	}
+	if err := p.keyword("BY"); err != nil {
+		return nil, err
+	}
+	if q.UDF, err = p.name("ranking function"); err != nil {
+		return nil, err
+	}
+	q.UDF = strings.ToLower(q.UDF)
+	if p.peek().kind == tokLParen {
+		p.next()
+		if p.peek().kind != tokRParen {
+			if q.UDFArg, err = p.name("function argument"); err != nil {
+				return nil, err
+			}
+		}
+		if t := p.next(); t.kind != tokRParen {
+			return nil, fmt.Errorf("eql: expected ), got %s", t)
+		}
+	}
+
+	for {
+		switch {
+		case p.tryKeyword("THRESHOLD"):
+			if q.Threshold, err = p.number("threshold"); err != nil {
+				return nil, err
+			}
+			if q.Threshold <= 0 || q.Threshold > 1 {
+				return nil, fmt.Errorf("eql: THRESHOLD %v must be in (0,1]", q.Threshold)
+			}
+		case p.tryKeyword("SAMPLE"):
+			if q.SampleFrac, err = p.number("sample fraction"); err != nil {
+				return nil, err
+			}
+			if q.SampleFrac <= 0 || q.SampleFrac > 1 {
+				return nil, fmt.Errorf("eql: SAMPLE %v must be in (0,1]", q.SampleFrac)
+			}
+		case p.tryKeyword("LIMIT"):
+			if err := p.keyword("FRAMES"); err != nil {
+				return nil, err
+			}
+			if q.Frames, err = p.integer("frame limit"); err != nil {
+				return nil, err
+			}
+		case p.tryKeyword("SEED"):
+			s, err := p.integer("seed")
+			if err != nil {
+				return nil, err
+			}
+			q.Seed = uint64(s)
+		case p.tryKeyword("PARALLEL"):
+			if q.Parallel, err = p.integer("worker count"); err != nil {
+				return nil, err
+			}
+			if q.Parallel <= 0 {
+				return nil, fmt.Errorf("eql: PARALLEL %d must be positive", q.Parallel)
+			}
+		default:
+			if t := p.next(); t.kind != tokEOF {
+				return nil, fmt.Errorf("eql: unexpected trailing %s", t)
+			}
+			return q, nil
+		}
+	}
+}

@@ -1,0 +1,135 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+)
+
+// WriteSystemRows renders Fig. 4 / Fig. 9 rows as an aligned text table.
+func WriteSystemRows(w io.Writer, title string, rows []SystemRow) {
+	fmt.Fprintf(w, "== %s ==\n", title)
+	fmt.Fprintf(w, "%-20s %-22s %14s %9s %10s %10s %10s  %s\n",
+		"dataset", "system", "sim-ms", "speedup", "precision", "rankdist", "scoreerr", "note")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-20s %-22s %14.0f %8.1fx %10.3f %10.4f %10.3f  %s\n",
+			r.Dataset, r.System, r.MS, r.Speedup,
+			r.Quality.Precision, r.Quality.RankDistance, r.Quality.ScoreError, r.Note)
+	}
+	fmt.Fprintln(w)
+}
+
+// WriteSweepRows renders Fig. 5–8 rows.
+func WriteSweepRows(w io.Writer, title, xName string, rows []SweepRow) {
+	fmt.Fprintf(w, "== %s ==\n", title)
+	fmt.Fprintf(w, "%-20s %8s %14s %9s %10s %10s %10s  %s\n",
+		"dataset", xName, "sim-ms", "speedup", "precision", "rankdist", "scoreerr", "note")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-20s %8g %14.0f %8.1fx %10.3f %10.4f %10.3f  %s\n",
+			r.Dataset, r.X, r.MS, r.Speedup,
+			r.Quality.Precision, r.Quality.RankDistance, r.Quality.ScoreError, r.Note)
+	}
+	fmt.Fprintln(w)
+}
+
+// WriteTable8 renders the Table 8 breakdown.
+func WriteTable8(w io.Writer, rows []Table8Row) {
+	fmt.Fprintln(w, "== Table 8a: latency breakdown (shares of simulated time) ==")
+	fmt.Fprintf(w, "%-20s %8s %8s %10s %8s %9s\n",
+		"dataset", "label", "train", "populate", "select", "confirm")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-20s %7.2f%% %7.2f%% %9.2f%% %7.2f%% %8.2f%%\n",
+			r.Dataset, 100*r.LabelShare, 100*r.TrainShare, 100*r.PopulateShare,
+			100*r.SelectShare, 100*r.ConfirmShare)
+	}
+	fmt.Fprintln(w, "\n== Table 8b: Phase 2 counters ==")
+	fmt.Fprintf(w, "%-20s %12s %16s %12s\n", "dataset", "iterations", "% frames cleaned", "confidence")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-20s %12d %15.2f%% %12.3f\n",
+			r.Dataset, r.Iterations, 100*r.CleanedFrac, r.Confidence)
+	}
+	fmt.Fprintln(w)
+}
+
+// WriteAblationRows renders an ablation study.
+func WriteAblationRows(w io.Writer, title string, rows []AblationRow) {
+	fmt.Fprintf(w, "== %s ==\n", title)
+	fmt.Fprintf(w, "%-20s %-22s %14s %10s %10s %10s  %s\n",
+		"dataset", "variant", "sim-ms", "precision", "rankdist", "scoreerr", "note")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-20s %-22s %14.0f %10.3f %10.4f %10.3f  %s\n",
+			r.Dataset, r.Variant, r.MS,
+			r.Quality.Precision, r.Quality.RankDistance, r.Quality.ScoreError, r.Note)
+	}
+	fmt.Fprintln(w)
+}
+
+// WriteLambdaRows renders the Select-and-Topk λ sensitivity study.
+func WriteLambdaRows(w io.Writer, rows []LambdaRow) {
+	fmt.Fprintln(w, "== Select-and-Topk λ sensitivity (the paper's calibration problem) ==")
+	fmt.Fprintf(w, "%-20s %6s %11s %14s %9s %10s  %s\n",
+		"dataset", "λ", "candidates", "oracle-ms", "speedup", "precision", "status")
+	for _, r := range rows {
+		status := "ok"
+		if r.Failed {
+			status = "FAILED (<K candidates)"
+		}
+		fmt.Fprintf(w, "%-20s %6.1f %11d %14.0f %8.1fx %10.3f  %s\n",
+			r.Dataset, r.Lambda, r.Candidates, r.MS, r.Speedup, r.Quality.Precision, status)
+	}
+	fmt.Fprintln(w)
+}
+
+// WriteIngestRows renders the ingestion-amortization study.
+func WriteIngestRows(w io.Writer, rows []IngestRow) {
+	fmt.Fprintln(w, "== Ingestion-time indexing (Phase 1 offline, §4.2 discussion) ==")
+	fmt.Fprintf(w, "%-20s %8s %14s %14s %14s %11s\n",
+		"dataset", "queries", "fresh-ms", "ingest-ms", "indexed-ms", "break-even")
+	for _, r := range rows {
+		be := "never"
+		if r.Breakeven >= 0 {
+			be = fmt.Sprintf("%d queries", r.Breakeven)
+		}
+		fmt.Fprintf(w, "%-20s %8d %14.0f %14.0f %14.0f %11s\n",
+			r.Dataset, r.Queries, r.FreshMS, r.IngestMS, r.IndexedMS, be)
+	}
+	fmt.Fprintln(w)
+}
+
+// WriteScaleRows renders the scale-out scalability sweep.
+func WriteScaleRows(w io.Writer, rows []ScaleRow) {
+	fmt.Fprintln(w, "== Scale-out scalability (RAM3S future work, §3.5) ==")
+	fmt.Fprintf(w, "%-20s %8s %14s %14s %9s %11s %10s\n",
+		"dataset", "workers", "wall-ms", "bill-ms", "speedup", "efficiency", "precision")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-20s %8d %14.0f %14.0f %8.1fx %11.2f %10.3f\n",
+			r.Dataset, r.Workers, r.WallMS, r.BillMS, r.Speedup,
+			r.ScaleEfficiency, r.Quality.Precision)
+	}
+	fmt.Fprintln(w)
+}
+
+// WriteSessionRows renders the cross-query work-sharing study.
+func WriteSessionRows(w io.Writer, rows []SessionRow) {
+	fmt.Fprintln(w, "== Session work sharing (cross-query oracle cache) ==")
+	fmt.Fprintf(w, "%-20s %-12s %14s %14s %9s %10s %10s\n",
+		"dataset", "query", "session-ms", "alone-ms", "cleaned", "cache", "precision")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-20s %-12s %14.0f %14.0f %9d %10d %10.3f\n",
+			r.Dataset, r.Query, r.SessionMS, r.AloneMS, r.Cleaned,
+			r.CacheSize, r.Quality.Precision)
+	}
+	fmt.Fprintln(w)
+}
+
+// WriteSlidingRows renders the sliding-vs-tumbling comparison.
+func WriteSlidingRows(w io.Writer, rows []SlidingRow) {
+	fmt.Fprintln(w, "== Sliding windows (overlap → union bound) ==")
+	fmt.Fprintf(w, "%-20s %-14s %9s %-12s %8s %14s %10s %10s\n",
+		"dataset", "variant", "windows", "bound", "cleaned", "sim-ms", "precision", "scoreerr")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-20s %-14s %9d %-12s %8d %14.0f %10.3f %10.3f\n",
+			r.Dataset, r.Variant, r.Windows, r.Bound, r.Cleaned, r.MS,
+			r.Quality.Precision, r.Quality.ScoreError)
+	}
+	fmt.Fprintln(w)
+}

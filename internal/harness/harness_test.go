@@ -1,0 +1,178 @@
+package harness
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// tinyScale keeps harness tests fast: every dataset shrinks to a few
+// thousand frames.
+func tinyScale() Scale {
+	return Scale{Frames: 6000, Seed: 3}
+}
+
+func TestFig4Shape(t *testing.T) {
+	rows, err := Fig4(tinyScale(), 10, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 5 datasets × 6 systems.
+	if len(rows) != 30 {
+		t.Fatalf("Fig4 has %d rows, want 30", len(rows))
+	}
+	bySystem := map[string][]SystemRow{}
+	for _, r := range rows {
+		bySystem[r.System] = append(bySystem[r.System], r)
+	}
+	for _, want := range []string{"everest", "scan-and-test", "hog-svm-only", "tinyyolov3-only", "cmdn-only", "select-and-topk"} {
+		if len(bySystem[want]) != 5 {
+			t.Fatalf("system %q has %d rows: %v", want, len(bySystem[want]), bySystem)
+		}
+	}
+	for _, r := range bySystem["everest"] {
+		if r.Speedup <= 1 {
+			t.Fatalf("everest on %s: speedup %.2f ≤ 1", r.Dataset, r.Speedup)
+		}
+		if r.Quality.Precision < 0.7 {
+			t.Fatalf("everest on %s: precision %.2f", r.Dataset, r.Quality.Precision)
+		}
+	}
+	for _, r := range bySystem["scan-and-test"] {
+		if r.Speedup != 1 || r.Quality.Precision != 1 {
+			t.Fatalf("scan-and-test should be the exact 1× reference: %+v", r)
+		}
+	}
+	// At this tiny scale Everest's fixed Phase 1 cost dominates, so we only
+	// require it to beat the oracle-scale scans; the Everest-vs-select
+	// comparison at the paper's scale lives in EXPERIMENTS.md.
+	for _, ev := range bySystem["everest"] {
+		for _, other := range rows {
+			if other.Dataset != ev.Dataset {
+				continue
+			}
+			if other.System == "scan-and-test" || other.System == "hog-svm-only" {
+				if ev.MS >= other.MS {
+					t.Fatalf("%s: everest (%.0fms) not faster than %s (%.0fms)",
+						ev.Dataset, ev.MS, other.System, other.MS)
+				}
+			}
+		}
+	}
+}
+
+func TestTable8Shape(t *testing.T) {
+	rows, err := Table8(tinyScale(), 10, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	for _, r := range rows {
+		sum := r.LabelShare + r.TrainShare + r.PopulateShare + r.SelectShare + r.ConfirmShare
+		if sum < 0.99 || sum > 1.01 {
+			t.Fatalf("%s: shares sum to %v", r.Dataset, sum)
+		}
+		if r.CleanedFrac > 0.12 {
+			t.Fatalf("%s: cleaned %.1f%% of frames", r.Dataset, 100*r.CleanedFrac)
+		}
+		if r.Confidence < 0.9 {
+			t.Fatalf("%s: confidence %v", r.Dataset, r.Confidence)
+		}
+	}
+}
+
+func TestSweepsRunAtTinyScale(t *testing.T) {
+	// One dataset's worth of each sweep at minimal size, checking shapes.
+	scale := Scale{Frames: 4000, Seed: 5}
+
+	fig6, err := Fig6(scale, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig6) != 25 { // 5 datasets × 5 thresholds
+		t.Fatalf("Fig6 rows %d", len(fig6))
+	}
+	for _, r := range fig6 {
+		if r.Quality.Precision < 0.5 {
+			t.Fatalf("Fig6 %s thres=%v precision %.2f", r.Dataset, r.X, r.Quality.Precision)
+		}
+	}
+
+	fig8, err := Fig8(Scale{Frames: 4000, Seed: 5}, 5, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig8) != 5 {
+		t.Fatalf("Fig8 rows %d", len(fig8))
+	}
+}
+
+func TestFig9Shape(t *testing.T) {
+	rows, err := Fig9(Scale{Frames: 5000, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 8 { // 2 dashcams × 4 scenarios
+		t.Fatalf("Fig9 rows %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.Speedup <= 1 {
+			t.Fatalf("Fig9 %s/%s speedup %.2f", r.Dataset, r.System, r.Speedup)
+		}
+	}
+}
+
+func TestAblationsRun(t *testing.T) {
+	scale := Scale{Frames: 4000, Seed: 9}
+	a1, err := AblationEarlyStop(scale, 5, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a1) != 2 {
+		t.Fatalf("A1 rows %d", len(a1))
+	}
+	// Early stop must not lose quality.
+	if a1[0].Quality.Precision < a1[1].Quality.Precision-1e-9 {
+		t.Fatalf("early stop degraded precision: %+v", a1)
+	}
+
+	a3, err := AblationBatch(scale, 5, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a3) != 6 {
+		t.Fatalf("A3 rows %d", len(a3))
+	}
+
+	a5, err := AblationSemantics(scale, 5, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a5) < 3 {
+		t.Fatalf("A5 rows %d", len(a5))
+	}
+	if a5[0].Variant != "everest" {
+		t.Fatal("A5 first row should be everest")
+	}
+	for _, r := range a5[1:] {
+		if r.Quality.Precision > a5[0].Quality.Precision+1e-9 {
+			t.Fatalf("no-oracle notion %s beat everest: %+v", r.Variant, a5)
+		}
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	var buf bytes.Buffer
+	WriteSystemRows(&buf, "fig4", []SystemRow{{Dataset: "d", System: "s", MS: 1, Speedup: 2}})
+	WriteSweepRows(&buf, "fig5", "K", []SweepRow{{Dataset: "d", X: 5}})
+	WriteTable8(&buf, []Table8Row{{Dataset: "d"}})
+	WriteAblationRows(&buf, "a1", []AblationRow{{Dataset: "d", Variant: "v"}})
+	out := buf.String()
+	for _, want := range []string{"fig4", "fig5", "Table 8a", "a1", "dataset"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("formatted output missing %q:\n%s", want, out)
+		}
+	}
+}

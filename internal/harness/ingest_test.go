@@ -1,0 +1,22 @@
+package harness
+
+import "testing"
+
+func TestIngestionAmortization(t *testing.T) {
+	rows, err := IngestionAmortization(Scale{Frames: 4000, Seed: 13}, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	for _, r := range rows {
+		if r.IndexedMS >= r.FreshMS {
+			t.Fatalf("%s: indexed workload (%.0f) not cheaper than fresh (%.0f)",
+				r.Dataset, r.IndexedMS, r.FreshMS)
+		}
+		if r.Breakeven < 0 {
+			t.Fatalf("%s: indexing never breaks even", r.Dataset)
+		}
+	}
+}

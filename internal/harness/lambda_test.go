@@ -1,0 +1,55 @@
+package harness
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestSelectTopkSensitivityShape(t *testing.T) {
+	rows, err := SelectTopkSensitivity(Scale{Frames: 5000, Seed: 11}, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 5 datasets × 7 λ values.
+	if len(rows) != 35 {
+		t.Fatalf("%d rows, want 35", len(rows))
+	}
+	byDataset := map[string][]LambdaRow{}
+	for _, r := range rows {
+		byDataset[r.Dataset] = append(byDataset[r.Dataset], r)
+	}
+	for ds, drs := range byDataset {
+		if len(drs) != 7 {
+			t.Fatalf("%s: %d λ rows", ds, len(drs))
+		}
+		// λ values are the canonical sweep, ascending.
+		for i, want := range []float64{0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9} {
+			if drs[i].Lambda != want {
+				t.Fatalf("%s: λ[%d] = %v, want %v", ds, i, drs[i].Lambda, want)
+			}
+		}
+		// Non-failed rows have candidates and a cost; failed rows mark the
+		// paper's "λ too large" pathology.
+		for _, r := range drs {
+			if r.Failed {
+				continue
+			}
+			if r.Candidates < 10 || r.MS <= 0 || r.Speedup <= 0 {
+				t.Fatalf("%s λ=%v: inconsistent row %+v", ds, r.Lambda, r)
+			}
+		}
+	}
+}
+
+func TestWriteLambdaRows(t *testing.T) {
+	var buf bytes.Buffer
+	WriteLambdaRows(&buf, []LambdaRow{
+		{Dataset: "d", Lambda: 0.5, Candidates: 100, MS: 1, Speedup: 2},
+		{Dataset: "d", Lambda: 0.9, Failed: true},
+	})
+	out := buf.String()
+	if !strings.Contains(out, "FAILED") || !strings.Contains(out, "sensitivity") {
+		t.Fatalf("output missing markers:\n%s", out)
+	}
+}

@@ -1,0 +1,136 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+)
+
+func items(scores ...float64) []Ranked {
+	out := make([]Ranked, len(scores))
+	for i, s := range scores {
+		out[i] = Ranked{ID: i, Score: s}
+	}
+	return out
+}
+
+func TestTrueTopK(t *testing.T) {
+	top := TrueTopK(items(1, 9, 5, 7), 2)
+	if top[0].ID != 1 || top[1].ID != 3 {
+		t.Fatalf("TrueTopK = %v", top)
+	}
+}
+
+func TestTrueTopKTieBreak(t *testing.T) {
+	top := TrueTopK([]Ranked{{ID: 5, Score: 3}, {ID: 2, Score: 3}, {ID: 9, Score: 3}}, 2)
+	if top[0].ID != 2 || top[1].ID != 5 {
+		t.Fatalf("tie break wrong: %v", top)
+	}
+}
+
+func TestTrueTopKSmallInput(t *testing.T) {
+	if got := TrueTopK(items(1, 2), 5); len(got) != 2 {
+		t.Fatalf("TrueTopK over-asks: %v", got)
+	}
+}
+
+func TestPrecisionPerfect(t *testing.T) {
+	truth := TrueTopK(items(1, 9, 5, 7), 2)
+	scores := map[int]float64{1: 9, 3: 7}
+	if p := Precision([]int{1, 3}, truth, scores); p != 1 {
+		t.Fatalf("precision = %v, want 1", p)
+	}
+}
+
+func TestPrecisionPartial(t *testing.T) {
+	truth := TrueTopK(items(1, 9, 5, 7), 2) // ids 1,3 scores 9,7
+	scores := map[int]float64{1: 9, 0: 1}
+	if p := Precision([]int{1, 0}, truth, scores); p != 0.5 {
+		t.Fatalf("precision = %v, want 0.5", p)
+	}
+}
+
+func TestPrecisionTieTolerant(t *testing.T) {
+	// id 4 scores the same as the true K-th: counts as a hit.
+	all := []Ranked{{ID: 0, Score: 9}, {ID: 1, Score: 7}, {ID: 4, Score: 7}}
+	truth := TrueTopK(all, 2) // ids 0,1
+	scores := map[int]float64{0: 9, 4: 7}
+	if p := Precision([]int{0, 4}, truth, scores); p != 1 {
+		t.Fatalf("tie-tolerant precision = %v, want 1", p)
+	}
+}
+
+func TestRankDistanceZeroForExact(t *testing.T) {
+	truth := TrueTopK(items(1, 9, 5, 7), 3) // ids 1,3,2
+	if d := RankDistance([]int{1, 3, 2}, truth); d != 0 {
+		t.Fatalf("rank distance = %v, want 0", d)
+	}
+}
+
+func TestRankDistanceSwap(t *testing.T) {
+	truth := TrueTopK(items(1, 9, 5, 7), 3)
+	d := RankDistance([]int{3, 1, 2}, truth) // swap first two
+	if d <= 0 || d > 0.5 {
+		t.Fatalf("rank distance for one swap = %v", d)
+	}
+}
+
+func TestRankDistanceMissing(t *testing.T) {
+	truth := TrueTopK(items(1, 9, 5, 7), 2)
+	dMiss := RankDistance([]int{1, 0}, truth)  // 0 not in truth
+	dExact := RankDistance([]int{1, 3}, truth) // exact
+	if !(dMiss > dExact) {
+		t.Fatalf("missing item should raise distance: %v vs %v", dMiss, dExact)
+	}
+	if dMiss > 1 {
+		t.Fatalf("rank distance %v exceeds 1", dMiss)
+	}
+}
+
+func TestRankDistanceBounds(t *testing.T) {
+	truth := TrueTopK(items(5, 4, 3, 2, 1), 5) // ids 0..4 descending
+	// Fully reversed result is the worst order of the right set.
+	d := RankDistance([]int{4, 3, 2, 1, 0}, truth)
+	if d <= 0.5 || d > 1 {
+		t.Fatalf("reversed rank distance = %v", d)
+	}
+}
+
+func TestScoreErrorZero(t *testing.T) {
+	truth := TrueTopK(items(1, 9, 5, 7), 2)
+	if e := ScoreError([]float64{9, 7}, truth); e != 0 {
+		t.Fatalf("score error = %v, want 0", e)
+	}
+	// Order of the result slice must not matter.
+	if e := ScoreError([]float64{7, 9}, truth); e != 0 {
+		t.Fatalf("score error = %v, want 0 (order independence)", e)
+	}
+}
+
+func TestScoreErrorMagnitude(t *testing.T) {
+	truth := TrueTopK(items(10, 8), 2) // scores 10, 8
+	e := ScoreError([]float64{9, 8}, truth)
+	if math.Abs(e-0.5) > 1e-12 {
+		t.Fatalf("score error = %v, want 0.5", e)
+	}
+}
+
+func TestSpeedup(t *testing.T) {
+	if s := Speedup(200, 10); s != 20 {
+		t.Fatalf("speedup = %v", s)
+	}
+	if !math.IsInf(Speedup(1, 0), 1) {
+		t.Fatal("zero system time should be +Inf")
+	}
+}
+
+func TestEmptyInputs(t *testing.T) {
+	if Precision(nil, nil, nil) != 0 {
+		t.Fatal("empty precision")
+	}
+	if RankDistance(nil, nil) != 0 {
+		t.Fatal("empty rank distance")
+	}
+	if ScoreError(nil, nil) != 0 {
+		t.Fatal("empty score error")
+	}
+}

@@ -1,0 +1,143 @@
+package metrics
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/everest-project/everest/internal/xrand"
+)
+
+// randomWorld builds a universe of n scored items plus a "claimed" result
+// of size k drawn (with bias toward true winners) from it.
+func randomWorld(r *xrand.RNG) (items []Ranked, result []int, scores map[int]float64, k int) {
+	n := 3 + r.Intn(20)
+	items = make([]Ranked, n)
+	scores = make(map[int]float64, n)
+	for i := range items {
+		s := float64(r.Intn(8))
+		items[i] = Ranked{ID: i, Score: s}
+		scores[i] = s
+	}
+	k = 1 + r.Intn(n)
+	truth := TrueTopK(items, k)
+	result = make([]int, 0, k)
+	used := make(map[int]bool)
+	for len(result) < k {
+		var id int
+		if r.Float64() < 0.7 && len(truth) > 0 {
+			id = truth[r.Intn(len(truth))].ID
+		} else {
+			id = r.Intn(n)
+		}
+		if !used[id] {
+			used[id] = true
+			result = append(result, id)
+		}
+	}
+	return items, result, scores, k
+}
+
+func TestPrecisionBoundsProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := xrand.New(seed)
+		items, result, scores, k := randomWorld(r)
+		truth := TrueTopK(items, k)
+		p := Precision(result, truth, scores)
+		return p >= 0 && p <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPerfectResultScoresPerfectly(t *testing.T) {
+	// The exact Top-K in exact order: precision 1, rank distance 0, score
+	// error 0 — for any random universe.
+	f := func(seed uint64) bool {
+		r := xrand.New(seed)
+		items, _, scores, k := randomWorld(r)
+		truth := TrueTopK(items, k)
+		result := make([]int, len(truth))
+		exact := make([]float64, len(truth))
+		for i, t := range truth {
+			result[i] = t.ID
+			exact[i] = t.Score
+		}
+		return Precision(result, truth, scores) == 1 &&
+			RankDistance(result, truth) == 0 &&
+			ScoreError(exact, truth) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRankDistanceBoundsProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := xrand.New(seed)
+		items, result, _, k := randomWorld(r)
+		truth := TrueTopK(items, k)
+		d := RankDistance(result, truth)
+		return d >= 0 && d <= 1+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScoreErrorNonNegativeAndTieInsensitive(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := xrand.New(seed)
+		items, result, scores, k := randomWorld(r)
+		truth := TrueTopK(items, k)
+		exact := make([]float64, len(result))
+		for i, id := range result {
+			exact[i] = scores[id]
+		}
+		if ScoreError(exact, truth) < 0 {
+			return false
+		}
+		// Swapping two result positions never changes the score error
+		// (rank-by-rank comparison sorts both sides).
+		if len(result) >= 2 {
+			exact[0], exact[1] = exact[1], exact[0]
+			a := ScoreError(exact, truth)
+			exact[0], exact[1] = exact[1], exact[0]
+			b := ScoreError(exact, truth)
+			if a != b {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTieTolerantPrecisionProperty(t *testing.T) {
+	// Any returned item whose exact score ties the truth's K-th score
+	// counts as a hit: a result made only of such items has precision 1.
+	f := func(seed uint64) bool {
+		r := xrand.New(seed)
+		items, _, scores, k := randomWorld(r)
+		truth := TrueTopK(items, k)
+		kth := truth[len(truth)-1].Score
+		var result []int
+		for _, it := range items {
+			if it.Score >= kth {
+				result = append(result, it.ID)
+			}
+			if len(result) == k {
+				break
+			}
+		}
+		if len(result) == 0 {
+			return true
+		}
+		return Precision(result, truth, scores) == 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

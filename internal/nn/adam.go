@@ -1,0 +1,40 @@
+package nn
+
+import "math"
+
+// Adam is the Adam optimizer (Kingma & Ba) over a fixed parameter set.
+type Adam struct {
+	lr, beta1, beta2, eps float64
+	params                []*Param
+	m, v                  [][]float64
+	t                     int
+}
+
+// NewAdam creates an optimizer with the usual defaults (β1=0.9, β2=0.999).
+func NewAdam(params []*Param, lr float64) *Adam {
+	a := &Adam{lr: lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, params: params}
+	a.m = make([][]float64, len(params))
+	a.v = make([][]float64, len(params))
+	for i, p := range params {
+		a.m[i] = make([]float64, len(p.W))
+		a.v[i] = make([]float64, len(p.W))
+	}
+	return a
+}
+
+// Step applies one update from the accumulated gradients and clears them.
+func (a *Adam) Step() {
+	a.t++
+	c1 := 1 - math.Pow(a.beta1, float64(a.t))
+	c2 := 1 - math.Pow(a.beta2, float64(a.t))
+	for i, p := range a.params {
+		for j, g := range p.G {
+			a.m[i][j] = a.beta1*a.m[i][j] + (1-a.beta1)*g
+			a.v[i][j] = a.beta2*a.v[i][j] + (1-a.beta2)*g*g
+			mhat := a.m[i][j] / c1
+			vhat := a.v[i][j] / c2
+			p.W[j] -= a.lr * mhat / (math.Sqrt(vhat) + a.eps)
+		}
+		p.ZeroGrad()
+	}
+}

@@ -1,0 +1,168 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/everest-project/everest/internal/xrand"
+)
+
+// Conv2D is a 3×3 same-padding convolution over channel-major (C,H,W)
+// activations — the building block of the paper's CMDN backbone (Fig. 2:
+// five 3×3 conv layers, each followed by 2×2 max-pooling).
+type Conv2D struct {
+	inC, inH, inW int
+	outC          int
+	k             int
+	w, b          *Param
+	x             []float64
+}
+
+// NewConv2D creates a conv layer with He-initialized 3×3 kernels.
+func NewConv2D(inC, inH, inW, outC int, r *xrand.RNG) *Conv2D {
+	const k = 3
+	c := &Conv2D{
+		inC: inC, inH: inH, inW: inW, outC: outC, k: k,
+		w: newParam(outC * inC * k * k),
+		b: newParam(outC),
+	}
+	std := math.Sqrt(2 / float64(inC*k*k))
+	for i := range c.w.W {
+		c.w.W[i] = std * r.Norm()
+	}
+	return c
+}
+
+func (c *Conv2D) inSize() int { return c.inC * c.inH * c.inW }
+
+// OutSize implements Layer.
+func (c *Conv2D) OutSize() int { return c.outC * c.inH * c.inW }
+
+// Forward implements Layer.
+func (c *Conv2D) Forward(x []float64) []float64 {
+	if len(x) != c.inSize() {
+		panic(fmt.Sprintf("nn: Conv2D input %d, want %d", len(x), c.inSize()))
+	}
+	c.x = x
+	out := make([]float64, c.OutSize())
+	pad := c.k / 2
+	for oc := 0; oc < c.outC; oc++ {
+		for y := 0; y < c.inH; y++ {
+			for xx := 0; xx < c.inW; xx++ {
+				s := c.b.W[oc]
+				for ic := 0; ic < c.inC; ic++ {
+					for dy := 0; dy < c.k; dy++ {
+						sy := y + dy - pad
+						if sy < 0 || sy >= c.inH {
+							continue
+						}
+						for dx := 0; dx < c.k; dx++ {
+							sx := xx + dx - pad
+							if sx < 0 || sx >= c.inW {
+								continue
+							}
+							s += c.w.W[((oc*c.inC+ic)*c.k+dy)*c.k+dx] * x[(ic*c.inH+sy)*c.inW+sx]
+						}
+					}
+				}
+				out[(oc*c.inH+y)*c.inW+xx] = s
+			}
+		}
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (c *Conv2D) Backward(grad []float64) []float64 {
+	din := make([]float64, c.inSize())
+	pad := c.k / 2
+	for oc := 0; oc < c.outC; oc++ {
+		for y := 0; y < c.inH; y++ {
+			for xx := 0; xx < c.inW; xx++ {
+				g := grad[(oc*c.inH+y)*c.inW+xx]
+				if g == 0 {
+					continue
+				}
+				c.b.G[oc] += g
+				for ic := 0; ic < c.inC; ic++ {
+					for dy := 0; dy < c.k; dy++ {
+						sy := y + dy - pad
+						if sy < 0 || sy >= c.inH {
+							continue
+						}
+						for dx := 0; dx < c.k; dx++ {
+							sx := xx + dx - pad
+							if sx < 0 || sx >= c.inW {
+								continue
+							}
+							wi := ((oc*c.inC+ic)*c.k+dy)*c.k + dx
+							xi := (ic*c.inH+sy)*c.inW + sx
+							c.w.G[wi] += g * c.x[xi]
+							din[xi] += g * c.w.W[wi]
+						}
+					}
+				}
+			}
+		}
+	}
+	return din
+}
+
+// Params implements Layer.
+func (c *Conv2D) Params() []*Param { return []*Param{c.w, c.b} }
+
+// MaxPool2D is a 2×2 stride-2 max pool over (C,H,W) activations.
+type MaxPool2D struct {
+	c, h, w int // input geometry; h and w must be even
+	argmax  []int
+}
+
+// NewMaxPool2D creates a pool layer for the given input geometry.
+func NewMaxPool2D(c, h, w int) *MaxPool2D {
+	if h%2 != 0 || w%2 != 0 {
+		panic("nn: MaxPool2D requires even input dimensions")
+	}
+	return &MaxPool2D{c: c, h: h, w: w, argmax: make([]int, c*(h/2)*(w/2))}
+}
+
+// OutSize implements Layer.
+func (m *MaxPool2D) OutSize() int { return m.c * (m.h / 2) * (m.w / 2) }
+
+// Forward implements Layer.
+func (m *MaxPool2D) Forward(x []float64) []float64 {
+	oh, ow := m.h/2, m.w/2
+	out := make([]float64, m.OutSize())
+	for c := 0; c < m.c; c++ {
+		for y := 0; y < oh; y++ {
+			for xx := 0; xx < ow; xx++ {
+				best := math.Inf(-1)
+				bestI := -1
+				for dy := 0; dy < 2; dy++ {
+					for dx := 0; dx < 2; dx++ {
+						i := (c*m.h+2*y+dy)*m.w + 2*xx + dx
+						if x[i] > best {
+							best = x[i]
+							bestI = i
+						}
+					}
+				}
+				o := (c*oh+y)*ow + xx
+				out[o] = best
+				m.argmax[o] = bestI
+			}
+		}
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (m *MaxPool2D) Backward(grad []float64) []float64 {
+	dx := make([]float64, m.c*m.h*m.w)
+	for o, g := range grad {
+		dx[m.argmax[o]] += g
+	}
+	return dx
+}
+
+// Params implements Layer.
+func (m *MaxPool2D) Params() []*Param { return nil }

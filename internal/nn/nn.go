@@ -1,0 +1,181 @@
+// Package nn is a small from-scratch neural-network substrate built for
+// the CMDN proxy scorer (§3.2): dense and convolutional layers, ReLU,
+// max-pooling, an Adam optimizer and a mixture-density output head trained
+// by negative log-likelihood. It is single-threaded, slice-based and
+// deliberately free of cleverness — the reproduction needs a correct,
+// deterministic trainer at sample counts of a few thousand, not a
+// framework.
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/everest-project/everest/internal/xrand"
+)
+
+// Param is one trainable tensor with its gradient accumulator.
+type Param struct {
+	// W holds the weights.
+	W []float64
+	// G accumulates dLoss/dW between optimizer steps.
+	G []float64
+}
+
+func newParam(n int) *Param {
+	return &Param{W: make([]float64, n), G: make([]float64, n)}
+}
+
+// ZeroGrad clears the gradient accumulator.
+func (p *Param) ZeroGrad() {
+	for i := range p.G {
+		p.G[i] = 0
+	}
+}
+
+// Layer is a differentiable transform. Forward caches whatever Backward
+// needs, so a Layer instance processes one sample at a time.
+type Layer interface {
+	// Forward maps the input activation to the output activation.
+	Forward(x []float64) []float64
+	// Backward takes dLoss/dOutput, accumulates parameter gradients and
+	// returns dLoss/dInput.
+	Backward(grad []float64) []float64
+	// Params returns the layer's trainable parameters (possibly empty).
+	Params() []*Param
+	// OutSize is the length of the output activation vector.
+	OutSize() int
+}
+
+// Dense is a fully connected layer: out = W·x + b.
+type Dense struct {
+	in, out int
+	w, b    *Param
+	x       []float64 // cached input
+}
+
+// NewDense creates a dense layer with He-initialized weights.
+func NewDense(in, out int, r *xrand.RNG) *Dense {
+	d := &Dense{in: in, out: out, w: newParam(in * out), b: newParam(out)}
+	std := math.Sqrt(2 / float64(in))
+	for i := range d.w.W {
+		d.w.W[i] = std * r.Norm()
+	}
+	return d
+}
+
+// Forward implements Layer.
+func (d *Dense) Forward(x []float64) []float64 {
+	if len(x) != d.in {
+		panic(fmt.Sprintf("nn: Dense input %d, want %d", len(x), d.in))
+	}
+	d.x = x
+	out := make([]float64, d.out)
+	for o := 0; o < d.out; o++ {
+		s := d.b.W[o]
+		row := d.w.W[o*d.in : (o+1)*d.in]
+		for i, xi := range x {
+			s += row[i] * xi
+		}
+		out[o] = s
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (d *Dense) Backward(grad []float64) []float64 {
+	dx := make([]float64, d.in)
+	for o := 0; o < d.out; o++ {
+		g := grad[o]
+		d.b.G[o] += g
+		row := d.w.W[o*d.in : (o+1)*d.in]
+		growRow := d.w.G[o*d.in : (o+1)*d.in]
+		for i := range row {
+			growRow[i] += g * d.x[i]
+			dx[i] += g * row[i]
+		}
+	}
+	return dx
+}
+
+// Params implements Layer.
+func (d *Dense) Params() []*Param { return []*Param{d.w, d.b} }
+
+// OutSize implements Layer.
+func (d *Dense) OutSize() int { return d.out }
+
+// ReLU is the rectified linear activation.
+type ReLU struct {
+	n    int
+	mask []bool
+}
+
+// NewReLU creates a ReLU over n units.
+func NewReLU(n int) *ReLU { return &ReLU{n: n, mask: make([]bool, n)} }
+
+// Forward implements Layer.
+func (r *ReLU) Forward(x []float64) []float64 {
+	out := make([]float64, len(x))
+	for i, v := range x {
+		if v > 0 {
+			out[i] = v
+			r.mask[i] = true
+		} else {
+			r.mask[i] = false
+		}
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (r *ReLU) Backward(grad []float64) []float64 {
+	dx := make([]float64, len(grad))
+	for i, g := range grad {
+		if r.mask[i] {
+			dx[i] = g
+		}
+	}
+	return dx
+}
+
+// Params implements Layer.
+func (r *ReLU) Params() []*Param { return nil }
+
+// OutSize implements Layer.
+func (r *ReLU) OutSize() int { return r.n }
+
+// Sequential chains layers.
+type Sequential struct {
+	layers []Layer
+}
+
+// NewSequential builds a chain.
+func NewSequential(layers ...Layer) *Sequential { return &Sequential{layers: layers} }
+
+// Forward implements Layer.
+func (s *Sequential) Forward(x []float64) []float64 {
+	for _, l := range s.layers {
+		x = l.Forward(x)
+	}
+	return x
+}
+
+// Backward implements Layer.
+func (s *Sequential) Backward(grad []float64) []float64 {
+	for i := len(s.layers) - 1; i >= 0; i-- {
+		grad = s.layers[i].Backward(grad)
+	}
+	return grad
+}
+
+// Params implements Layer.
+func (s *Sequential) Params() []*Param {
+	var ps []*Param
+	for _, l := range s.layers {
+		ps = append(ps, l.Params()...)
+	}
+	return ps
+}
+
+// OutSize implements Layer.
+func (s *Sequential) OutSize() int { return s.layers[len(s.layers)-1].OutSize() }

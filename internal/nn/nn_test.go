@@ -1,0 +1,293 @@
+package nn
+
+import (
+	"math"
+	"testing"
+
+	"github.com/everest-project/everest/internal/xrand"
+)
+
+// gradCheck compares analytic parameter gradients of a scalar loss against
+// central finite differences.
+func gradCheck(t *testing.T, layer Layer, inSize int, seed uint64, tol float64) {
+	t.Helper()
+	r := xrand.New(seed)
+	x := make([]float64, inSize)
+	for i := range x {
+		x[i] = r.Norm()
+	}
+	// Loss: weighted sum of outputs with fixed random weights (so the
+	// output gradient is nontrivial).
+	wOut := make([]float64, layer.OutSize())
+	for i := range wOut {
+		wOut[i] = r.Norm()
+	}
+	loss := func() float64 {
+		out := layer.Forward(x)
+		s := 0.0
+		for i, v := range out {
+			s += wOut[i] * v
+		}
+		return s
+	}
+	// Analytic gradients.
+	loss()
+	for _, p := range layer.Params() {
+		p.ZeroGrad()
+	}
+	dx := layer.Backward(wOut)
+
+	const h = 1e-5
+	for pi, p := range layer.Params() {
+		for wi := 0; wi < len(p.W); wi += 1 + len(p.W)/25 { // sample entries
+			orig := p.W[wi]
+			p.W[wi] = orig + h
+			up := loss()
+			p.W[wi] = orig - h
+			down := loss()
+			p.W[wi] = orig
+			want := (up - down) / (2 * h)
+			if math.Abs(want-p.G[wi]) > tol*(1+math.Abs(want)) {
+				t.Fatalf("param %d[%d]: analytic %v, numeric %v", pi, wi, p.G[wi], want)
+			}
+		}
+	}
+	// Input gradients.
+	for i := 0; i < inSize; i += 1 + inSize/25 {
+		orig := x[i]
+		x[i] = orig + h
+		up := loss()
+		x[i] = orig - h
+		down := loss()
+		x[i] = orig
+		want := (up - down) / (2 * h)
+		if math.Abs(want-dx[i]) > tol*(1+math.Abs(want)) {
+			t.Fatalf("input[%d]: analytic %v, numeric %v", i, dx[i], want)
+		}
+	}
+}
+
+func TestDenseGradients(t *testing.T) {
+	gradCheck(t, NewDense(7, 5, xrand.New(1)), 7, 2, 1e-6)
+}
+
+func TestConvGradients(t *testing.T) {
+	gradCheck(t, NewConv2D(2, 6, 6, 3, xrand.New(3)), 2*6*6, 4, 1e-5)
+}
+
+func TestSequentialGradients(t *testing.T) {
+	r := xrand.New(5)
+	seq := NewSequential(
+		NewDense(6, 8, r),
+		NewReLU(8),
+		NewDense(8, 4, r),
+	)
+	gradCheck(t, seq, 6, 6, 1e-6)
+}
+
+func TestConvPoolStackGradients(t *testing.T) {
+	r := xrand.New(7)
+	seq := NewSequential(
+		NewConv2D(1, 8, 8, 2, r),
+		NewReLU(2*8*8),
+		NewMaxPool2D(2, 8, 8),
+		NewDense(2*4*4, 3, r),
+	)
+	gradCheck(t, seq, 64, 8, 1e-5)
+}
+
+func TestMaxPoolForward(t *testing.T) {
+	p := NewMaxPool2D(1, 2, 2)
+	out := p.Forward([]float64{1, 5, 3, 2})
+	if len(out) != 1 || out[0] != 5 {
+		t.Fatalf("pool output %v", out)
+	}
+	dx := p.Backward([]float64{2})
+	want := []float64{0, 2, 0, 0}
+	for i := range want {
+		if dx[i] != want[i] {
+			t.Fatalf("pool backward %v", dx)
+		}
+	}
+}
+
+func TestReLU(t *testing.T) {
+	r := NewReLU(3)
+	out := r.Forward([]float64{-1, 0, 2})
+	if out[0] != 0 || out[1] != 0 || out[2] != 2 {
+		t.Fatalf("relu forward %v", out)
+	}
+	dx := r.Backward([]float64{1, 1, 1})
+	if dx[0] != 0 || dx[1] != 0 || dx[2] != 1 {
+		t.Fatalf("relu backward %v", dx)
+	}
+}
+
+func TestMDNGradients(t *testing.T) {
+	r := xrand.New(11)
+	mdn := NewMDN(5, 3, r)
+	x := make([]float64, 5)
+	for i := range x {
+		x[i] = r.Norm()
+	}
+	y := 0.7
+	loss := func() float64 {
+		mdn.Forward(x)
+		return mdn.NLL(y)
+	}
+	loss()
+	for _, p := range mdn.Params() {
+		p.ZeroGrad()
+	}
+	dx := mdn.Backward(y)
+	const h = 1e-5
+	for pi, p := range mdn.Params() {
+		for wi := range p.W {
+			orig := p.W[wi]
+			p.W[wi] = orig + h
+			up := loss()
+			p.W[wi] = orig - h
+			down := loss()
+			p.W[wi] = orig
+			want := (up - down) / (2 * h)
+			if math.Abs(want-p.G[wi]) > 1e-5*(1+math.Abs(want)) {
+				t.Fatalf("mdn param %d[%d]: analytic %v numeric %v", pi, wi, p.G[wi], want)
+			}
+		}
+	}
+	for i := range x {
+		orig := x[i]
+		x[i] = orig + h
+		up := loss()
+		x[i] = orig - h
+		down := loss()
+		x[i] = orig
+		want := (up - down) / (2 * h)
+		if math.Abs(want-dx[i]) > 1e-5*(1+math.Abs(want)) {
+			t.Fatalf("mdn input[%d]: analytic %v numeric %v", i, dx[i], want)
+		}
+	}
+}
+
+func TestMDNMixtureValid(t *testing.T) {
+	r := xrand.New(13)
+	mdn := NewMDN(4, 5, r)
+	x := []float64{0.1, -0.5, 2, 0.3}
+	mix := mdn.Forward(x)
+	if err := mix.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFitLearnsConditionalMean(t *testing.T) {
+	// y = 3*x0 + 1 + noise: after training, predicted mixture mean should
+	// track the target.
+	r := xrand.New(17)
+	var xs [][]float64
+	var ys []float64
+	for i := 0; i < 400; i++ {
+		x := r.Float64() * 2
+		xs = append(xs, []float64{x})
+		ys = append(ys, 3*x+1+0.1*r.Norm())
+	}
+	rr := xrand.New(18)
+	model := &Model{
+		Backbone: NewSequential(NewDense(1, 16, rr), NewReLU(16)),
+		Head:     NewMDN(16, 3, rr),
+	}
+	nll, err := model.Fit(xs, ys, TrainConfig{Epochs: 60, Seed: 19})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var errSum float64
+	for _, xv := range []float64{0.2, 1.0, 1.8} {
+		mix := model.Predict([]float64{xv})
+		errSum += math.Abs(mix.Mean() - (3*xv + 1))
+	}
+	if errSum/3 > 0.4 {
+		t.Fatalf("mean abs prediction error %v after training (nll %v)", errSum/3, nll)
+	}
+}
+
+func TestFitLearnsBimodal(t *testing.T) {
+	// Targets split into two modes depending on nothing: a single Gaussian
+	// cannot model them; the mixture should place mass near both.
+	r := xrand.New(23)
+	var xs [][]float64
+	var ys []float64
+	for i := 0; i < 400; i++ {
+		xs = append(xs, []float64{1})
+		mode := 2.0
+		if r.Float64() < 0.5 {
+			mode = 8
+		}
+		ys = append(ys, mode+0.2*r.Norm())
+	}
+	rr := xrand.New(24)
+	model := &Model{Head: NewMDN(1, 4, rr)}
+	if _, err := model.Fit(xs, ys, TrainConfig{Epochs: 120, Seed: 25}); err != nil {
+		t.Fatal(err)
+	}
+	mix := model.Predict([]float64{1})
+	var nearLow, nearHigh float64
+	for _, c := range mix {
+		if math.Abs(c.Mean-2) < 1 {
+			nearLow += c.Weight
+		}
+		if math.Abs(c.Mean-8) < 1 {
+			nearHigh += c.Weight
+		}
+	}
+	if nearLow < 0.3 || nearHigh < 0.3 {
+		t.Fatalf("bimodal not captured: low %.2f high %.2f (%v)", nearLow, nearHigh, mix)
+	}
+}
+
+func TestFitReducesNLL(t *testing.T) {
+	r := xrand.New(29)
+	var xs [][]float64
+	var ys []float64
+	for i := 0; i < 200; i++ {
+		x := r.Norm()
+		xs = append(xs, []float64{x})
+		ys = append(ys, x*x+0.1*r.Norm())
+	}
+	rr := xrand.New(30)
+	model := &Model{
+		Backbone: NewSequential(NewDense(1, 12, rr), NewReLU(12)),
+		Head:     NewMDN(12, 3, rr),
+	}
+	before := model.MeanNLL(xs, ys)
+	after, err := model.Fit(xs, ys, TrainConfig{Epochs: 40, Seed: 31})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after >= before {
+		t.Fatalf("training did not reduce NLL: %v -> %v", before, after)
+	}
+}
+
+func TestFitValidation(t *testing.T) {
+	model := &Model{Head: NewMDN(1, 2, xrand.New(1))}
+	if _, err := model.Fit(nil, nil, TrainConfig{}); err == nil {
+		t.Fatal("empty training set should fail")
+	}
+	if _, err := model.Fit([][]float64{{1}}, []float64{1, 2}, TrainConfig{}); err == nil {
+		t.Fatal("length mismatch should fail")
+	}
+}
+
+func TestFitDeterministic(t *testing.T) {
+	build := func() *Model {
+		rr := xrand.New(41)
+		return &Model{Head: NewMDN(2, 2, rr)}
+	}
+	xs := [][]float64{{1, 0}, {0, 1}, {1, 1}}
+	ys := []float64{1, 2, 3}
+	m1, m2 := build(), build()
+	n1, _ := m1.Fit(xs, ys, TrainConfig{Epochs: 10, Seed: 42})
+	n2, _ := m2.Fit(xs, ys, TrainConfig{Epochs: 10, Seed: 42})
+	if n1 != n2 {
+		t.Fatalf("training nondeterministic: %v vs %v", n1, n2)
+	}
+}

@@ -1,0 +1,290 @@
+// Package phase1 implements Everest's first phase (§3.2): sample frames,
+// label them with the oracle UDF, train the CMDN grid and select by
+// holdout NLL, run the difference detector, and build the initial
+// uncertain relation D0 (frame-level or window-level). It is shared by
+// the Everest engine and by the baselines that reuse parts of the
+// pipeline (CMDN-only, Select-and-Topk).
+package phase1
+
+import (
+	"fmt"
+
+	"github.com/everest-project/everest/internal/cmdn"
+	"github.com/everest-project/everest/internal/diffdet"
+	"github.com/everest-project/everest/internal/simclock"
+	"github.com/everest-project/everest/internal/uncertain"
+	"github.com/everest-project/everest/internal/video"
+	"github.com/everest-project/everest/internal/vision"
+	"github.com/everest-project/everest/internal/windows"
+	"github.com/everest-project/everest/internal/xrand"
+)
+
+// Options configures Phase 1.
+type Options struct {
+	// SampleFrac is the labelled-sample fraction; zero means 0.02 (the
+	// paper's 0.5% is tied to multi-million-frame videos; see DESIGN.md).
+	SampleFrac float64
+	// SampleCap bounds absolute training samples; zero means 30000.
+	SampleCap int
+	// MinSamples floors training samples; zero means 600.
+	MinSamples int
+	// HoldoutFrac sizes the holdout set relative to training; zero means
+	// 0.1.
+	HoldoutFrac float64
+	// Diff configures the difference detector.
+	Diff diffdet.Options
+	// DisableDiff retains every frame (ablation A4).
+	DisableDiff bool
+	// Proxy configures CMDN training.
+	Proxy cmdn.Config
+	// Cost is the simulated cost model.
+	Cost simclock.CostModel
+	// Seed drives sampling and training.
+	Seed uint64
+}
+
+func (o Options) withDefaults() Options {
+	if o.SampleFrac == 0 {
+		o.SampleFrac = 0.02
+	}
+	if o.SampleCap == 0 {
+		o.SampleCap = 30000
+	}
+	if o.MinSamples == 0 {
+		o.MinSamples = 600
+	}
+	if o.HoldoutFrac == 0 {
+		o.HoldoutFrac = 0.1
+	}
+	if o.Cost == (simclock.CostModel{}) {
+		o.Cost = simclock.Default()
+	}
+	return o
+}
+
+// Info reports Phase 1 statistics.
+type Info struct {
+	// TotalFrames is the video length.
+	TotalFrames int
+	// TrainSamples and HoldoutSamples are labelled sample counts.
+	TrainSamples, HoldoutSamples int
+	// Retained counts frames surviving the difference detector.
+	Retained int
+	// Hyper is the selected grid point; HoldoutNLL its criterion value.
+	Hyper      cmdn.Hyper
+	HoldoutNLL float64
+}
+
+// State carries Phase 1 outputs into Phase 2.
+type State struct {
+	// Src is the video.
+	Src video.Source
+	// Proxy is the selected CMDN.
+	Proxy *cmdn.Proxy
+	// Diff is the difference-detector result.
+	Diff diffdet.Result
+	// Labeled maps sampled frame → exact oracle score.
+	Labeled map[int]float64
+	// Info is the statistics summary.
+	Info Info
+
+	arch  cmdn.Arch
+	clock *simclock.Clock
+	cost  simclock.CostModel
+}
+
+// Run executes Phase 1.
+func Run(src video.Source, udf vision.UDF, opt Options, clock *simclock.Clock) (*State, error) {
+	opt = opt.withDefaults()
+	if clock == nil {
+		clock = simclock.NewClock()
+	}
+	n := src.NumFrames()
+	rng := xrand.New(opt.Seed).Split("everest/phase1")
+
+	trainN := int(opt.SampleFrac * float64(n))
+	if trainN < opt.MinSamples {
+		trainN = opt.MinSamples
+	}
+	if trainN > opt.SampleCap {
+		trainN = opt.SampleCap
+	}
+	holdN := int(opt.HoldoutFrac * float64(trainN))
+	if holdN < 100 {
+		holdN = 100
+	}
+	if trainN+holdN > n {
+		// Tiny videos: label at most half the video, split 80/20.
+		total := n / 2
+		if total < 5 {
+			return nil, fmt.Errorf("phase1: video of %d frames is too short", n)
+		}
+		trainN = total * 4 / 5
+		holdN = total - trainN
+	}
+
+	all := rng.Split("sample").SampleK(n, trainN+holdN)
+	perm := rng.Split("split").Perm(len(all))
+	trainIdx := make([]int, 0, trainN)
+	holdIdx := make([]int, 0, holdN)
+	for i, p := range perm {
+		if i < trainN {
+			trainIdx = append(trainIdx, all[p])
+		} else {
+			holdIdx = append(holdIdx, all[p])
+		}
+	}
+
+	udfCost := udf.OracleCostMS(opt.Cost)
+	label := func(ids []int) []float64 {
+		scores := udf.Score(src, ids)
+		clock.Charge(simclock.PhaseLabelSamples, float64(len(ids))*(udfCost+opt.Cost.DecodeMS))
+		return scores
+	}
+	trainScores := label(trainIdx)
+	holdScores := label(holdIdx)
+
+	arch := opt.Proxy.Arch
+	mkSamples := func(idx []int, scores []float64) []cmdn.Sample {
+		out := make([]cmdn.Sample, len(idx))
+		for k, i := range idx {
+			out[k] = cmdn.Sample{Frame: i, X: cmdn.InputFor(arch, src.Render(i)), Y: scores[k]}
+		}
+		return out
+	}
+
+	proxyCfg := opt.Proxy
+	w, h := src.Resolution()
+	proxyCfg.FrameW, proxyCfg.FrameH = w, h
+	if proxyCfg.Seed == 0 {
+		proxyCfg.Seed = rng.Split("cmdn").Uint64()
+	}
+	proxy, _, err := cmdn.Train(mkSamples(trainIdx, trainScores), mkSamples(holdIdx, holdScores), proxyCfg, clock, opt.Cost)
+	if err != nil {
+		return nil, err
+	}
+
+	var diff diffdet.Result
+	if opt.DisableDiff {
+		rep := make([]int32, n)
+		retained := make([]int, n)
+		for i := range rep {
+			rep[i] = int32(i)
+			retained[i] = i
+		}
+		diff = diffdet.Result{Retained: retained, RepOf: rep}
+		clock.Charge(simclock.PhasePopulateD0, float64(n)*opt.Cost.DecodeMS)
+	} else {
+		diff, err = diffdet.Run(src, opt.Diff, clock, opt.Cost, simclock.PhasePopulateD0)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	labeled := make(map[int]float64, len(trainIdx)+len(holdIdx))
+	for k, i := range trainIdx {
+		labeled[i] = trainScores[k]
+	}
+	for k, i := range holdIdx {
+		labeled[i] = holdScores[k]
+	}
+
+	return &State{
+		Src:     src,
+		Proxy:   proxy,
+		Diff:    diff,
+		Labeled: labeled,
+		arch:    arch,
+		clock:   clock,
+		cost:    opt.Cost,
+		Info: Info{
+			TotalFrames:    n,
+			TrainSamples:   len(trainIdx),
+			HoldoutSamples: len(holdIdx),
+			Retained:       len(diff.Retained),
+			Hyper:          proxy.Hyper(),
+			HoldoutNLL:     proxy.HoldoutNLL(),
+		},
+	}, nil
+}
+
+// MixtureOf runs proxy inference for one frame (not charged; charging
+// happens where inference volume is decided).
+func (s *State) MixtureOf(i int) uncertain.Mixture {
+	return s.Proxy.PredictFrame(s.Src.Render(i))
+}
+
+// FrameRelation builds D0 over retained frames: labelled frames enter as
+// certain tuples (§3.2), the rest get their quantized CMDN distribution.
+// Proxy inference cost is charged per inferred frame.
+func (s *State) FrameRelation(qopt uncertain.QuantizeOptions) uncertain.Relation {
+	rel := make(uncertain.Relation, 0, len(s.Diff.Retained))
+	inferred := 0
+	for _, i := range s.Diff.Retained {
+		if score, ok := s.Labeled[i]; ok {
+			rel = append(rel, uncertain.XTuple{ID: i, Dist: uncertain.Certain(ClampLevel(uncertain.LevelOf(score, qopt.Step), qopt))})
+			continue
+		}
+		inferred++
+		d, err := uncertain.Quantize(s.MixtureOf(i), qopt)
+		if err != nil {
+			// Degenerate mixture: fall back to a point mass at its mean.
+			d = uncertain.Certain(ClampLevel(uncertain.LevelOf(s.MixtureOf(i).Mean(), qopt.Step), qopt))
+		}
+		rel = append(rel, uncertain.XTuple{ID: i, Dist: d})
+	}
+	s.clock.Charge(simclock.PhasePopulateD0, float64(inferred)*s.cost.ProxyMS)
+	return rel
+}
+
+// WindowRelation builds the window-level D0 of §3.4 for tumbling windows
+// of the given size.
+func (s *State) WindowRelation(size int, qopt uncertain.QuantizeOptions) (uncertain.Relation, error) {
+	return s.WindowRelationStrided(size, size, qopt)
+}
+
+// WindowRelationStrided builds the window-level D0 for windows of the
+// given size starting every stride frames. Stride < size produces
+// overlapping (correlated) windows; the caller must then run Phase 2 with
+// the union bound.
+func (s *State) WindowRelationStrided(size, stride int, qopt uncertain.QuantizeOptions) (uncertain.Relation, error) {
+	mixCache := make(map[int]windows.FrameScore, len(s.Diff.Retained))
+	inferred := 0
+	scoreOf := func(rep int) windows.FrameScore {
+		if fs, ok := mixCache[rep]; ok {
+			return fs
+		}
+		var fs windows.FrameScore
+		if score, ok := s.Labeled[rep]; ok {
+			fs = windows.FrameScore{IsExact: true, Exact: score}
+		} else {
+			inferred++
+			fs = windows.FrameScore{Mix: s.MixtureOf(rep)}
+		}
+		mixCache[rep] = fs
+		return fs
+	}
+	maxLevel := 0
+	if qopt.MaxLevel > 0 && qopt.MaxLevel < int(^uint(0)>>1) {
+		maxLevel = qopt.MaxLevel
+	}
+	rel, err := windows.BuildRelation(scoreOf, s.Diff, windows.Options{
+		Size:     size,
+		Stride:   stride,
+		Step:     qopt.Step,
+		MaxLevel: maxLevel,
+	})
+	s.clock.Charge(simclock.PhasePopulateD0, float64(inferred)*s.cost.ProxyMS)
+	return rel, err
+}
+
+// ClampLevel clips a level into the quantization bounds.
+func ClampLevel(lvl int, qopt uncertain.QuantizeOptions) int {
+	if lvl < qopt.MinLevel {
+		return qopt.MinLevel
+	}
+	if lvl > qopt.MaxLevel {
+		return qopt.MaxLevel
+	}
+	return lvl
+}

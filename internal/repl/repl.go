@@ -1,0 +1,189 @@
+// Package repl implements the interactive EQL shell behind
+// `cmd/everest -repl`. It is where the repository's multi-query machinery
+// composes into a workflow: the first query against a (dataset, UDF) pair
+// pays Phase 1 once by building an ingestion Index, and every later query
+// in the same shell runs through a Session over that index — Phase 2
+// only, sharing all previously revealed oracle labels. EXPLAIN statements
+// describe plans without running them.
+package repl
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	everest "github.com/everest-project/everest"
+	"github.com/everest-project/everest/internal/eql"
+	"github.com/everest-project/everest/internal/video"
+)
+
+// REPL holds the shell's state: one ingestion index + session per
+// (dataset, frame count, UDF, seed) key, built lazily.
+type REPL struct {
+	out      io.Writer
+	sessions map[string]*entry
+}
+
+type entry struct {
+	sess     *everest.Session
+	ingestMS float64
+}
+
+// New returns an empty shell writing results to out.
+func New(out io.Writer) *REPL {
+	return &REPL{out: out, sessions: make(map[string]*entry)}
+}
+
+// Sessions returns how many (dataset, UDF) sessions the shell has opened.
+func (r *REPL) Sessions() int { return len(r.sessions) }
+
+// Run reads statements from in until EOF or a quit command, executing
+// each line. Errors are printed, not fatal — a shell keeps going.
+func (r *REPL) Run(in io.Reader) error {
+	sc := bufio.NewScanner(in)
+	sc.Buffer(make([]byte, 64*1024), 64*1024)
+	fmt.Fprint(r.out, "everest> ")
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch strings.ToLower(line) {
+		case "quit", "exit", `\q`:
+			fmt.Fprintln(r.out, "bye")
+			return nil
+		}
+		if line != "" {
+			if err := r.ExecLine(line); err != nil {
+				fmt.Fprintf(r.out, "error: %v\n", err)
+			}
+		}
+		fmt.Fprint(r.out, "everest> ")
+	}
+	fmt.Fprintln(r.out)
+	return sc.Err()
+}
+
+// ExecLine executes one shell line: a dot-command (help, datasets,
+// sessions), an EXPLAIN statement, or an EQL query.
+func (r *REPL) ExecLine(line string) error {
+	switch strings.ToLower(strings.TrimSpace(line)) {
+	case "help", `\h`, "?":
+		r.help()
+		return nil
+	case "datasets", `\d`:
+		r.datasets()
+		return nil
+	case "sessions", `\s`:
+		r.listSessions()
+		return nil
+	}
+	q, err := eql.Parse(line)
+	if err != nil {
+		return err
+	}
+	if q.Explain {
+		out, err := eql.Explain(line)
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(r.out, out)
+		return nil
+	}
+	plan, err := eql.Bind(q)
+	if err != nil {
+		return err
+	}
+	if plan.Workers > 1 {
+		// Scale-out runs partitioned Phase 1 per query; it does not share
+		// an index, so it bypasses the session machinery.
+		res, err := everest.RunParallel(plan.Source, plan.UDF, plan.Config, plan.Workers)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(r.out, "(scale-out: %d workers)\n", plan.Workers)
+		r.printResult(&res.Result, plan)
+		return nil
+	}
+
+	key := fmt.Sprintf("%s|%d|%s|%d",
+		plan.Source.Name(), plan.Source.NumFrames(), plan.UDF.Name(), plan.Config.Seed)
+	ent, ok := r.sessions[key]
+	if !ok {
+		fmt.Fprintf(r.out, "(ingesting %s for %s — one-off Phase 1)\n",
+			plan.Source.Name(), plan.UDF.Name())
+		ix, err := everest.BuildIndex(plan.Source, plan.UDF, plan.Config)
+		if err != nil {
+			return err
+		}
+		sess, err := everest.NewSession(ix, plan.Source, plan.UDF)
+		if err != nil {
+			return err
+		}
+		ent = &entry{sess: sess, ingestMS: ix.IngestMS()}
+		r.sessions[key] = ent
+		fmt.Fprintf(r.out, "(ingested in %.0f sim-ms; later queries pay Phase 2 only)\n", ent.ingestMS)
+	}
+	res, err := ent.sess.Query(plan.Config)
+	if err != nil {
+		return err
+	}
+	r.printResult(res, plan)
+	return nil
+}
+
+func (r *REPL) printResult(res *everest.Result, plan *eql.Plan) {
+	unit := "frame"
+	if res.IsWindow {
+		unit = "window"
+	}
+	fmt.Fprintf(r.out, "confidence %.4f (%s bound), %d %ss, cleaned %d, cost %.0f sim-ms\n",
+		res.Confidence, res.Bound, len(res.IDs), unit,
+		res.EngineStats.Cleaned, res.Clock.TotalMS())
+	fps := plan.Source.FPS()
+	for i, id := range res.IDs {
+		sec := float64(id) / float64(fps)
+		if res.IsWindow {
+			sec = float64(id*res.WindowStride) / float64(fps)
+		}
+		fmt.Fprintf(r.out, "  #%-3d %s %-8d t=%8.1fs  score %.2f\n", i+1, unit, id, sec, res.Scores[i])
+	}
+}
+
+func (r *REPL) help() {
+	fmt.Fprint(r.out, `statements:
+  SELECT TOP k FRAMES FROM dataset RANK BY udf(arg) [THRESHOLD p] [LIMIT FRAMES n] [SEED s] [PARALLEL w]
+  SELECT TOP k WINDOWS OF n [EVERY m] FROM dataset RANK BY udf(arg) [...]
+  EXPLAIN SELECT ...        describe the plan without running it
+commands:
+  datasets                  list built-in datasets
+  sessions                  list open ingestion sessions
+  help                      this text
+  quit                      leave the shell
+the first query on a (dataset, udf) pair ingests it (Phase 1); later
+queries reuse the index and every oracle label revealed so far.
+`)
+}
+
+func (r *REPL) datasets() {
+	fmt.Fprintf(r.out, "%-22s %-8s %12s\n", "name", "object", "paper-frames")
+	for _, d := range video.Datasets() {
+		fmt.Fprintf(r.out, "%-22s %-8s %12d\n", d.Name, d.Config.Class, d.PaperFrames)
+	}
+}
+
+func (r *REPL) listSessions() {
+	if len(r.sessions) == 0 {
+		fmt.Fprintln(r.out, "no sessions yet")
+		return
+	}
+	keys := make([]string, 0, len(r.sessions))
+	for key := range r.sessions {
+		keys = append(keys, key)
+	}
+	sort.Strings(keys)
+	for _, key := range keys {
+		ent := r.sessions[key]
+		fmt.Fprintf(r.out, "%s: %d queries, %d cached labels, ingest %.0f sim-ms\n",
+			key, ent.sess.Queries(), ent.sess.CachedLabels(), ent.ingestMS)
+	}
+}

@@ -1,0 +1,118 @@
+package repl
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestCommands(t *testing.T) {
+	var out bytes.Buffer
+	r := New(&out)
+	for _, cmd := range []string{"help", "datasets", "sessions"} {
+		if err := r.ExecLine(cmd); err != nil {
+			t.Fatalf("%s: %v", cmd, err)
+		}
+	}
+	got := out.String()
+	for _, want := range []string{"SELECT TOP", "Taipei-bus", "no sessions yet"} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("command output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestExplainStatement(t *testing.T) {
+	var out bytes.Buffer
+	r := New(&out)
+	err := r.ExecLine("EXPLAIN SELECT TOP 5 FRAMES FROM Archie RANK BY count(car) LIMIT FRAMES 6000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "plan: everest top-5") {
+		t.Fatalf("explain output wrong:\n%s", out.String())
+	}
+	if r.Sessions() != 0 {
+		t.Fatal("EXPLAIN must not ingest anything")
+	}
+}
+
+func TestParseAndBindErrorsAreReturned(t *testing.T) {
+	var out bytes.Buffer
+	r := New(&out)
+	if err := r.ExecLine("SELECT nonsense"); err == nil {
+		t.Fatal("parse error must surface")
+	}
+	if err := r.ExecLine("SELECT TOP 5 FRAMES FROM NoSuchVideo RANK BY count(car)"); err == nil {
+		t.Fatal("bind error must surface")
+	}
+	if r.Sessions() != 0 {
+		t.Fatal("failed statements must not leave sessions behind")
+	}
+}
+
+func TestQueriesShareOneSession(t *testing.T) {
+	var out bytes.Buffer
+	r := New(&out)
+	stmt := "SELECT TOP 5 FRAMES FROM Archie RANK BY count(car) LIMIT FRAMES 4000 SEED 4"
+	if err := r.ExecLine(stmt); err != nil {
+		t.Fatal(err)
+	}
+	if r.Sessions() != 1 {
+		t.Fatalf("%d sessions after first query, want 1", r.Sessions())
+	}
+	first := out.String()
+	if !strings.Contains(first, "ingesting") {
+		t.Fatalf("first query should announce ingestion:\n%s", first)
+	}
+	out.Reset()
+	// The identical query again: same session, no new ingestion, zero
+	// cleaning (the label cache covers every contender).
+	if err := r.ExecLine(stmt); err != nil {
+		t.Fatal(err)
+	}
+	second := out.String()
+	if strings.Contains(second, "ingesting") {
+		t.Fatalf("second query must reuse the session:\n%s", second)
+	}
+	if !strings.Contains(second, "cleaned 0") {
+		t.Fatalf("repeat query should clean nothing:\n%s", second)
+	}
+	if r.Sessions() != 1 {
+		t.Fatalf("%d sessions after repeat, want 1", r.Sessions())
+	}
+	out.Reset()
+	if err := r.ExecLine("sessions"); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "2 queries") {
+		t.Fatalf("session listing wrong:\n%s", out.String())
+	}
+}
+
+func TestRunLoopQuitAndErrorsKeepGoing(t *testing.T) {
+	var out bytes.Buffer
+	r := New(&out)
+	in := strings.NewReader("help\nSELECT garbage\nquit\n")
+	if err := r.Run(in); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "error:") {
+		t.Fatalf("shell should print statement errors and continue:\n%s", got)
+	}
+	if !strings.Contains(got, "bye") {
+		t.Fatalf("quit should end the shell politely:\n%s", got)
+	}
+}
+
+func TestRunLoopEOF(t *testing.T) {
+	var out bytes.Buffer
+	r := New(&out)
+	if err := r.Run(strings.NewReader("datasets\n")); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "Archie") {
+		t.Fatal("dataset listing missing")
+	}
+}

@@ -1,0 +1,349 @@
+// Package scaleout is the partitioned, parallel execution layer the paper
+// names as future work (§3.5: "One future work is to follow RAM3S to
+// implement our techniques as a software framework so that we can
+// leverage the various big data platforms to scale-out").
+//
+// A query over a video of n frames with P workers proceeds as follows:
+//
+//   - The video is split into P contiguous shards. Each worker runs the
+//     full Phase 1 pipeline — sample, label, train its own specialized
+//     CMDN, difference-detect, infer — over its shard, on its own
+//     simulated accelerator. Per-shard specialization mirrors the paper's
+//     per-video specialization: a shard's model only ever scores frames
+//     from the distribution it was trained on.
+//   - The per-shard uncertain relations are merged into one global D0
+//     (frame IDs are global), and a single Phase 2 engine runs over it.
+//     Confirmation batches are spread across the P accelerators, so a
+//     batch of b frames costs ⌈b/P⌉ oracle inferences of wall-clock time
+//     plus one launch overhead.
+//
+// Simulated time uses a bulk-synchronous (BSP) model: the Phase 1 stage's
+// wall-clock cost per phase is the maximum over workers
+// (simclock.Clock.ChargeParallelMax), while the total paid accelerator
+// time is the sum. Scale-out therefore reduces latency but never the
+// bill — in fact the bill grows, because each shard pays the fixed
+// sampling floor and trains its own proxy. The scalability experiment
+// reports both.
+package scaleout
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+
+	"github.com/everest-project/everest/internal/core"
+	"github.com/everest-project/everest/internal/diffdet"
+	"github.com/everest-project/everest/internal/phase1"
+	"github.com/everest-project/everest/internal/simclock"
+	"github.com/everest-project/everest/internal/uncertain"
+	"github.com/everest-project/everest/internal/video"
+	"github.com/everest-project/everest/internal/vision"
+	"github.com/everest-project/everest/internal/windows"
+	"github.com/everest-project/everest/internal/xrand"
+)
+
+// Options configures a scale-out query.
+type Options struct {
+	// Workers is P, the number of parallel Phase 1 shards and Phase 2
+	// accelerators. Must be ≥ 1.
+	Workers int
+	// K is the result size.
+	K int
+	// Threshold is the probabilistic guarantee; zero means 0.9.
+	Threshold float64
+	// BatchSize is the Phase 2 cleaning batch; zero means 8.
+	BatchSize int
+	// MaxCleaned caps Phase 2 oracle work (0 = none).
+	MaxCleaned int
+	// Window, when positive, runs a Top-K window query of this size.
+	Window int
+	// Stride is the window start offset; zero means Window (tumbling).
+	Stride int
+	// WindowSampleFrac is the per-window confirmation sample; zero means
+	// 0.1.
+	WindowSampleFrac float64
+	// UnionBound forces the dependence-safe bound (overlapping windows
+	// use it regardless).
+	UnionBound bool
+	// Phase1 configures the per-shard Phase 1 pipeline. Its Seed field is
+	// ignored; per-shard seeds are derived from Seed below.
+	Phase1 phase1.Options
+	// Seed drives all randomness.
+	Seed uint64
+}
+
+func (o Options) withDefaults() Options {
+	if o.Threshold == 0 {
+		o.Threshold = 0.9
+	}
+	if o.WindowSampleFrac == 0 {
+		o.WindowSampleFrac = 0.1
+	}
+	if o.Phase1.Cost == (simclock.CostModel{}) {
+		o.Phase1.Cost = simclock.Default()
+	}
+	return o
+}
+
+func (o Options) windowStride() int {
+	if o.Stride <= 0 {
+		return o.Window
+	}
+	return o.Stride
+}
+
+func (o Options) boundKind() core.BoundKind {
+	if o.UnionBound || (o.Window > 0 && o.windowStride() < o.Window) {
+		return core.BoundUnion
+	}
+	return core.BoundIndependent
+}
+
+// ShardInfo reports one worker's Phase 1 outcome.
+type ShardInfo struct {
+	// Lo, Hi are the shard's frame range in global coordinates.
+	Lo, Hi int
+	// Info is the shard's Phase 1 summary.
+	Info phase1.Info
+	// WallMS is the shard worker's own simulated time.
+	WallMS float64
+}
+
+// Report is the outcome of a scale-out query.
+type Report struct {
+	// Core is the guaranteed Top-K (IDs are global frame indices, or
+	// window indices for window queries).
+	Core core.Result
+	// Scores are the confirmed scores of Core.IDs in score units.
+	Scores []float64
+	// Clock is the BSP wall-clock: per-phase maxima over Phase 1 workers
+	// plus the (parallelized) Phase 2 charges.
+	Clock *simclock.Clock
+	// WorkerSumMS is the total paid accelerator time of Phase 1 across
+	// all workers (the bill, as opposed to the latency).
+	WorkerSumMS float64
+	// Shards are the per-worker Phase 1 summaries.
+	Shards []ShardInfo
+	// Tuples is the merged relation size.
+	Tuples int
+}
+
+// shardOut is what one worker hands back to the merger.
+type shardOut struct {
+	state  *phase1.State
+	clock  *simclock.Clock
+	rel    uncertain.Relation         // frame queries: shard relation with global IDs
+	scores map[int]windows.FrameScore // window queries: global rep → Phase 1 knowledge
+	err    error
+}
+
+// Run executes a Top-K query over src with P-way scale-out.
+func Run(src video.Source, udf vision.UDF, opt Options) (*Report, error) {
+	if src == nil || udf == nil {
+		return nil, errors.New("scaleout: nil source or UDF")
+	}
+	opt = opt.withDefaults()
+	if opt.Workers < 1 {
+		return nil, fmt.Errorf("scaleout: workers must be ≥ 1, got %d", opt.Workers)
+	}
+	if opt.K <= 0 {
+		return nil, fmt.Errorf("scaleout: K must be positive, got %d", opt.K)
+	}
+	n := src.NumFrames()
+	if n < opt.Workers*10 {
+		return nil, fmt.Errorf("scaleout: %d frames are too few for %d workers", n, opt.Workers)
+	}
+	if opt.Window == 0 && opt.Stride > 0 {
+		return nil, fmt.Errorf("scaleout: stride %d given without a window", opt.Stride)
+	}
+
+	qopt := udf.Quantize()
+	p := opt.Workers
+	outs := make([]shardOut, p)
+	bounds := make([][2]int, p)
+	for i := 0; i < p; i++ {
+		bounds[i] = [2]int{i * n / p, (i + 1) * n / p}
+	}
+	seeds := xrand.New(opt.Seed).Split("scaleout/shards")
+
+	var wg sync.WaitGroup
+	for i := 0; i < p; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			outs[i] = runShard(src, udf, opt, qopt, bounds[i], seeds.SplitIndex(uint64(i)).Uint64())
+		}(i)
+	}
+	wg.Wait()
+	for i := range outs {
+		if outs[i].err != nil {
+			return nil, fmt.Errorf("scaleout: shard %d: %w", i, outs[i].err)
+		}
+	}
+
+	clock := simclock.NewClock()
+	workerClocks := make([]*simclock.Clock, p)
+	shards := make([]ShardInfo, p)
+	for i, o := range outs {
+		workerClocks[i] = o.clock
+		shards[i] = ShardInfo{
+			Lo:     bounds[i][0],
+			Hi:     bounds[i][1],
+			Info:   o.state.Info,
+			WallMS: o.clock.TotalMS(),
+		}
+	}
+	sumMS := clock.ChargeParallelMax(workerClocks)
+
+	rel, oracle, err := assembleGlobal(src, udf, opt, qopt, outs, bounds, clock)
+	if err != nil {
+		return nil, err
+	}
+	if opt.K > len(rel) {
+		return nil, fmt.Errorf("scaleout: K=%d exceeds merged relation size %d", opt.K, len(rel))
+	}
+
+	engineCost := opt.Phase1.Cost
+	engineCost.OracleMS = 0 // the oracle charges its own (parallelized) cost
+	eng, err := core.NewEngine(rel, core.Config{
+		K:          opt.K,
+		Threshold:  opt.Threshold,
+		BatchSize:  opt.BatchSize,
+		MaxCleaned: opt.MaxCleaned,
+		Bound:      opt.boundKind(),
+	}, oracle, clock, engineCost)
+	if err != nil {
+		return nil, err
+	}
+	coreRes, err := eng.Run()
+	if err != nil {
+		return nil, err
+	}
+	scores := make([]float64, len(coreRes.Levels))
+	for i, lvl := range coreRes.Levels {
+		scores[i] = uncertain.LevelValue(lvl, qopt.Step)
+	}
+	return &Report{
+		Core:        coreRes,
+		Scores:      scores,
+		Clock:       clock,
+		WorkerSumMS: sumMS,
+		Shards:      shards,
+		Tuples:      len(rel),
+	}, nil
+}
+
+// runShard executes Phase 1 over one shard on its own clock and prepares
+// its contribution to the global relation.
+func runShard(src video.Source, udf vision.UDF, opt Options, qopt uncertain.QuantizeOptions, b [2]int, seed uint64) shardOut {
+	lo, hi := b[0], b[1]
+	slice, err := video.Slice(src, lo, hi)
+	if err != nil {
+		return shardOut{err: err}
+	}
+	clock := simclock.NewClock()
+	p1opt := opt.Phase1
+	p1opt.Seed = seed
+	st, err := phase1.Run(slice, udf, p1opt, clock)
+	if err != nil {
+		return shardOut{err: err}
+	}
+	out := shardOut{state: st, clock: clock}
+	if opt.Window > 0 {
+		// Window queries need per-retained-frame Phase 1 knowledge in
+		// global coordinates; aggregation happens after the merge because
+		// windows may straddle shard boundaries.
+		scores := make(map[int]windows.FrameScore, len(st.Diff.Retained))
+		inferred := 0
+		for _, f := range st.Diff.Retained {
+			if s, ok := st.Labeled[f]; ok {
+				scores[lo+f] = windows.FrameScore{IsExact: true, Exact: s}
+				continue
+			}
+			inferred++
+			scores[lo+f] = windows.FrameScore{Mix: st.MixtureOf(f)}
+		}
+		clock.Charge(simclock.PhasePopulateD0, float64(inferred)*p1opt.Cost.ProxyMS)
+		out.scores = scores
+		return out
+	}
+	rel := st.FrameRelation(qopt)
+	for i := range rel {
+		rel[i].ID += lo
+	}
+	out.rel = rel
+	return out
+}
+
+// assembleGlobal merges the shard outputs into one relation and builds the
+// (parallelized) Phase 2 oracle.
+func assembleGlobal(src video.Source, udf vision.UDF, opt Options, qopt uncertain.QuantizeOptions,
+	outs []shardOut, bounds [][2]int, clock *simclock.Clock) (uncertain.Relation, core.Oracle, error) {
+
+	udfCost := udf.OracleCostMS(opt.Phase1.Cost)
+	p := float64(opt.Workers)
+	// scoreFrames reveals exact scores with the batch spread over the P
+	// accelerators: wall-clock is ⌈frames/P⌉ serial inferences.
+	scoreFrames := func(ids []int) ([]float64, error) {
+		scores := udf.Score(src, ids)
+		clock.Charge(simclock.PhaseConfirm, math.Ceil(float64(len(ids))/p)*udfCost)
+		return scores, nil
+	}
+
+	if opt.Window > 0 {
+		n := src.NumFrames()
+		repOf := make([]int32, n)
+		scores := make(map[int]windows.FrameScore)
+		for i, o := range outs {
+			lo := bounds[i][0]
+			for j, rep := range o.state.Diff.RepOf {
+				repOf[lo+j] = int32(lo) + rep
+			}
+			for g, fs := range o.scores {
+				scores[g] = fs
+			}
+		}
+		maxLevel := 0
+		if qopt.MaxLevel > 0 && qopt.MaxLevel < int(^uint(0)>>1) {
+			maxLevel = qopt.MaxLevel
+		}
+		rel, err := windows.BuildRelation(func(rep int) windows.FrameScore {
+			return scores[rep]
+		}, diffdet.Result{RepOf: repOf}, windows.Options{
+			Size:     opt.Window,
+			Stride:   opt.windowStride(),
+			Step:     qopt.Step,
+			MaxLevel: maxLevel,
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+		oracle := &windows.Oracle{
+			ScoreFrames: scoreFrames,
+			Size:        opt.Window,
+			Stride:      opt.windowStride(),
+			SampleFrac:  opt.WindowSampleFrac,
+			Step:        qopt.Step,
+			Seed:        opt.Seed,
+		}
+		return rel, oracle, nil
+	}
+
+	var rel uncertain.Relation
+	for _, o := range outs {
+		rel = append(rel, o.rel...)
+	}
+	oracle := core.OracleFunc(func(ids []int) ([]int, error) {
+		scores, err := scoreFrames(ids)
+		if err != nil {
+			return nil, err
+		}
+		levels := make([]int, len(ids))
+		for i, s := range scores {
+			levels[i] = uncertain.LevelOf(s, qopt.Step)
+		}
+		return levels, nil
+	})
+	return rel, oracle, nil
+}

@@ -1,0 +1,240 @@
+package scaleout
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/everest-project/everest/internal/cmdn"
+	"github.com/everest-project/everest/internal/phase1"
+	"github.com/everest-project/everest/internal/simclock"
+	"github.com/everest-project/everest/internal/video"
+	"github.com/everest-project/everest/internal/vision"
+)
+
+func testSource(t *testing.T, frames int, seed uint64) *video.Synthetic {
+	t.Helper()
+	s, err := video.NewSynthetic(video.Config{
+		Name: "scaleout", Kind: video.KindTraffic, Class: video.ClassCar,
+		Frames: frames, FPS: 30, Seed: seed, MeanPopulation: 3, BurstRate: 3,
+		DailyCycle: true, DistractorPopulation: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func smallOptions(workers, k int) Options {
+	return Options{
+		Workers:   workers,
+		K:         k,
+		Threshold: 0.9,
+		Seed:      7,
+		Phase1: phase1.Options{
+			SampleFrac: 0.05,
+			MinSamples: 300,
+			Proxy:      cmdn.Config{Grid: []cmdn.Hyper{{G: 5, H: 30}}, Epochs: 30},
+		},
+	}
+}
+
+func TestScaleoutValidation(t *testing.T) {
+	src := testSource(t, 2000, 1)
+	udf := vision.CountUDF{Class: video.ClassCar}
+	cases := []Options{
+		{Workers: 0, K: 5},
+		{Workers: 2, K: 0},
+		{Workers: 400, K: 5},           // 2000 frames / 400 workers = 5 < 10
+		{Workers: 1, K: 5, Stride: 30}, // stride without window
+	}
+	for _, opt := range cases {
+		if _, err := Run(src, udf, opt); err == nil {
+			t.Fatalf("options %+v should be rejected", opt)
+		}
+	}
+	if _, err := Run(nil, udf, smallOptions(1, 5)); err == nil {
+		t.Fatal("nil source should be rejected")
+	}
+	if _, err := Run(src, nil, smallOptions(1, 5)); err == nil {
+		t.Fatal("nil UDF should be rejected")
+	}
+}
+
+func TestScaleoutFrameQueryMeetsGuarantee(t *testing.T) {
+	src := testSource(t, 9000, 11)
+	udf := vision.CountUDF{Class: video.ClassCar}
+	rep, err := Run(src, udf, smallOptions(3, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Core.IDs) != 10 {
+		t.Fatalf("result size %d, want 10", len(rep.Core.IDs))
+	}
+	if rep.Core.Confidence < 0.9 {
+		t.Fatalf("confidence %v < 0.9", rep.Core.Confidence)
+	}
+	// Every returned score must be the exact oracle score (certain-result
+	// condition survives the merge).
+	for i, id := range rep.Core.IDs {
+		want := float64(src.TrueCountFast(id))
+		if rep.Scores[i] != want {
+			t.Fatalf("frame %d score %v, want oracle %v", id, rep.Scores[i], want)
+		}
+	}
+	if len(rep.Shards) != 3 {
+		t.Fatalf("%d shards, want 3", len(rep.Shards))
+	}
+	if rep.Shards[2].Hi != 9000 || rep.Shards[0].Lo != 0 {
+		t.Fatalf("shard bounds wrong: %+v", rep.Shards)
+	}
+}
+
+func TestScaleoutGlobalIDsCoverAllShards(t *testing.T) {
+	// With K large enough, results should be free to come from any shard;
+	// at minimum all IDs must be in-range and unique.
+	src := testSource(t, 6000, 13)
+	udf := vision.CountUDF{Class: video.ClassCar}
+	rep, err := Run(src, udf, smallOptions(2, 25))
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[int]bool)
+	for _, id := range rep.Core.IDs {
+		if id < 0 || id >= 6000 {
+			t.Fatalf("frame ID %d out of range", id)
+		}
+		if seen[id] {
+			t.Fatalf("duplicate frame ID %d", id)
+		}
+		seen[id] = true
+	}
+	if rep.Tuples <= 0 || rep.Tuples > 6000 {
+		t.Fatalf("merged relation size %d", rep.Tuples)
+	}
+}
+
+func TestScaleoutDeterministic(t *testing.T) {
+	src := testSource(t, 6000, 17)
+	udf := vision.CountUDF{Class: video.ClassCar}
+	a, err := Run(src, udf, smallOptions(2, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(src, udf, smallOptions(2, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Core.IDs) != len(b.Core.IDs) {
+		t.Fatal("result sizes differ across identical runs")
+	}
+	for i := range a.Core.IDs {
+		if a.Core.IDs[i] != b.Core.IDs[i] {
+			t.Fatalf("IDs differ at %d: %d vs %d", i, a.Core.IDs[i], b.Core.IDs[i])
+		}
+	}
+	if a.Clock.TotalMS() != b.Clock.TotalMS() {
+		t.Fatalf("clocks differ: %v vs %v", a.Clock.TotalMS(), b.Clock.TotalMS())
+	}
+}
+
+func TestScaleoutWallClockBelowSerialBill(t *testing.T) {
+	// The BSP wall-clock with P workers must be strictly below the summed
+	// worker bill when P > 1 (per-phase maxima < sums).
+	src := testSource(t, 9000, 19)
+	udf := vision.CountUDF{Class: video.ClassCar}
+	rep, err := Run(src, udf, smallOptions(3, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wallP1 := 0.0
+	for _, ph := range []simclock.Phase{
+		simclock.PhaseLabelSamples, simclock.PhaseTrainCMDN,
+		simclock.PhasePopulateD0, simclock.PhaseDiffDetect,
+	} {
+		wallP1 += rep.Clock.PhaseMS(ph)
+	}
+	if wallP1 >= rep.WorkerSumMS {
+		t.Fatalf("BSP Phase 1 wall %v should be < summed bill %v", wallP1, rep.WorkerSumMS)
+	}
+}
+
+func TestScaleoutWindowQuery(t *testing.T) {
+	src := testSource(t, 6000, 23)
+	udf := vision.CountUDF{Class: video.ClassCar}
+	opt := smallOptions(2, 5)
+	opt.Window = 60
+	rep, err := Run(src, udf, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Core.IDs) != 5 {
+		t.Fatalf("result size %d, want 5", len(rep.Core.IDs))
+	}
+	nw := 6000 / 60
+	for _, w := range rep.Core.IDs {
+		if w < 0 || w >= nw {
+			t.Fatalf("window ID %d out of [0, %d)", w, nw)
+		}
+	}
+	if rep.Core.Confidence < 0.9 {
+		t.Fatalf("confidence %v < 0.9", rep.Core.Confidence)
+	}
+}
+
+func TestScaleoutSlidingWindowUsesUnionBound(t *testing.T) {
+	src := testSource(t, 6000, 29)
+	udf := vision.CountUDF{Class: video.ClassCar}
+	opt := smallOptions(2, 5)
+	opt.Window = 60
+	opt.Stride = 30
+	rep, err := Run(src, udf, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rep.Core.Bound.String(); got != "union" {
+		t.Fatalf("overlapping windows must use the union bound, got %s", got)
+	}
+	if rep.Core.Confidence < 0.9 {
+		t.Fatalf("confidence %v < 0.9", rep.Core.Confidence)
+	}
+}
+
+func TestScaleoutShardErrorPropagates(t *testing.T) {
+	// A shard too small for Phase 1 must surface as a descriptive error.
+	src := testSource(t, 300, 31)
+	udf := vision.CountUDF{Class: video.ClassCar}
+	opt := smallOptions(30, 2) // 10-frame shards: passes the n/workers gate, fails inside phase1
+	_, err := Run(src, udf, opt)
+	if err == nil {
+		t.Skip("tiny shards unexpectedly trained; nothing to assert")
+	}
+	if !strings.Contains(err.Error(), "shard") {
+		t.Fatalf("error %q should name the failing shard", err)
+	}
+}
+
+func TestScaleoutWindowStraddlingShardBoundary(t *testing.T) {
+	// 6000 frames over 2 workers puts the shard boundary at 3000; windows
+	// of 70 frames are not aligned to it, so window 42 ([2940, 3010))
+	// aggregates Phase 1 knowledge from both shards. The merged segment
+	// structure must handle that without losing the guarantee.
+	src := testSource(t, 6000, 37)
+	udf := vision.CountUDF{Class: video.ClassCar}
+	opt := smallOptions(2, 5)
+	opt.Window = 70
+	rep, err := Run(src, udf, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Tuples != 6000/70 {
+		t.Fatalf("merged relation has %d windows, want %d", rep.Tuples, 6000/70)
+	}
+	if rep.Core.Confidence < 0.9 {
+		t.Fatalf("confidence %v < 0.9", rep.Core.Confidence)
+	}
+	for _, w := range rep.Core.IDs {
+		if w < 0 || w >= 6000/70 {
+			t.Fatalf("window ID %d out of range", w)
+		}
+	}
+}

@@ -1,0 +1,166 @@
+// Package skyline implements the probabilistic skyline over uncertain
+// video scores — the future-work direction named in the paper's
+// conclusion (§5, citing Bartolini et al. [6]): "finding the skyline from
+// such uncertain video data".
+//
+// A tuple (frame) with d uncertain score dimensions — say car count and
+// pedestrian count — belongs to the probabilistic skyline with the
+// probability that no other tuple dominates it. With independent x-tuples
+// (the difference detector's independence argument extends dimension-wise)
+// the probability factors exactly:
+//
+//	Pr(t in skyline) = Σ_v Pr(t = v) · Π_{u≠t} (1 − Pr(u ≻ v))
+//	Pr(u ≻ v)        = Π_i Pr(u_i ≥ v_i) − Π_i Pr(u_i = v_i)
+//
+// where u ≻ v means u is at least as large on every dimension and
+// strictly larger on at least one. Complexity is O(n²·s^d) for support
+// size s; the operator targets relation sizes in the thousands (post
+// difference-detector), matching its exploratory role.
+package skyline
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/everest-project/everest/internal/uncertain"
+)
+
+// Tuple is one item with d independent uncertain score dimensions.
+type Tuple struct {
+	// ID identifies the frame or window.
+	ID int
+	// Dims are the per-dimension score distributions (larger is better).
+	Dims []uncertain.Dist
+}
+
+// Relation is a set of independent multi-dimensional tuples.
+type Relation []Tuple
+
+// Validate checks dimensional consistency.
+func (r Relation) Validate() error {
+	if len(r) == 0 {
+		return fmt.Errorf("skyline: empty relation")
+	}
+	d := len(r[0].Dims)
+	if d == 0 {
+		return fmt.Errorf("skyline: tuple %d has no dimensions", r[0].ID)
+	}
+	for _, t := range r {
+		if len(t.Dims) != d {
+			return fmt.Errorf("skyline: tuple %d has %d dimensions, want %d", t.ID, len(t.Dims), d)
+		}
+		for i, dist := range t.Dims {
+			if err := dist.Validate(); err != nil {
+				return fmt.Errorf("skyline: tuple %d dim %d: %w", t.ID, i, err)
+			}
+		}
+	}
+	return nil
+}
+
+// dominationProb returns Pr(u ≻ v): u at least ties v everywhere and
+// beats it somewhere.
+func dominationProb(u Tuple, v []int) float64 {
+	geAll := 1.0
+	eqAll := 1.0
+	for i, d := range u.Dims {
+		ge := 1 - d.CDF(v[i]-1) // Pr(u_i >= v_i)
+		geAll *= ge
+		eqAll *= d.Pr(v[i])
+		if geAll == 0 {
+			return 0
+		}
+	}
+	p := geAll - eqAll
+	if p < 0 {
+		p = 0 // float drift
+	}
+	return p
+}
+
+// Membership returns each tuple's probability of belonging to the
+// skyline, in relation order.
+func Membership(rel Relation) ([]float64, error) {
+	if err := rel.Validate(); err != nil {
+		return nil, err
+	}
+	out := make([]float64, len(rel))
+	for ti, t := range rel {
+		out[ti] = membershipOf(rel, ti, t)
+	}
+	return out, nil
+}
+
+func membershipOf(rel Relation, ti int, t Tuple) float64 {
+	// Enumerate t's value vectors (product of its supports).
+	v := make([]int, len(t.Dims))
+	total := 0.0
+	var rec func(dim int, prob float64)
+	rec = func(dim int, prob float64) {
+		if prob == 0 {
+			return
+		}
+		if dim == len(t.Dims) {
+			notDom := 1.0
+			for ui, u := range rel {
+				if ui == ti {
+					continue
+				}
+				notDom *= 1 - dominationProb(u, v)
+				if notDom == 0 {
+					break
+				}
+			}
+			total += prob * notDom
+			return
+		}
+		d := t.Dims[dim]
+		for lvl := d.Min; lvl <= d.Max(); lvl++ {
+			p := d.Pr(lvl)
+			if p == 0 {
+				continue
+			}
+			v[dim] = lvl
+			rec(dim+1, prob*p)
+		}
+	}
+	rec(0, 1)
+	if total > 1 {
+		total = 1
+	}
+	return total
+}
+
+// Result is one skyline member.
+type Result struct {
+	// ID is the tuple's identifier.
+	ID int
+	// Probability is Pr(tuple in skyline).
+	Probability float64
+}
+
+// Query returns the tuples whose skyline-membership probability is at
+// least p, ordered by probability descending (ties by ascending ID) —
+// the probabilistic-threshold skyline of [6].
+func Query(rel Relation, p float64) ([]Result, error) {
+	if p <= 0 || p > 1 {
+		return nil, fmt.Errorf("skyline: probability threshold %v must be in (0,1]", p)
+	}
+	probs, err := Membership(rel)
+	if err != nil {
+		return nil, err
+	}
+	var out []Result
+	for i, pr := range probs {
+		if pr >= p {
+			out = append(out, Result{ID: rel[i].ID, Probability: pr})
+		}
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].Probability != out[b].Probability {
+			return out[a].Probability > out[b].Probability
+		}
+		return out[a].ID < out[b].ID
+	})
+	return out, nil
+}

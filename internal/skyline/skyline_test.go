@@ -1,0 +1,200 @@
+package skyline
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/everest-project/everest/internal/uncertain"
+	"github.com/everest-project/everest/internal/xrand"
+)
+
+func certTuple(id int, vals ...int) Tuple {
+	dims := make([]uncertain.Dist, len(vals))
+	for i, v := range vals {
+		dims[i] = uncertain.Certain(v)
+	}
+	return Tuple{ID: id, Dims: dims}
+}
+
+func TestValidate(t *testing.T) {
+	if err := (Relation{}).Validate(); err == nil {
+		t.Fatal("empty relation should fail")
+	}
+	bad := Relation{certTuple(0, 1, 2), certTuple(1, 1)}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("dimension mismatch should fail")
+	}
+}
+
+func TestCertainSkyline(t *testing.T) {
+	// Classic certain case: (5,1), (1,5) are skyline; (1,1) is dominated;
+	// (5,5) dominates everything.
+	rel := Relation{
+		certTuple(0, 5, 1),
+		certTuple(1, 1, 5),
+		certTuple(2, 1, 1),
+		certTuple(3, 5, 5),
+	}
+	probs, err := Membership(rel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{0, 0, 0, 1}
+	// (5,1) and (1,5) are dominated by (5,5)? (5,5) ≥ both dims and > on
+	// one → yes, dominated.
+	for i := range want {
+		if math.Abs(probs[i]-want[i]) > 1e-12 {
+			t.Fatalf("probs = %v, want %v", probs, want)
+		}
+	}
+}
+
+func TestCertainSkylineNoDominator(t *testing.T) {
+	rel := Relation{
+		certTuple(0, 5, 1),
+		certTuple(1, 1, 5),
+		certTuple(2, 3, 3),
+	}
+	probs, err := Membership(rel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range probs {
+		if p != 1 {
+			t.Fatalf("tuple %d: prob %v, want 1 (pairwise incomparable)", i, p)
+		}
+	}
+}
+
+func TestTiesDoNotDominate(t *testing.T) {
+	// Identical tuples tie on all dimensions: neither dominates.
+	rel := Relation{certTuple(0, 3, 3), certTuple(1, 3, 3)}
+	probs, err := Membership(rel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if probs[0] != 1 || probs[1] != 1 {
+		t.Fatalf("tied tuples should both be skyline: %v", probs)
+	}
+}
+
+// bruteMembership enumerates the joint worlds of the whole relation.
+func bruteMembership(rel Relation) []float64 {
+	// Flatten all dists into one world enumeration.
+	var flat uncertain.Relation
+	for ti, t := range rel {
+		for di, d := range t.Dims {
+			flat = append(flat, uncertain.XTuple{ID: ti*8 + di, Dist: d})
+		}
+	}
+	d := len(rel[0].Dims)
+	out := make([]float64, len(rel))
+	uncertain.EnumerateWorlds(flat, func(w uncertain.World) {
+		for ti := range rel {
+			dominated := false
+			for ui := range rel {
+				if ui == ti {
+					continue
+				}
+				geAll, gtAny := true, false
+				for di := 0; di < d; di++ {
+					uv := w.Levels[ui*d+di]
+					tv := w.Levels[ti*d+di]
+					if uv < tv {
+						geAll = false
+						break
+					}
+					if uv > tv {
+						gtAny = true
+					}
+				}
+				if geAll && gtAny {
+					dominated = true
+					break
+				}
+			}
+			if !dominated {
+				out[ti] += w.Prob
+			}
+		}
+	})
+	return out
+}
+
+func randomDist(r *xrand.RNG) uncertain.Dist {
+	n := 1 + r.Intn(3)
+	probs := make([]float64, n)
+	for i := range probs {
+		probs[i] = 0.1 + r.Float64()
+	}
+	return uncertain.MustDist(r.Intn(4), probs)
+}
+
+func TestMembershipMatchesBruteForce(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := xrand.New(seed)
+		n := 2 + r.Intn(3)
+		rel := make(Relation, n)
+		for i := range rel {
+			rel[i] = Tuple{ID: i, Dims: []uncertain.Dist{randomDist(r), randomDist(r)}}
+		}
+		got, err := Membership(rel)
+		if err != nil {
+			return false
+		}
+		want := bruteMembership(rel)
+		for i := range got {
+			if math.Abs(got[i]-want[i]) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQueryThresholding(t *testing.T) {
+	rel := Relation{
+		certTuple(0, 5, 5),
+		certTuple(1, 1, 1),
+		{ID: 2, Dims: []uncertain.Dist{
+			uncertain.MustDist(4, []float64{0.5, 0, 0.5}), // 4 or 6
+			uncertain.Certain(4),
+		}},
+	}
+	res, err := Query(rel, 0.4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tuple 0 is skyline with prob 1; tuple 2 with prob 0.5 (when it draws
+	// a 6 in dim 0 it is incomparable with (5,5)); tuple 1 never.
+	if len(res) != 2 || res[0].ID != 0 || res[1].ID != 2 {
+		t.Fatalf("Query = %+v", res)
+	}
+	if math.Abs(res[1].Probability-0.5) > 1e-12 {
+		t.Fatalf("tuple 2 prob %v, want 0.5", res[1].Probability)
+	}
+	if _, err := Query(rel, 0); err == nil {
+		t.Fatal("threshold 0 should fail")
+	}
+}
+
+func TestQueryOrdering(t *testing.T) {
+	rel := Relation{
+		{ID: 7, Dims: []uncertain.Dist{uncertain.MustDist(0, []float64{0.3, 0.7}), uncertain.Certain(9)}},
+		certTuple(3, 9, 0),
+		certTuple(5, 9, 0), // tie with 3 → both skyline, ordered by ID
+	}
+	res, err := Query(rel, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(res); i++ {
+		if res[i-1].Probability < res[i].Probability {
+			t.Fatalf("not ordered by probability: %+v", res)
+		}
+	}
+}

@@ -1,0 +1,187 @@
+// Package uncertain implements the uncertain-data management substrate of
+// Everest: discrete score distributions (x-tuples), truncation and
+// quantization of Gaussian mixtures (§3.2), the precomputed per-frame CDFs
+// F_f and joint CDF H of §3.3.1 in log space, and a brute-force
+// possible-world enumerator used as a test oracle for the Phase 2
+// algorithms.
+//
+// Scores are quantized onto an integer level grid: a frame's real-valued
+// score s maps to level round(s/step). For counting queries step == 1 and
+// levels are the counts themselves. All Phase 2 math operates on levels.
+package uncertain
+
+import (
+	"fmt"
+	"math"
+)
+
+// Dist is a discrete probability distribution over integer score levels.
+// P[i] is the probability of level Min+i. Distributions are normalized and
+// trimmed so that P[0] > 0 and P[len(P)-1] > 0.
+type Dist struct {
+	// Min is the lowest level with non-zero probability.
+	Min int
+	// P holds probabilities for levels Min, Min+1, ..., Min+len(P)-1.
+	P []float64
+	// cum[i] = Pr(level <= Min+i); cum[len(P)-1] == 1.
+	cum []float64
+}
+
+// NewDist builds a distribution from probabilities of levels starting at
+// min. It trims zero-probability head/tail entries and normalizes the rest.
+// It returns an error if probs contains a negative or non-finite value or
+// sums to zero.
+func NewDist(min int, probs []float64) (Dist, error) {
+	lo, hi := 0, len(probs)
+	var sum float64
+	for _, p := range probs {
+		if p < 0 || math.IsNaN(p) || math.IsInf(p, 0) {
+			return Dist{}, fmt.Errorf("uncertain: invalid probability %v", p)
+		}
+		sum += p
+	}
+	if sum <= 0 {
+		return Dist{}, fmt.Errorf("uncertain: distribution sums to %v", sum)
+	}
+	for lo < hi && probs[lo] == 0 {
+		lo++
+	}
+	for hi > lo && probs[hi-1] == 0 {
+		hi--
+	}
+	p := make([]float64, hi-lo)
+	for i := range p {
+		p[i] = probs[lo+i] / sum
+	}
+	d := Dist{Min: min + lo, P: p}
+	d.buildCum()
+	return d, nil
+}
+
+// MustDist is NewDist that panics on error, for literals in tests and
+// examples.
+func MustDist(min int, probs []float64) Dist {
+	d, err := NewDist(min, probs)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// Certain returns a point-mass distribution at the given level; used when a
+// frame's exact score is known (cleaned by the oracle or labelled during
+// Phase 1 sampling).
+func Certain(level int) Dist {
+	d := Dist{Min: level, P: []float64{1}}
+	d.buildCum()
+	return d
+}
+
+func (d *Dist) buildCum() {
+	d.cum = make([]float64, len(d.P))
+	s := 0.0
+	for i, p := range d.P {
+		s += p
+		d.cum[i] = s
+	}
+	// Clamp the final entry to exactly 1 to absorb float drift.
+	d.cum[len(d.cum)-1] = 1
+}
+
+// Max returns the highest level with non-zero probability.
+func (d Dist) Max() int { return d.Min + len(d.P) - 1 }
+
+// IsCertain reports whether the distribution is a point mass.
+func (d Dist) IsCertain() bool { return len(d.P) == 1 }
+
+// Pr returns Pr(level == t).
+func (d Dist) Pr(t int) float64 {
+	if t < d.Min || t > d.Max() {
+		return 0
+	}
+	return d.P[t-d.Min]
+}
+
+// CDF returns F(t) = Pr(level <= t).
+func (d Dist) CDF(t int) float64 {
+	if t < d.Min {
+		return 0
+	}
+	if t >= d.Max() {
+		return 1
+	}
+	return d.cum[t-d.Min]
+}
+
+// LogCDF returns log F(t), with -Inf when F(t) == 0.
+func (d Dist) LogCDF(t int) float64 {
+	f := d.CDF(t)
+	if f == 0 {
+		return math.Inf(-1)
+	}
+	return math.Log(f)
+}
+
+// Mean returns the expected level.
+func (d Dist) Mean() float64 {
+	m := 0.0
+	for i, p := range d.P {
+		m += float64(d.Min+i) * p
+	}
+	return m
+}
+
+// Variance returns the level variance.
+func (d Dist) Variance() float64 {
+	m := d.Mean()
+	v := 0.0
+	for i, p := range d.P {
+		x := float64(d.Min+i) - m
+		v += x * x * p
+	}
+	return v
+}
+
+// Validate checks internal invariants (normalization, trimmed ends,
+// monotone CDF). It is used by property tests.
+func (d Dist) Validate() error {
+	if len(d.P) == 0 {
+		return fmt.Errorf("uncertain: empty distribution")
+	}
+	if d.P[0] == 0 || d.P[len(d.P)-1] == 0 {
+		return fmt.Errorf("uncertain: untrimmed distribution")
+	}
+	sum := 0.0
+	for _, p := range d.P {
+		if p < 0 || math.IsNaN(p) {
+			return fmt.Errorf("uncertain: invalid probability %v", p)
+		}
+		sum += p
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		return fmt.Errorf("uncertain: probabilities sum to %v", sum)
+	}
+	prev := 0.0
+	for i := range d.P {
+		c := d.CDF(d.Min + i)
+		if c+1e-12 < prev {
+			return fmt.Errorf("uncertain: CDF not monotone at level %d", d.Min+i)
+		}
+		prev = c
+	}
+	return nil
+}
+
+// XTuple is one uncertain tuple of the relation: a frame (or window)
+// identified by ID with a discrete score distribution. Following §2, the
+// difference detector makes x-tuples independent of each other, so the
+// relation is simply a slice of XTuples.
+type XTuple struct {
+	// ID identifies the frame or window (its index in the video).
+	ID int
+	// Dist is the score-level distribution; a point mass once cleaned.
+	Dist Dist
+}
+
+// Relation is an uncertain relation: a set of independent x-tuples.
+type Relation []XTuple

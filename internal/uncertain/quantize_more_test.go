@@ -1,0 +1,107 @@
+package uncertain
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/everest-project/everest/internal/xrand"
+)
+
+func TestLevelRoundTripProperty(t *testing.T) {
+	// LevelValue(LevelOf(x)) is within half a step of x.
+	f := func(seed uint64) bool {
+		r := xrand.New(seed)
+		step := 0.1 + 2*r.Float64()
+		x := (r.Float64() - 0.3) * 100
+		lvl := LevelOf(x, step)
+		back := LevelValue(lvl, step)
+		return math.Abs(back-x) <= step/2+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuantizeNormalMoments(t *testing.T) {
+	// Quantizing N(μ,σ) preserves moments up to bucketing + truncation.
+	cases := []struct{ mu, sigma, step float64 }{
+		{10, 2, 1},
+		{25, 0.8, 0.5},
+		{6, 3, 1},
+	}
+	for _, c := range cases {
+		d, err := QuantizeNormal(c.mu, c.sigma, QuantizeOptions{Step: c.step, MinLevel: 0, MaxLevel: 1 << 20})
+		if err != nil {
+			t.Fatal(err)
+		}
+		mean := d.Mean() * c.step
+		sd := math.Sqrt(d.Variance()) * c.step
+		if math.Abs(mean-c.mu) > 0.15*c.sigma {
+			t.Fatalf("N(%v,%v) step %v: mean %v", c.mu, c.sigma, c.step, mean)
+		}
+		// 3σ truncation shaves ~1% of the sd.
+		if math.Abs(sd-c.sigma) > 0.12*c.sigma+c.step/2 {
+			t.Fatalf("N(%v,%v) step %v: sd %v", c.mu, c.sigma, c.step, sd)
+		}
+	}
+}
+
+func TestQuantizeMassConservedProperty(t *testing.T) {
+	// However the clamp slices the mixture, the result is normalized.
+	f := func(seed uint64) bool {
+		r := xrand.New(seed)
+		m := randomMixture(r)
+		opt := DefaultCountingOptions()
+		opt.MaxLevel = 1 + r.Intn(40)
+		d, err := Quantize(m, opt)
+		if err != nil {
+			return false
+		}
+		sum := 0.0
+		for _, p := range d.P {
+			sum += p
+		}
+		return math.Abs(sum-1) < 1e-9 && d.Min >= 0 && d.Max() <= opt.MaxLevel
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCertainLevelArithmetic(t *testing.T) {
+	d := Certain(-4)
+	if d.Mean() != -4 || d.Variance() != 0 {
+		t.Fatalf("Certain(-4) moments wrong: %v %v", d.Mean(), d.Variance())
+	}
+	if d.LogCDF(-4) != 0 {
+		t.Fatal("LogCDF at the point mass should be 0")
+	}
+}
+
+func TestWorldCountOverflowGuard(t *testing.T) {
+	// 40 tuples × 3 alternatives would overflow; the guard caps it.
+	rel := make(Relation, 40)
+	for i := range rel {
+		rel[i] = XTuple{ID: i, Dist: MustDist(0, []float64{0.3, 0.3, 0.4})}
+	}
+	if got := WorldCount(rel); got != 1<<30 {
+		t.Fatalf("WorldCount cap = %d", got)
+	}
+}
+
+func TestBruteTopkProbEdges(t *testing.T) {
+	rel := Relation{{ID: 0, Dist: MustDist(2, []float64{0.5, 0.5})}}
+	if p := BruteTopkProb(rel, 1); p != 0 {
+		t.Fatalf("below support: %v", p)
+	}
+	if p := BruteTopkProb(rel, 3); p != 1 {
+		t.Fatalf("above support: %v", p)
+	}
+	if p := BruteTopkProb(rel, 2); math.Abs(p-0.5) > 1e-12 {
+		t.Fatalf("mid support: %v", p)
+	}
+	if p := BruteTopkProb(nil, 0); p != 1 {
+		t.Fatalf("empty relation: %v", p)
+	}
+}

@@ -1,0 +1,140 @@
+package uncertain
+
+// TailSum maintains T(t) = Σ_{f ∈ U} (1 − F_f(t)) over a mutable set U of
+// uncertain tuples. It is the Bonferroni (union-bound) counterpart of
+// JointCDF: by Boole's inequality,
+//
+//	Pr(∃ f ∈ U: S_f > t) ≤ T(t)
+//
+// holds under arbitrary dependence between the tuples, so
+//
+//	p̂ ≥ 1 − T(S_k)
+//
+// is a valid (conservative) confidence lower bound even when the x-tuple
+// independence assumption of §2 fails — which it does for overlapping
+// sliding windows, whose scores share frames. Phase 2 run with this bound
+// keeps its guarantee at the cost of extra cleaning.
+//
+// The accumulator mirrors JointCDF's layout: per-level sums over the
+// relation's level range, O(support + range-below-Min) add/remove, O(1)
+// queries. Unlike JointCDF no log-space care is needed — T is a sum, not a
+// product — but removal must reverse exactly what insertion added, so
+// contributions are recomputed from the member's distribution on both
+// sides.
+type TailSum struct {
+	lo, hi int
+	// sum[i] = Σ (1 − F_f(lo+i)) over members.
+	sum []float64
+	n   int
+}
+
+// NewTailSum creates an accumulator covering levels [lo, hi].
+func NewTailSum(lo, hi int) *TailSum {
+	if hi < lo {
+		hi = lo
+	}
+	return &TailSum{
+		lo:  lo,
+		hi:  hi,
+		sum: make([]float64, hi-lo+1),
+	}
+}
+
+// NewTailSumFromRelation builds T over all uncertain tuples of rel, sized
+// to the relation's level range.
+func NewTailSumFromRelation(rel Relation) *TailSum {
+	lo, hi := relationRange(rel)
+	ts := NewTailSum(lo, hi)
+	for _, x := range rel {
+		if !x.Dist.IsCertain() {
+			ts.Add(x.Dist)
+		}
+	}
+	return ts
+}
+
+// Lo returns the lowest covered level.
+func (ts *TailSum) Lo() int { return ts.lo }
+
+// Hi returns the highest covered level.
+func (ts *TailSum) Hi() int { return ts.hi }
+
+// Len returns the number of member tuples.
+func (ts *TailSum) Len() int { return ts.n }
+
+// Add inserts a tuple's distribution into the sum.
+func (ts *TailSum) Add(d Dist) { ts.apply(d, +1) }
+
+// Remove deletes a tuple's distribution from the sum. The distribution
+// must have been added before.
+func (ts *TailSum) Remove(d Dist) { ts.apply(d, -1) }
+
+func (ts *TailSum) apply(d Dist, sign int) {
+	ts.n += sign
+	// Levels below d.Min: 1 − F == 1.
+	zHi := min(d.Min-1, ts.hi)
+	for t := ts.lo; t <= zHi; t++ {
+		ts.sum[t-ts.lo] += float64(sign)
+	}
+	// Levels in [d.Min, d.Max−1]: 0 < 1 − F < 1.
+	from := max(d.Min, ts.lo)
+	to := min(d.Max()-1, ts.hi)
+	for t := from; t <= to; t++ {
+		ts.sum[t-ts.lo] += float64(sign) * (1 - d.CDF(t))
+	}
+	// Levels ≥ d.Max: 1 − F == 0, no contribution.
+}
+
+// At returns T(t) = Σ (1 − F_f(t)), clamped below at 0 to absorb removal
+// round-off.
+func (ts *TailSum) At(t int) float64 {
+	if ts.n == 0 || t >= ts.hi {
+		return 0
+	}
+	if t < ts.lo {
+		return float64(ts.n)
+	}
+	s := ts.sum[t-ts.lo]
+	if s < 0 {
+		return 0
+	}
+	return s
+}
+
+// AtExcluding returns Σ_{g ∈ U \ {f}} (1 − F_g(t)) for a member f with
+// distribution d.
+func (ts *TailSum) AtExcluding(d Dist, t int) float64 {
+	if ts.n <= 1 {
+		return 0
+	}
+	if t >= ts.hi {
+		return 0
+	}
+	if t < ts.lo {
+		return float64(ts.n - 1)
+	}
+	s := ts.sum[t-ts.lo]
+	if t < d.Min {
+		s--
+	} else if t < d.Max() {
+		s -= 1 - d.CDF(t)
+	}
+	if s < 0 {
+		return 0
+	}
+	return s
+}
+
+// relationRange returns the [lo, hi] level span of a relation, (0,0) when
+// empty.
+func relationRange(rel Relation) (lo, hi int) {
+	lo, hi = int(^uint(0)>>1), -int(^uint(0)>>1)-1
+	for _, x := range rel {
+		lo = min(lo, x.Dist.Min)
+		hi = max(hi, x.Dist.Max())
+	}
+	if lo > hi {
+		lo, hi = 0, 0
+	}
+	return lo, hi
+}

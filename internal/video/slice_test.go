@@ -1,0 +1,127 @@
+package video
+
+import (
+	"strings"
+	"testing"
+)
+
+func sliceTestSource(t *testing.T) Source {
+	t.Helper()
+	spec, err := DatasetByName("Archie")
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := spec.Build(600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return src
+}
+
+func TestSliceBasics(t *testing.T) {
+	src := sliceTestSource(t)
+	sl, err := Slice(src, 100, 350)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sl.NumFrames() != 250 {
+		t.Fatalf("NumFrames = %d, want 250", sl.NumFrames())
+	}
+	if sl.Lo() != 100 {
+		t.Fatalf("Lo = %d, want 100", sl.Lo())
+	}
+	if !strings.Contains(sl.Name(), "[100:350)") {
+		t.Fatalf("Name = %q, want range suffix", sl.Name())
+	}
+	if sl.FPS() != src.FPS() || sl.TargetClass() != src.TargetClass() {
+		t.Fatal("FPS/TargetClass must delegate to parent")
+	}
+	w1, h1 := sl.Resolution()
+	w2, h2 := src.Resolution()
+	if w1 != w2 || h1 != h2 {
+		t.Fatal("Resolution must delegate to parent")
+	}
+}
+
+func TestSliceFramesMatchParent(t *testing.T) {
+	src := sliceTestSource(t)
+	sl, err := Slice(src, 42, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, i := range []int{0, 13, 56} {
+		want := src.Render(42 + i)
+		got := sl.Render(i)
+		if got.Index != i {
+			t.Fatalf("slice frame index = %d, want %d (re-based)", got.Index, i)
+		}
+		if got.W != want.W || got.H != want.H {
+			t.Fatal("size mismatch")
+		}
+		for p := range got.Pix {
+			if got.Pix[p] != want.Pix[p] {
+				t.Fatalf("pixel %d of slice frame %d differs from parent frame %d", p, i, 42+i)
+			}
+		}
+		ws, gs := src.Scene(42+i), sl.Scene(i)
+		if len(ws.Objects) != len(gs.Objects) {
+			t.Fatalf("scene object count differs at slice frame %d", i)
+		}
+	}
+}
+
+func TestSliceValidation(t *testing.T) {
+	src := sliceTestSource(t)
+	cases := []struct{ lo, hi int }{
+		{-1, 10}, {0, 0}, {10, 10}, {50, 20}, {0, src.NumFrames() + 1},
+	}
+	for _, c := range cases {
+		if _, err := Slice(src, c.lo, c.hi); err == nil {
+			t.Fatalf("Slice(%d, %d) should fail", c.lo, c.hi)
+		}
+	}
+	if _, err := Slice(nil, 0, 1); err == nil {
+		t.Fatal("nil source should fail")
+	}
+}
+
+func TestSliceOutOfRangePanics(t *testing.T) {
+	src := sliceTestSource(t)
+	sl, err := Slice(src, 0, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range access must panic like a slice index")
+		}
+	}()
+	sl.Render(10)
+}
+
+func TestPrefixKeepsFeedName(t *testing.T) {
+	src := sliceTestSource(t)
+	p, err := Prefix(src, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Name() != src.Name() {
+		t.Fatalf("prefix name %q, want the feed's own %q", p.Name(), src.Name())
+	}
+	if p.NumFrames() != 100 {
+		t.Fatalf("NumFrames = %d, want 100", p.NumFrames())
+	}
+	// Frames are the feed's own frames.
+	a, b := p.Render(42), src.Render(42)
+	for i := range a.Pix {
+		if a.Pix[i] != b.Pix[i] {
+			t.Fatal("prefix frame differs from feed frame")
+		}
+	}
+	if _, err := Prefix(src, 0); err == nil {
+		t.Fatal("empty prefix must fail")
+	}
+	if _, err := Prefix(src, src.NumFrames()+1); err == nil {
+		t.Fatal("over-long prefix must fail")
+	}
+}

@@ -1,0 +1,109 @@
+// Package video is the video substrate of the Everest reproduction: a
+// deterministic, procedurally generated stand-in for the paper's real
+// videos (Table 7).
+//
+// A Source exposes exactly what the rest of the system consumes from a
+// video: decoded pixels per frame (for the difference detector and the
+// CMDN proxy) and a ground-truth scene graph per frame (read only by the
+// oracle detector in internal/vision). Scenes are generated from seeded
+// object arrival/departure processes with temporal locality — bursts,
+// daily cycles, camera motion — so Top-K targets are rare, clustered
+// moments, as in real footage. Pixels are rendered lazily and
+// deterministically; no frame data is stored.
+package video
+
+import "fmt"
+
+// Class labels used by the simulator and detectors.
+const (
+	ClassCar    = "car"
+	ClassBus    = "bus"
+	ClassPerson = "person"
+	ClassBoat   = "boat"
+)
+
+// Object is one ground-truth object instance in a frame. Coordinates are
+// normalized to [0,1] in both axes; W/H are the half-free extents.
+type Object struct {
+	// ID is the persistent identity of the object across frames (what the
+	// paper's tracker recovers as objectID).
+	ID int
+	// Class is the object class label.
+	Class string
+	// X, Y locate the top-left corner; W, H the extent (normalized).
+	X, Y, W, H float64
+	// Shade is the rendered intensity in [0,1].
+	Shade float64
+}
+
+// Scene is the ground truth of one frame.
+type Scene struct {
+	// Objects lists all visible objects.
+	Objects []Object
+	// LeadGap is the distance in metres to the leading vehicle (dashcam
+	// sources only; 0 elsewhere).
+	LeadGap float64
+	// Happiness is the crowd-sentiment signal in [0,100] (street sources
+	// only; 0 elsewhere).
+	Happiness float64
+}
+
+// CountClass returns the number of objects of the given class.
+func (s Scene) CountClass(class string) int {
+	n := 0
+	for _, o := range s.Objects {
+		if o.Class == class {
+			n++
+		}
+	}
+	return n
+}
+
+// Frame is one decoded grayscale frame.
+type Frame struct {
+	// Index is the frame's position in the video.
+	Index int
+	// W, H are the pixel dimensions.
+	W, H int
+	// Pix holds W*H row-major grayscale intensities in [0,1].
+	Pix []float64
+}
+
+// MSE returns the mean squared error between two frames of equal size.
+func (f Frame) MSE(g Frame) (float64, error) {
+	if f.W != g.W || f.H != g.H {
+		return 0, fmt.Errorf("video: frame size mismatch %dx%d vs %dx%d", f.W, f.H, g.W, g.H)
+	}
+	sum := 0.0
+	for i := range f.Pix {
+		d := f.Pix[i] - g.Pix[i]
+		sum += d * d
+	}
+	return sum / float64(len(f.Pix)), nil
+}
+
+// Source is a video: random access to scenes (ground truth) and rendered
+// frames (pixels). Implementations must be deterministic and safe for
+// concurrent reads.
+type Source interface {
+	// Name identifies the dataset.
+	Name() string
+	// NumFrames is the total frame count.
+	NumFrames() int
+	// FPS is the frame rate.
+	FPS() int
+	// TargetClass is the dataset's object-of-interest.
+	TargetClass() string
+	// Scene returns frame i's ground truth. Only detectors may call this.
+	Scene(i int) Scene
+	// Render decodes frame i's pixels.
+	Render(i int) Frame
+	// Resolution returns the rendered width and height.
+	Resolution() (w, h int)
+}
+
+// TrueCount returns the ground-truth target-class count of frame i; it is
+// the score the default object-counting UDF computes via the oracle.
+func TrueCount(s Source, i int) int {
+	return s.Scene(i).CountClass(s.TargetClass())
+}

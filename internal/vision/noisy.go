@@ -1,0 +1,116 @@
+package vision
+
+import (
+	"github.com/everest-project/everest/internal/simclock"
+	"github.com/everest-project/everest/internal/video"
+	"github.com/everest-project/everest/internal/xrand"
+)
+
+// noisyDetector is the shared machinery of the cheap inaccurate baselines:
+// each true object is detected with probability 1−miss (scaled down for
+// small objects), spurious detections arrive Poisson(falsePos), and boxes
+// are jittered. Noise is deterministic per (detector, source, frame).
+type noisyDetector struct {
+	name     string
+	seed     uint64
+	miss     float64 // base miss probability
+	sizeMiss float64 // additional miss probability for the smallest objects
+	falsePos float64 // expected spurious detections per frame
+	jitter   float64 // box-coordinate noise
+}
+
+func (d *noisyDetector) Detect(src video.Source, i int) []Detection {
+	r := xrand.New(d.seed).Split(src.Name()).SplitIndex(uint64(i))
+	sc := src.Scene(i)
+	var out []Detection
+	for _, o := range sc.Objects {
+		// Small objects are disproportionately missed, as with real
+		// shallow detectors.
+		smallness := 1 - minF(o.W/0.12, 1)
+		pMiss := d.miss + d.sizeMiss*smallness
+		if r.Float64() < pMiss {
+			continue
+		}
+		out = append(out, Detection{
+			Frame: i,
+			Class: o.Class,
+			Box: BBox{
+				X: o.X + d.jitter*r.Norm(),
+				Y: o.Y + d.jitter*r.Norm(),
+				W: o.W * (1 + d.jitter*r.Norm()),
+				H: o.H * (1 + d.jitter*r.Norm()),
+			},
+			Confidence: 0.4 + 0.5*r.Float64(),
+		})
+	}
+	// False positives copy the class mix of the scene's target objects.
+	nFP := r.Poisson(d.falsePos)
+	for k := 0; k < nFP; k++ {
+		class := src.TargetClass()
+		out = append(out, Detection{
+			Frame:      i,
+			Class:      class,
+			Box:        BBox{X: r.Float64(), Y: r.Float64(), W: 0.05, H: 0.04},
+			Confidence: 0.3 + 0.3*r.Float64(),
+		})
+	}
+	return out
+}
+
+func minF(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// TinyDetector simulates TinyYOLOv3: fast, but with "so few layers its
+// precision and score error are no better than HOG" (§4.1).
+type TinyDetector struct{ noisyDetector }
+
+// NewTinyDetector returns a TinyYOLOv3-class detector.
+func NewTinyDetector() *TinyDetector {
+	return &TinyDetector{noisyDetector{
+		name: "tinyyolov3", seed: 0x717170,
+		miss: 0.30, sizeMiss: 0.35, falsePos: 0.8, jitter: 0.02,
+	}}
+}
+
+// Name implements Detector.
+func (d *TinyDetector) Name() string { return d.name }
+
+// FrameCostMS implements Detector.
+func (d *TinyDetector) FrameCostMS(cost simclock.CostModel) float64 { return cost.TinyMS }
+
+// HOGDetector simulates the classic HOG+SVM sliding-window detector [20]:
+// no deep learning, hundreds of SVM evaluations per frame (slow), and
+// score errors far above the oracle's.
+type HOGDetector struct{ noisyDetector }
+
+// NewHOGDetector returns a HOG+SVM-class detector.
+func NewHOGDetector() *HOGDetector {
+	return &HOGDetector{noisyDetector{
+		name: "hog-svm", seed: 0x40609,
+		miss: 0.35, sizeMiss: 0.40, falsePos: 1.6, jitter: 0.04,
+	}}
+}
+
+// Name implements Detector.
+func (d *HOGDetector) Name() string { return d.name }
+
+// FrameCostMS implements Detector.
+func (d *HOGDetector) FrameCostMS(cost simclock.CostModel) float64 { return cost.HOGMS }
+
+// ApproxCountScorer adapts a cheap detector into a per-frame approximate
+// scorer for baseline rankers.
+type ApproxCountScorer struct {
+	// Det is the underlying detector.
+	Det Detector
+	// Class is the counting target.
+	Class string
+}
+
+// Score returns the detector's class count for frame i.
+func (a ApproxCountScorer) Score(src video.Source, i int) float64 {
+	return float64(CountClass(a.Det.Detect(src, i), a.Class))
+}

@@ -1,0 +1,72 @@
+package vision
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/everest-project/everest/internal/video"
+)
+
+// Row is one tuple of the paper's video relation (Table 2): one object in
+// one frame. The content and feature-vector columns are elided — nothing
+// in the pipeline reads them, and the paper's whole point is to avoid
+// materializing this relation at scale.
+type Row struct {
+	// Timestamp is the frame index.
+	Timestamp int
+	// Class is the object's class label.
+	Class string
+	// Polygon is the bounding box.
+	Polygon BBox
+	// ObjectID is the tracker-assigned identity.
+	ObjectID int
+}
+
+// MaterializeRelation runs the detector and tracker over frames
+// [from, to) of src and returns the resulting video relation. This is the
+// ground-truth relation a scan-and-test system would populate; Everest
+// queries the same videos without ever building it in full.
+func MaterializeRelation(src video.Source, det Detector, from, to int) []Row {
+	if from < 0 {
+		from = 0
+	}
+	if to > src.NumFrames() {
+		to = src.NumFrames()
+	}
+	tracker := NewTracker()
+	var rows []Row
+	for i := from; i < to; i++ {
+		dets := det.Detect(src, i)
+		// The oracle already knows true identities; re-track anyway so the
+		// relation reflects the paper's pipeline (detector + tracker [67]).
+		for k := range dets {
+			dets[k].ObjectID = 0
+		}
+		dets = tracker.Track(dets)
+		for _, d := range dets {
+			rows = append(rows, Row{
+				Timestamp: d.Frame,
+				Class:     d.Class,
+				Polygon:   d.Box,
+				ObjectID:  d.ObjectID,
+			})
+		}
+	}
+	return rows
+}
+
+// FormatRelation renders rows as the paper's Table 2 layout, for examples
+// and debugging.
+func FormatRelation(rows []Row, limit int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-10s %-8s %-28s %s\n", "ts", "class", "polygon", "objectID")
+	for i, r := range rows {
+		if limit > 0 && i >= limit {
+			fmt.Fprintf(&b, "... (%d more rows)\n", len(rows)-limit)
+			break
+		}
+		fmt.Fprintf(&b, "%-10d %-8s (%.2f,%.2f,%.2f,%.2f)%-8s %d\n",
+			r.Timestamp, r.Class, r.Polygon.X, r.Polygon.Y, r.Polygon.W, r.Polygon.H, "", r.ObjectID)
+	}
+	return b.String()
+}

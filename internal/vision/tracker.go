@@ -1,0 +1,75 @@
+package vision
+
+import "sort"
+
+// Tracker assigns stable object IDs across consecutive frames by greedy
+// IoU matching, reproducing the role of the entity-resolution tracker [67]
+// that populates the objectID column of the paper's video relation
+// (Table 2). Feed frames in order; each call matches against the previous
+// frame's tracked detections.
+type Tracker struct {
+	// MinIoU is the matching threshold; zero means 0.3.
+	MinIoU float64
+
+	nextID int
+	prev   []Detection
+}
+
+// NewTracker returns a tracker with fresh identity state.
+func NewTracker() *Tracker { return &Tracker{nextID: 1} }
+
+func (t *Tracker) minIoU() float64 {
+	if t.MinIoU == 0 {
+		return 0.3
+	}
+	return t.MinIoU
+}
+
+// Track assigns ObjectIDs to dets (detections of one frame) and returns
+// them. Detections matching a previous-frame detection of the same class
+// with IoU above threshold inherit its ID; the rest get fresh IDs.
+func (t *Tracker) Track(dets []Detection) []Detection {
+	type pair struct {
+		iou      float64
+		cur, prv int
+	}
+	var pairs []pair
+	for ci, c := range dets {
+		for pi, p := range t.prev {
+			if c.Class != p.Class {
+				continue
+			}
+			if iou := c.Box.IoU(p.Box); iou >= t.minIoU() {
+				pairs = append(pairs, pair{iou, ci, pi})
+			}
+		}
+	}
+	// Greedy best-IoU-first matching, each side used once.
+	sort.Slice(pairs, func(i, j int) bool {
+		if pairs[i].iou != pairs[j].iou {
+			return pairs[i].iou > pairs[j].iou
+		}
+		if pairs[i].cur != pairs[j].cur {
+			return pairs[i].cur < pairs[j].cur
+		}
+		return pairs[i].prv < pairs[j].prv
+	})
+	curUsed := make([]bool, len(dets))
+	prvUsed := make([]bool, len(t.prev))
+	for _, p := range pairs {
+		if curUsed[p.cur] || prvUsed[p.prv] {
+			continue
+		}
+		dets[p.cur].ObjectID = t.prev[p.prv].ObjectID
+		curUsed[p.cur] = true
+		prvUsed[p.prv] = true
+	}
+	for i := range dets {
+		if !curUsed[i] {
+			t.nextID++
+			dets[i].ObjectID = t.nextID
+		}
+	}
+	t.prev = append(t.prev[:0], dets...)
+	return dets
+}

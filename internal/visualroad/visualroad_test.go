@@ -1,0 +1,62 @@
+package visualroad
+
+import "testing"
+
+func TestGenerateValidation(t *testing.T) {
+	if _, err := Generate(0, 100, 1); err == nil {
+		t.Fatal("zero cars should fail")
+	}
+}
+
+func TestDensityMonotone(t *testing.T) {
+	// More cars in the city → more cars visible on average.
+	var prev float64 = -1
+	for _, cars := range CarCounts() {
+		src, err := Generate(cars, 20000, 42)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum := 0
+		for i := 0; i < src.NumFrames(); i++ {
+			sum += src.TrueCountFast(i)
+		}
+		mean := float64(sum) / float64(src.NumFrames())
+		if mean <= prev {
+			t.Fatalf("density not monotone: %d cars → mean %v (prev %v)", cars, mean, prev)
+		}
+		prev = mean
+	}
+}
+
+func TestSameSceneAcrossDensities(t *testing.T) {
+	// The sweep shares one camera and timing structure: identical seeds
+	// must give identical backgrounds (check an object-free pixel region
+	// comparison is too brittle; instead check determinism per density).
+	a, err := Generate(100, 1000, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(100, 1000, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fa, fb := a.Render(123), b.Render(123)
+	for p := range fa.Pix {
+		if fa.Pix[p] != fb.Pix[p] {
+			t.Fatal("generator nondeterministic")
+		}
+	}
+}
+
+func TestCarCountsMatchPaper(t *testing.T) {
+	want := []int{50, 100, 150, 200, 250}
+	got := CarCounts()
+	if len(got) != len(want) {
+		t.Fatalf("CarCounts = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("CarCounts = %v, want %v", got, want)
+		}
+	}
+}

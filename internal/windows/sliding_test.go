@@ -1,0 +1,170 @@
+package windows
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/everest-project/everest/internal/uncertain"
+)
+
+// testMixture is a single-component Gaussian mixture.
+func testMixture(mean, sigma float64) uncertain.Mixture {
+	return uncertain.Mixture{{Weight: 1, Mean: mean, Sigma: sigma}}
+}
+
+func TestNumSlidingWindows(t *testing.T) {
+	cases := []struct{ n, size, stride, want int }{
+		{100, 10, 10, 10}, // tumbling
+		{100, 10, 5, 19},  // half-overlap
+		{100, 10, 1, 91},  // per-frame
+		{100, 10, 30, 4},  // gaps
+		{10, 10, 3, 1},    // exactly one
+		{9, 10, 1, 0},     // too short
+		{100, 0, 1, 0},    // degenerate
+		{100, 10, 0, 0},   // degenerate
+	}
+	for _, c := range cases {
+		if got := NumSlidingWindows(c.n, c.size, c.stride); got != c.want {
+			t.Fatalf("NumSlidingWindows(%d, %d, %d) = %d, want %d", c.n, c.size, c.stride, got, c.want)
+		}
+	}
+}
+
+func TestNumSlidingWindowsMatchesEnumeration(t *testing.T) {
+	f := func(n, size, stride uint8) bool {
+		nn, ss, st := int(n), 1+int(size)%20, 1+int(stride)%20
+		count := 0
+		for lo := 0; lo+ss <= nn; lo += st {
+			count++
+		}
+		return NumSlidingWindows(nn, ss, st) == count
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStrideEqualsSizeIsTumbling(t *testing.T) {
+	score := func(rep int) FrameScore {
+		if rep%3 == 0 {
+			return FrameScore{IsExact: true, Exact: float64(rep % 5)}
+		}
+		return FrameScore{Mix: testMixture(float64(rep%5), 0.8)}
+	}
+	tumbling, err := BuildRelation(score, segDiff(120, 4), Options{Size: 10, Step: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	strided, err := BuildRelation(score, segDiff(120, 4), Options{Size: 10, Stride: 10, Step: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tumbling) != len(strided) {
+		t.Fatalf("sizes differ: %d vs %d", len(tumbling), len(strided))
+	}
+	for i := range tumbling {
+		a, b := tumbling[i].Dist, strided[i].Dist
+		if a.Min != b.Min || len(a.P) != len(b.P) {
+			t.Fatalf("window %d distributions differ", i)
+		}
+		for j := range a.P {
+			if math.Abs(a.P[j]-b.P[j]) > 1e-12 {
+				t.Fatalf("window %d probability %d differs", i, j)
+			}
+		}
+	}
+}
+
+func TestSlidingWindowsCoverStridedRanges(t *testing.T) {
+	// With stride 5 and size 10 over 30 frames there are 5 windows; window
+	// w must aggregate frames [5w, 5w+10). We verify via exact scores:
+	// frame i scores i, so window w's mean is 5w + 4.5.
+	score := func(rep int) FrameScore { return FrameScore{IsExact: true, Exact: float64(rep)} }
+	rel, err := BuildRelation(score, flatDiff(30), Options{Size: 10, Stride: 5, Step: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rel) != 5 {
+		t.Fatalf("%d windows, want 5", len(rel))
+	}
+	for w, x := range rel {
+		if !x.Dist.IsCertain() {
+			t.Fatalf("window %d not certain", w)
+		}
+		wantMean := float64(5*w) + 4.5
+		got := float64(x.Dist.Min) * 0.5 // level → score units
+		if math.Abs(got-wantMean) > 0.5 {
+			t.Fatalf("window %d mean %v, want %v", w, got, wantMean)
+		}
+	}
+}
+
+func TestOverlappingDetection(t *testing.T) {
+	if (Options{Size: 10, Stride: 5}).Overlapping() != true {
+		t.Fatal("stride < size must report overlapping")
+	}
+	if (Options{Size: 10, Stride: 10}).Overlapping() != false {
+		t.Fatal("tumbling is not overlapping")
+	}
+	if (Options{Size: 10}).Overlapping() != false {
+		t.Fatal("zero stride defaults to tumbling")
+	}
+	if (Options{Size: 10, Stride: 15}).Overlapping() != false {
+		t.Fatal("gapped windows are not overlapping")
+	}
+}
+
+func TestSlidingOracleSamplesWithinStridedWindow(t *testing.T) {
+	var got [][]int
+	o := &Oracle{
+		ScoreFrames: func(ids []int) ([]float64, error) {
+			got = append(got, append([]int(nil), ids...))
+			return make([]float64, len(ids)), nil
+		},
+		Size:       10,
+		Stride:     4,
+		SampleFrac: 0.5,
+		Step:       1,
+		Seed:       3,
+	}
+	if _, err := o.CleanBatch([]int{0, 3}); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("%d oracle calls, want 2", len(got))
+	}
+	for call, frames := range got {
+		w := []int{0, 3}[call]
+		lo, hi := w*4, w*4+10
+		if len(frames) != 5 {
+			t.Fatalf("window %d sampled %d frames, want 5", w, len(frames))
+		}
+		for _, f := range frames {
+			if f < lo || f >= hi {
+				t.Fatalf("window %d sampled frame %d outside [%d, %d)", w, f, lo, hi)
+			}
+		}
+	}
+}
+
+func TestSlidingRelationSharesFrameInfluence(t *testing.T) {
+	// Overlapping windows that share an uncertain segment must both carry
+	// its variance — the correlation the union bound exists for.
+	score := func(rep int) FrameScore {
+		if rep == 8 {
+			return FrameScore{Mix: testMixture(5, 2)}
+		}
+		return FrameScore{IsExact: true, Exact: 1}
+	}
+	rel, err := BuildRelation(score, flatDiff(20), Options{Size: 10, Stride: 4, Step: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Windows 0 ([0,10)), 1 ([4,14)) and 2 ([8,18)) all contain frame 8.
+	for _, w := range []int{0, 1, 2} {
+		if rel[w].Dist.IsCertain() {
+			t.Fatalf("window %d should be uncertain (contains frame 8)", w)
+		}
+	}
+}

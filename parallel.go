@@ -1,0 +1,92 @@
+package everest
+
+import (
+	"github.com/everest-project/everest/internal/phase1"
+	"github.com/everest-project/everest/internal/scaleout"
+	"github.com/everest-project/everest/internal/uncertain"
+	"github.com/everest-project/everest/internal/video"
+	"github.com/everest-project/everest/internal/vision"
+)
+
+// ParallelResult is the outcome of RunParallel: a guaranteed Top-K plus
+// the scale-out accounting (wall-clock under the BSP model and the total
+// paid accelerator time, which grows with the worker count).
+type ParallelResult struct {
+	// Result is the guaranteed Top-K with the BSP wall-clock attached.
+	Result
+	// Workers echoes the worker count.
+	Workers int
+	// WorkerSumMS is the summed Phase 1 accelerator time across workers —
+	// the bill, as opposed to Result.Clock's latency.
+	WorkerSumMS float64
+	// Shards summarizes each worker's Phase 1.
+	Shards []scaleout.ShardInfo
+}
+
+// RunParallel executes a Top-K query with workers-way scale-out: Phase 1
+// runs partitioned across per-shard specialized proxies on parallel
+// simulated accelerators, and Phase 2 cleans batches spread over the same
+// accelerators (the RAM3S-style framework the paper names as future work,
+// §3.5). workers == 1 is semantically equivalent to Run up to sampling
+// randomness.
+func RunParallel(src video.Source, udf vision.UDF, cfg Config, workers int) (*ParallelResult, error) {
+	cfg = cfg.withDefaults()
+	rep, err := scaleout.Run(src, udf, scaleout.Options{
+		Workers:          workers,
+		K:                cfg.K,
+		Threshold:        cfg.Threshold,
+		BatchSize:        cfg.BatchSize,
+		MaxCleaned:       cfg.MaxCleaned,
+		Window:           cfg.Window,
+		Stride:           cfg.Stride,
+		WindowSampleFrac: cfg.WindowSampleFrac,
+		UnionBound:       cfg.UnionBound,
+		Phase1: phase1.Options{
+			SampleFrac:  cfg.SampleFrac,
+			SampleCap:   cfg.SampleCap,
+			MinSamples:  cfg.MinSamples,
+			HoldoutFrac: cfg.HoldoutFrac,
+			Diff:        cfg.Diff,
+			DisableDiff: cfg.DisableDiff,
+			Proxy:       cfg.Proxy,
+			Cost:        cfg.Cost,
+		},
+		Seed: cfg.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	qopt := udf.Quantize()
+	scores := make([]float64, len(rep.Core.Levels))
+	for i, lvl := range rep.Core.Levels {
+		scores[i] = uncertain.LevelValue(lvl, qopt.Step)
+	}
+	stride := 0
+	if cfg.Window > 0 {
+		stride = cfg.windowStride()
+	}
+	info := Phase1Info{TotalFrames: src.NumFrames(), Tuples: rep.Tuples}
+	for _, sh := range rep.Shards {
+		info.TrainSamples += sh.Info.TrainSamples
+		info.HoldoutSamples += sh.Info.HoldoutSamples
+		info.Retained += sh.Info.Retained
+	}
+	return &ParallelResult{
+		Result: Result{
+			IDs:          rep.Core.IDs,
+			Scores:       scores,
+			Confidence:   rep.Core.Confidence,
+			Bound:        rep.Core.Bound,
+			IsWindow:     cfg.Window > 0,
+			WindowSize:   cfg.Window,
+			WindowStride: stride,
+			Clock:        rep.Clock,
+			EngineStats:  rep.Core.Stats,
+			Phase1:       info,
+		},
+		Workers:     workers,
+		WorkerSumMS: rep.WorkerSumMS,
+		Shards:      rep.Shards,
+	}, nil
+}

@@ -1,0 +1,60 @@
+package everest
+
+import (
+	"github.com/everest-project/everest/internal/video"
+	"github.com/everest-project/everest/internal/vision"
+)
+
+// Session runs many queries against one Index while sharing oracle work
+// between them. Every frame score the oracle reveals — cleaning a frame,
+// or sampling frames to confirm a window — is cached, and later queries
+// see those frames as certain tuples in D0 at zero cost. This is the
+// multi-query extension of the paper's observation that Phase 1 can be
+// amortized across queries (§4.2): a Session amortizes Phase 2's oracle
+// bill too. Different K, thres, window size and stride all share one
+// cache, because an exact frame score is query-independent.
+//
+// A Session is tied to the (video, UDF) pair of its Index and is not safe
+// for concurrent use.
+type Session struct {
+	ix     *Index
+	src    video.Source
+	udf    vision.UDF
+	labels map[int]float64
+
+	queries int
+}
+
+// NewSession validates that (src, udf) matches the index and returns an
+// empty-cache session.
+func NewSession(ix *Index, src video.Source, udf vision.UDF) (*Session, error) {
+	if err := ix.validateFor(src, udf); err != nil {
+		return nil, err
+	}
+	return &Session{
+		ix:     ix,
+		src:    src,
+		udf:    udf,
+		labels: make(map[int]float64),
+	}, nil
+}
+
+// Query runs one Top-K (or Top-K-window) query, reusing every oracle
+// label revealed by earlier queries in this session. Only the marginal
+// oracle cost — frames no previous query confirmed — is charged to the
+// result's clock.
+func (s *Session) Query(cfg Config) (*Result, error) {
+	res, err := s.ix.query(s.src, s.udf, cfg, s.labels)
+	if err != nil {
+		return nil, err
+	}
+	s.queries++
+	return res, nil
+}
+
+// CachedLabels returns the number of distinct frames whose exact score
+// the session has accumulated.
+func (s *Session) CachedLabels() int { return len(s.labels) }
+
+// Queries returns how many queries completed in this session.
+func (s *Session) Queries() int { return s.queries }

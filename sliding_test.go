@@ -1,0 +1,141 @@
+package everest
+
+import (
+	"testing"
+
+	"github.com/everest-project/everest/internal/core"
+	"github.com/everest-project/everest/internal/video"
+	"github.com/everest-project/everest/internal/vision"
+)
+
+func TestEndToEndSlidingWindowQuery(t *testing.T) {
+	src := testSource(t, 9000, 91)
+	udf := vision.CountUDF{Class: video.ClassCar}
+	cfg := smallCfg(5)
+	cfg.Window = 60
+	cfg.Stride = 30
+	res, err := Run(src, udf, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.IsWindow || res.WindowSize != 60 || res.WindowStride != 30 {
+		t.Fatalf("window metadata wrong: %+v", res)
+	}
+	if res.Bound != core.BoundUnion {
+		t.Fatalf("overlapping windows must use the union bound, got %v", res.Bound)
+	}
+	if res.Confidence < 0.9 {
+		t.Fatalf("confidence %v < 0.9", res.Confidence)
+	}
+	nw := (9000-60)/30 + 1
+	for _, w := range res.IDs {
+		if w < 0 || w >= nw {
+			t.Fatalf("window ID %d out of [0, %d)", w, nw)
+		}
+	}
+}
+
+func TestTumblingWindowKeepsExactBound(t *testing.T) {
+	src := testSource(t, 9000, 93)
+	udf := vision.CountUDF{Class: video.ClassCar}
+	cfg := smallCfg(5)
+	cfg.Window = 60
+	res, err := Run(src, udf, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Bound != core.BoundIndependent {
+		t.Fatalf("tumbling windows should keep the exact bound, got %v", res.Bound)
+	}
+	if res.WindowStride != 60 {
+		t.Fatalf("stride should default to the window size, got %d", res.WindowStride)
+	}
+}
+
+func TestGappedWindowsKeepExactBound(t *testing.T) {
+	// Stride > window: disjoint windows remain independent.
+	src := testSource(t, 9000, 95)
+	udf := vision.CountUDF{Class: video.ClassCar}
+	cfg := smallCfg(5)
+	cfg.Window = 30
+	cfg.Stride = 90
+	res, err := Run(src, udf, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Bound != core.BoundIndependent {
+		t.Fatalf("gapped windows should keep the exact bound, got %v", res.Bound)
+	}
+}
+
+func TestUnionBoundAblationOnFrames(t *testing.T) {
+	// Forcing the union bound on an independent frame query must still
+	// meet the guarantee, cleaning at least as much as the exact bound.
+	src := testSource(t, 9000, 97)
+	udf := vision.CountUDF{Class: video.ClassCar}
+	exactCfg := smallCfg(5)
+	exact, err := Run(src, udf, exactCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	unionCfg := smallCfg(5)
+	unionCfg.UnionBound = true
+	union, err := Run(src, udf, unionCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if union.Bound != core.BoundUnion {
+		t.Fatalf("union flag ignored: %v", union.Bound)
+	}
+	if union.Confidence < 0.9 {
+		t.Fatalf("union confidence %v < 0.9", union.Confidence)
+	}
+	if union.EngineStats.Cleaned < exact.EngineStats.Cleaned {
+		t.Fatalf("union bound cleaned %d < exact %d — conservative bound cannot be cheaper",
+			union.EngineStats.Cleaned, exact.EngineStats.Cleaned)
+	}
+}
+
+func TestStrideWithoutWindowRejected(t *testing.T) {
+	src := testSource(t, 3000, 99)
+	udf := vision.CountUDF{Class: video.ClassCar}
+	cfg := smallCfg(5)
+	cfg.Stride = 30
+	if _, err := Run(src, udf, cfg); err == nil {
+		t.Fatal("stride without window must be rejected")
+	}
+}
+
+func TestRunParallelEndToEnd(t *testing.T) {
+	src := testSource(t, 9000, 101)
+	udf := vision.CountUDF{Class: video.ClassCar}
+	cfg := smallCfg(10)
+	res, err := RunParallel(src, udf, cfg, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Workers != 3 || len(res.Shards) != 3 {
+		t.Fatalf("worker accounting wrong: %d workers, %d shards", res.Workers, len(res.Shards))
+	}
+	if res.Confidence < 0.9 {
+		t.Fatalf("confidence %v < 0.9", res.Confidence)
+	}
+	for i, id := range res.IDs {
+		if int(res.Scores[i]) != src.TrueCountFast(id) {
+			t.Fatalf("frame %d score %v, truth %d", id, res.Scores[i], src.TrueCountFast(id))
+		}
+	}
+	// The BSP wall-clock must not exceed the total paid bill.
+	if res.Clock.TotalMS() > res.WorkerSumMS+res.Clock.PhaseMS("phase2/confirm-by-oracle")+
+		res.Clock.PhaseMS("phase2/select-candidate")+res.Clock.PhaseMS("phase2/topk-prob")+1e-9 {
+		t.Fatalf("wall %v exceeds bill %v + phase2", res.Clock.TotalMS(), res.WorkerSumMS)
+	}
+}
+
+func TestRunParallelInvalidWorkers(t *testing.T) {
+	src := testSource(t, 3000, 103)
+	udf := vision.CountUDF{Class: video.ClassCar}
+	if _, err := RunParallel(src, udf, smallCfg(5), 0); err == nil {
+		t.Fatal("zero workers must be rejected")
+	}
+}
