@@ -1,0 +1,28 @@
+# Everest reproduction — development targets.
+
+GO ?= go
+
+.PHONY: build test vet race bench experiments
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# Race-check the concurrency packages and the engine determinism tests;
+# the full suite under -race is too slow for a quick gate.
+race:
+	$(GO) test -race ./internal/workpool/ ./internal/cmdn/ ./internal/phase1/ ./internal/nn/ ./internal/diffdet/
+	$(GO) test -race -run 'ProcsBitIdentical' .
+
+# Capture the engine benchmark suite into BENCH_engine.json so future
+# changes have a perf trajectory to compare against.
+bench:
+	$(GO) run ./cmd/bench
+
+experiments:
+	$(GO) run ./cmd/experiments

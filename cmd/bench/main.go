@@ -1,0 +1,146 @@
+// Command bench captures the repository's benchmark suite into a
+// machine-readable JSON file (BENCH_engine.json by default), so
+// successive PRs leave a performance trajectory that can be diffed
+// instead of re-measured from scratch.
+//
+// It shells out to `go test -run ^$ -bench <pattern> -benchmem` for each
+// selected package, parses the standard benchmark output lines —
+// including custom metrics such as precision and speedup — and writes one
+// JSON document with the environment stamp (Go version, GOMAXPROCS) the
+// numbers were taken under.
+//
+// Usage:
+//
+//	go run ./cmd/bench                        # engine-relevant defaults
+//	go run ./cmd/bench -bench . -pkg ./...    # everything (slow)
+//	go run ./cmd/bench -out BENCH_engine.json -benchtime 1x
+//	make bench                                # same as the first form
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Benchmark is one parsed benchmark result line.
+type Benchmark struct {
+	// Name is the benchmark name, including any -cpu suffix.
+	Name string `json:"name"`
+	// Package is the Go package the benchmark lives in.
+	Package string `json:"package"`
+	// Iterations is b.N of the final run.
+	Iterations int64 `json:"iterations"`
+	// Metrics maps unit → value: ns/op, B/op, allocs/op plus any custom
+	// b.ReportMetric units (precision, speedup, …).
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// Report is the document written to the output file.
+type Report struct {
+	// Generated is the capture timestamp (RFC 3339).
+	Generated string `json:"generated"`
+	// GoVersion and GOMAXPROCS stamp the environment.
+	GoVersion  string `json:"go_version"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	// BenchPattern and Benchtime echo the capture parameters.
+	BenchPattern string `json:"bench_pattern"`
+	Benchtime    string `json:"benchtime"`
+	// Benchmarks are the parsed results.
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+func main() {
+	var (
+		out       = flag.String("out", "BENCH_engine.json", "output JSON path")
+		pattern   = flag.String("bench", "Fig4Overall|CMDNGridTrain|ProxyPredict|TrainGridPoint|SelectBatch|EngineRun", "benchmark regexp")
+		pkgs      = flag.String("pkg", ".,./internal/cmdn,./internal/core", "comma-separated packages")
+		benchtime = flag.String("benchtime", "", "passed to -benchtime when non-empty (e.g. 1x, 2s)")
+	)
+	flag.Parse()
+
+	report := Report{
+		Generated:    time.Now().UTC().Format(time.RFC3339),
+		GoVersion:    runtime.Version(),
+		GOMAXPROCS:   runtime.GOMAXPROCS(0),
+		BenchPattern: *pattern,
+		Benchtime:    *benchtime,
+	}
+	for _, pkg := range strings.Split(*pkgs, ",") {
+		pkg = strings.TrimSpace(pkg)
+		if pkg == "" {
+			continue
+		}
+		args := []string{"test", "-run", "^$", "-bench", *pattern, "-benchmem"}
+		if *benchtime != "" {
+			args = append(args, "-benchtime", *benchtime)
+		}
+		args = append(args, pkg)
+		fmt.Fprintf(os.Stderr, "bench: go %s\n", strings.Join(args, " "))
+		cmd := exec.Command("go", args...)
+		var buf bytes.Buffer
+		cmd.Stdout = &buf
+		cmd.Stderr = os.Stderr
+		if err := cmd.Run(); err != nil {
+			fmt.Fprintf(os.Stderr, "bench: %s: %v\n", pkg, err)
+			os.Exit(1)
+		}
+		report.Benchmarks = append(report.Benchmarks, parseBenchOutput(pkg, buf.String())...)
+	}
+
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bench: %v\n", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "bench: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "bench: wrote %d results to %s\n", len(report.Benchmarks), *out)
+}
+
+// parseBenchOutput extracts Benchmark entries from `go test -bench`
+// stdout. A result line looks like:
+//
+//	BenchmarkFoo-8   	 124	 9612345 ns/op	 0.96 precision	 312 B/op	 4 allocs/op
+//
+// i.e. name, iteration count, then (value, unit) pairs.
+func parseBenchOutput(pkg, out string) []Benchmark {
+	var results []Benchmark
+	sc := bufio.NewScanner(strings.NewReader(out))
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		b := Benchmark{
+			Name:       strings.TrimPrefix(fields[0], "Benchmark"),
+			Package:    pkg,
+			Iterations: iters,
+			Metrics:    make(map[string]float64),
+		}
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			b.Metrics[fields[i+1]] = v
+		}
+		results = append(results, b)
+	}
+	return results
+}

@@ -37,6 +37,7 @@ func main() {
 		frames  = flag.Int("frames", 0, "override frame count (0 = dataset default)")
 		udfName = flag.String("udf", "count", "scoring UDF: count | tailgate | sentiment")
 		seed    = flag.Uint64("seed", 1, "random seed")
+		procs   = flag.Int("procs", 0, "CPU workers for the execution engine (0 = all cores; results are identical for any value)")
 		list    = flag.Bool("list", false, "list datasets and exit")
 		query   = flag.String("query", "", `EQL statement, e.g. 'SELECT TOP 50 FRAMES FROM "Taipei-bus" RANK BY count(car) THRESHOLD 0.9'`)
 		explain = flag.Bool("explain", false, "describe the EQL query's plan without running it")
@@ -105,6 +106,7 @@ func main() {
 		Window:    *window,
 		Stride:    *stride,
 		Seed:      *seed,
+		Procs:     *procs,
 	}
 
 	if *saveIx != "" {

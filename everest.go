@@ -99,6 +99,12 @@ type Config struct {
 	Cost simclock.CostModel
 	// Seed drives all randomness; queries are bit-reproducible.
 	Seed uint64
+	// Procs bounds the real CPU workers used by the execution engine
+	// (CMDN grid training, holdout evaluation, feature extraction, D0
+	// proxy-inference sweeps). Zero or negative means GOMAXPROCS. The
+	// knob trades wall-clock only: results are bit-identical for every
+	// value, and simulated (simclock) charges do not change.
+	Procs int
 	// MaxCleaned caps Phase 2 oracle invocations (0 = none); a test and
 	// safety valve, not a paper knob.
 	MaxCleaned int
@@ -144,6 +150,24 @@ func (c Config) withDefaults() Config {
 		c.Cost = simclock.Default()
 	}
 	return c
+}
+
+// phase1Options maps the user-facing Config onto Phase 1's options. The
+// seed is supplied by the caller because the scale-out and append paths
+// derive their own per-shard streams.
+func (c Config) phase1Options(seed uint64) phase1.Options {
+	return phase1.Options{
+		SampleFrac:  c.SampleFrac,
+		SampleCap:   c.SampleCap,
+		MinSamples:  c.MinSamples,
+		HoldoutFrac: c.HoldoutFrac,
+		Diff:        c.Diff,
+		DisableDiff: c.DisableDiff,
+		Proxy:       c.Proxy,
+		Cost:        c.Cost,
+		Seed:        seed,
+		Procs:       c.Procs,
+	}
 }
 
 // windowStride returns the effective window stride (tumbling by default).
@@ -239,17 +263,7 @@ func Run(src video.Source, udf vision.UDF, cfg Config) (*Result, error) {
 	}
 
 	clock := simclock.NewClock()
-	p1, err := phase1.Run(src, udf, phase1.Options{
-		SampleFrac:  cfg.SampleFrac,
-		SampleCap:   cfg.SampleCap,
-		MinSamples:  cfg.MinSamples,
-		HoldoutFrac: cfg.HoldoutFrac,
-		Diff:        cfg.Diff,
-		DisableDiff: cfg.DisableDiff,
-		Proxy:       cfg.Proxy,
-		Cost:        cfg.Cost,
-		Seed:        cfg.Seed,
-	}, clock)
+	p1, err := phase1.Run(src, udf, cfg.phase1Options(cfg.Seed), clock)
 	if err != nil {
 		return nil, err
 	}

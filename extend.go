@@ -48,17 +48,8 @@ func (ix *Index) Extend(src video.Source, udf vision.UDF, cfg Config) (tailMS fl
 		return 0, err
 	}
 	clock := simclock.NewClock()
-	st, err := phase1.Run(tail, udf, phase1.Options{
-		SampleFrac:  cfg.SampleFrac,
-		SampleCap:   cfg.SampleCap,
-		MinSamples:  cfg.MinSamples,
-		HoldoutFrac: cfg.HoldoutFrac,
-		Diff:        cfg.Diff,
-		DisableDiff: cfg.DisableDiff,
-		Proxy:       cfg.Proxy,
-		Cost:        cfg.Cost,
-		Seed:        cfg.Seed ^ uint64(lo), // a fresh stream per append
-	}, clock)
+	// cfg.Seed ^ lo: a fresh stream per append.
+	st, err := phase1.Run(tail, udf, cfg.phase1Options(cfg.Seed^uint64(lo)), clock)
 	if err != nil {
 		return 0, fmt.Errorf("everest: extending index: %w", err)
 	}
@@ -69,18 +60,18 @@ func (ix *Index) Extend(src video.Source, udf vision.UDF, cfg Config) (tailMS fl
 	for _, rep := range st.Diff.RepOf {
 		ix.repOf = append(ix.repOf, int32(lo)+rep)
 	}
-	inferred := 0
 	for _, f := range st.Diff.Retained {
 		g := int32(lo + f)
 		ix.retained = append(ix.retained, g)
 		if s, ok := st.Labeled[f]; ok {
 			ix.exact[g] = s
-			continue
 		}
-		inferred++
-		ix.mixtures[g] = st.MixtureOf(f)
 	}
-	clock.Charge(simclock.PhasePopulateD0, float64(inferred)*cfg.Cost.ProxyMS)
+	inferIDs, mixes := st.InferRetainedMixtures()
+	for k, f := range inferIDs {
+		ix.mixtures[int32(lo+f)] = mixes[k]
+	}
+	clock.Charge(simclock.PhasePopulateD0, float64(len(inferIDs))*cfg.Cost.ProxyMS)
 
 	ix.totalFrames = n
 	ix.info.TotalFrames = n

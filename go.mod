@@ -1,0 +1,3 @@
+module github.com/everest-project/everest
+
+go 1.24

@@ -58,17 +58,7 @@ func BuildIndex(src video.Source, udf vision.UDF, cfg Config) (*Index, error) {
 	}
 	cfg = cfg.withDefaults()
 	clock := simclock.NewClock()
-	st, err := phase1.Run(src, udf, phase1.Options{
-		SampleFrac:  cfg.SampleFrac,
-		SampleCap:   cfg.SampleCap,
-		MinSamples:  cfg.MinSamples,
-		HoldoutFrac: cfg.HoldoutFrac,
-		Diff:        cfg.Diff,
-		DisableDiff: cfg.DisableDiff,
-		Proxy:       cfg.Proxy,
-		Cost:        cfg.Cost,
-		Seed:        cfg.Seed,
-	}, clock)
+	st, err := phase1.Run(src, udf, cfg.phase1Options(cfg.Seed), clock)
 	if err != nil {
 		return nil, err
 	}
@@ -88,17 +78,19 @@ func BuildIndex(src video.Source, udf vision.UDF, cfg Config) (*Index, error) {
 			HoldoutNLL:     st.Info.HoldoutNLL,
 		},
 	}
-	inferred := 0
 	for _, f := range st.Diff.Retained {
 		ix.retained = append(ix.retained, int32(f))
 		if s, ok := st.Labeled[f]; ok {
 			ix.exact[int32(f)] = s
-			continue
 		}
-		inferred++
-		ix.mixtures[int32(f)] = st.MixtureOf(f)
 	}
-	clock.Charge(simclock.PhasePopulateD0, float64(inferred)*cfg.Cost.ProxyMS)
+	// Proxy inference over the retained set runs on all configured
+	// workers; the captured mixtures are identical to the serial sweep.
+	inferIDs, mixes := st.InferRetainedMixtures()
+	for k, f := range inferIDs {
+		ix.mixtures[int32(f)] = mixes[k]
+	}
+	clock.Charge(simclock.PhasePopulateD0, float64(len(inferIDs))*cfg.Cost.ProxyMS)
 	ix.ingestMS = clock.TotalMS()
 	return ix, nil
 }

@@ -103,16 +103,17 @@ func CMDNOnly(src video.Source, udf vision.UDF, k int, opt phase1.Options) (Outc
 		return Outcome{}, err
 	}
 	means := make(map[int]float64, len(st.Diff.Retained))
-	inferred := 0
 	for _, i := range st.Diff.Retained {
 		if s, ok := st.Labeled[i]; ok {
 			means[i] = s
-			continue
 		}
-		means[i] = st.MixtureOf(i).Mean()
-		inferred++
 	}
-	clock.Charge(simclock.PhasePopulateD0, float64(inferred)*opt.Cost.ProxyMS)
+	// Proxy inference over the retained set runs on all configured workers.
+	inferIDs, mixes := st.InferRetainedMixtures()
+	for j, i := range inferIDs {
+		means[i] = mixes[j].Mean()
+	}
+	clock.Charge(simclock.PhasePopulateD0, float64(len(inferIDs))*opt.Cost.ProxyMS)
 	ids, top := topKBy(st.Diff.Retained, func(i int) float64 { return means[i] }, k)
 	return Outcome{Name: "cmdn-only", IDs: ids, Scores: top, MS: clock.TotalMS()}, nil
 }

@@ -29,6 +29,7 @@ import (
 	"github.com/everest-project/everest/internal/simclock"
 	"github.com/everest-project/everest/internal/uncertain"
 	"github.com/everest-project/everest/internal/video"
+	"github.com/everest-project/everest/internal/workpool"
 	"github.com/everest-project/everest/internal/xrand"
 )
 
@@ -75,6 +76,10 @@ type Config struct {
 	// FrameW, FrameH are the source resolution (needed by ArchConv and
 	// feature extraction).
 	FrameW, FrameH int
+	// Procs bounds the worker count for grid training, holdout NLL
+	// evaluation and calibration; ≤ 0 means GOMAXPROCS. Results are
+	// bit-identical for every value.
+	Procs int
 }
 
 func (c Config) withDefaults() Config {
@@ -107,6 +112,9 @@ type Sample struct {
 }
 
 // Proxy is a trained CMDN: it maps a frame's features to a score mixture.
+// A Proxy processes one frame at a time and is not safe for concurrent
+// use; CloneForInference returns weight-sharing clones for parallel
+// inference sweeps.
 type Proxy struct {
 	model        *nn.Model
 	arch         Arch
@@ -120,6 +128,18 @@ type Proxy struct {
 	// an honest probability instead of silently excluding frames the
 	// proxy is confidently wrong about.
 	calib float64
+	// featBuf is PredictFrame's reusable feature-extraction scratch.
+	featBuf []float64
+}
+
+// CloneForInference returns a proxy sharing the trained weights with
+// private inference scratch. N clones may PredictFrame concurrently on N
+// goroutines; predictions are bit-identical to the original's.
+func (p *Proxy) CloneForInference() *Proxy {
+	c := *p
+	c.model = p.model.CloneForInference()
+	c.featBuf = nil
+	return &c
 }
 
 // Calibration returns the σ inflation factor applied to predictions.
@@ -142,8 +162,19 @@ type CandidateReport struct {
 // frame mean. The pyramid preserves spatial occupancy — the signal that
 // correlates with object counts and apparent object size.
 func ExtractFeatures(f video.Frame) []float64 {
+	return AppendFeatures(make([]float64, 0, FeatureSize(f.W, f.H)), f)
+}
+
+// AppendFeatures appends the ArchPooled feature vector of f to dst and
+// returns the extended slice — the allocation-free form of
+// ExtractFeatures for hot loops that reuse a scratch buffer.
+func AppendFeatures(dst []float64, f video.Frame) []float64 {
+	// The inner sums range over contiguous row slices so the compiler can
+	// drop the per-pixel index arithmetic and bounds checks; the summation
+	// order is exactly the row-major order of the scalar-indexed original,
+	// so the emitted features are bit-identical.
 	const grid = 8
-	feats := make([]float64, 0, grid*grid+f.H/4+f.W/4+1)
+	feats := dst
 	cellW, cellH := f.W/grid, f.H/grid
 	mean := 0.0
 	for _, v := range f.Pix {
@@ -153,9 +184,10 @@ func ExtractFeatures(f video.Frame) []float64 {
 	for gy := 0; gy < grid; gy++ {
 		for gx := 0; gx < grid; gx++ {
 			s := 0.0
+			x0 := gx * cellW
 			for y := gy * cellH; y < (gy+1)*cellH; y++ {
-				for x := gx * cellW; x < (gx+1)*cellW; x++ {
-					s += f.Pix[y*f.W+x]
+				for _, v := range f.Pix[y*f.W+x0 : y*f.W+x0+cellW] {
+					s += v
 				}
 			}
 			feats = append(feats, s/float64(cellW*cellH)-mean)
@@ -165,8 +197,8 @@ func ExtractFeatures(f video.Frame) []float64 {
 	for y0 := 0; y0 < f.H; y0 += 4 {
 		s := 0.0
 		for y := y0; y < y0+4 && y < f.H; y++ {
-			for x := 0; x < f.W; x++ {
-				s += f.Pix[y*f.W+x]
+			for _, v := range f.Pix[y*f.W : (y+1)*f.W] {
+				s += v
 			}
 		}
 		feats = append(feats, s/float64(4*f.W)-mean)
@@ -188,7 +220,8 @@ func ExtractFeatures(f video.Frame) []float64 {
 func FeatureSize(w, h int) int { return 64 + h/4 + w/4 + 1 }
 
 // InputFor prepares a frame for the given architecture: extracted features
-// for ArchPooled, raw pixels for ArchConv.
+// for ArchPooled, raw pixels for ArchConv. The result is freshly
+// allocated at exact size and safe to retain.
 func InputFor(arch Arch, f video.Frame) []float64 {
 	if arch == ArchConv {
 		x := make([]float64, len(f.Pix))
@@ -196,6 +229,15 @@ func InputFor(arch Arch, f video.Frame) []float64 {
 		return x
 	}
 	return ExtractFeatures(f)
+}
+
+// AppendInput appends the architecture's prepared input for f to dst and
+// returns the extended slice — the allocation-free form of InputFor.
+func AppendInput(dst []float64, arch Arch, f video.Frame) []float64 {
+	if arch == ArchConv {
+		return append(dst, f.Pix...)
+	}
+	return AppendFeatures(dst, f)
 }
 
 func buildModel(cfg Config, hy Hyper, r *xrand.RNG) (*nn.Model, error) {
@@ -274,56 +316,119 @@ func Train(train, holdout []Sample, cfg Config, clock *simclock.Clock, cost simc
 		hy[i] = (s.Y - mean) / std
 	}
 
+	// Each grid point draws from an independent RNG stream keyed by its
+	// index (SplitIndex does not advance the parent), so candidates may
+	// train on any worker in any order and still come out bit-identical
+	// to the serial loop.
 	root := xrand.New(cfg.Seed).Split("cmdn/train")
-	var best *Proxy
-	reports := make([]CandidateReport, 0, len(cfg.Grid))
-	for gi, hyp := range cfg.Grid {
-		r := root.SplitIndex(uint64(gi))
-		model, err := buildModel(cfg, hyp, r)
+	seeds := make([]*xrand.RNG, len(cfg.Grid))
+	for gi := range seeds {
+		seeds[gi] = root.SplitIndex(uint64(gi))
+	}
+	procs := workpool.Procs(cfg.Procs)
+
+	type gridOut struct {
+		model *nn.Model
+		err   error
+	}
+	outs := workpool.Map(procs, len(cfg.Grid), func(_, gi int) gridOut {
+		r := seeds[gi]
+		model, err := buildModel(cfg, cfg.Grid[gi], r)
 		if err != nil {
-			return nil, nil, err
+			return gridOut{err: err}
 		}
 		if _, err := model.Fit(xs, ys, nn.TrainConfig{
 			Epochs:       cfg.Epochs,
 			LearningRate: cfg.LearningRate,
 			Seed:         r.Uint64(),
 		}); err != nil {
-			return nil, nil, err
+			return gridOut{err: err}
 		}
-		nll := model.MeanNLL(hx, hy)
-		reports = append(reports, CandidateReport{Hyper: hyp, HoldoutNLL: nll})
-		if best == nil || nll < best.holdoutNLL {
+		return gridOut{model: model}
+	})
+	models := make([]*nn.Model, len(outs))
+	for gi, o := range outs {
+		if o.err != nil {
+			return nil, nil, o.err
+		}
+		models[gi] = o.model
+	}
+
+	nlls := holdoutNLLs(models, hx, hy, procs)
+	var best *Proxy
+	reports := make([]CandidateReport, 0, len(cfg.Grid))
+	for gi, hyp := range cfg.Grid {
+		reports = append(reports, CandidateReport{Hyper: hyp, HoldoutNLL: nlls[gi]})
+		if best == nil || nlls[gi] < best.holdoutNLL {
 			best = &Proxy{
-				model: model, arch: cfg.Arch, hyper: hyp,
-				yMean: mean, yStd: std, holdoutNLL: nll,
+				model: models[gi], arch: cfg.Arch, hyper: hyp,
+				yMean: mean, yStd: std, holdoutNLL: nlls[gi],
 				featW: cfg.FrameW, featH: cfg.FrameH,
 			}
 		}
 	}
 	sort.Slice(reports, func(i, j int) bool { return reports[i].HoldoutNLL < reports[j].HoldoutNLL })
-	best.calibrate(hx, hy)
+	best.calibrate(hx, hy, procs)
 	if clock != nil {
 		clock.Charge(simclock.PhaseTrainCMDN, cost.ProxyTrainSampleMS*float64(len(train)+len(holdout)))
 	}
 	return best, reports, nil
 }
 
+// holdoutNLLs evaluates every candidate's mean holdout NLL, parallelized
+// over (candidate, holdout sample) pairs with weight-sharing inference
+// clones. Per-candidate terms are reduced in sample order, so each mean
+// is bit-identical to nn.Model.MeanNLL's serial loop.
+func holdoutNLLs(models []*nn.Model, hx [][]float64, hy []float64, procs int) []float64 {
+	nModels, nSamples := len(models), len(hx)
+	if nSamples == 0 {
+		// Mirror nn.Model.MeanNLL's empty-input guard (0, not 0/0 = NaN).
+		return make([]float64, nModels)
+	}
+	newClones := func() map[int]*nn.Model { return make(map[int]*nn.Model, nModels) }
+	terms := workpool.MapWith(procs, nModels*nSamples, newClones, func(clones map[int]*nn.Model, idx int) float64 {
+		gi, i := idx/nSamples, idx%nSamples
+		m := clones[gi]
+		if m == nil {
+			m = models[gi].CloneForInference()
+			clones[gi] = m
+		}
+		m.Predict(hx[i])
+		return m.Head.NLL(hy[i])
+	})
+	nlls := make([]float64, nModels)
+	for gi := 0; gi < nModels; gi++ {
+		total := 0.0
+		for _, t := range terms[gi*nSamples : (gi+1)*nSamples] {
+			total += t
+		}
+		nlls[gi] = total / float64(nSamples)
+	}
+	return nlls
+}
+
 // calibrate computes the holdout RMS of standardized residuals
 // z = (y − μ̂)/σ̂ and stores max(1, RMS) as the σ inflation factor.
-func (p *Proxy) calibrate(hx [][]float64, hy []float64) {
+// Residuals are computed in parallel on weight-sharing clones and reduced
+// in sample order, matching the serial loop bit for bit.
+func (p *Proxy) calibrate(hx [][]float64, hy []float64, procs int) {
 	p.calib = 1
 	if len(hx) == 0 {
 		return
 	}
-	var sumSq float64
-	for i, x := range hx {
-		mix := p.model.Predict(x)
+	terms := workpool.MapWith(procs, len(hx), p.model.CloneForInference, func(m *nn.Model, i int) float64 {
+		mix := m.Predict(hx[i])
 		sd := math.Sqrt(mix.Variance())
 		if sd < 1e-9 {
 			sd = 1e-9
 		}
 		z := (hy[i] - mix.Mean()) / sd
-		sumSq += z * z
+		return z * z
+	})
+	// Index-ordered reduction: same rounding as the serial loop.
+	sumSq := 0.0
+	for _, t := range terms {
+		sumSq += t
 	}
 	rms := math.Sqrt(sumSq / float64(len(hx)))
 	if rms > 1 {
@@ -382,7 +487,8 @@ func (p *Proxy) Predict(x []float64) uncertain.Mixture {
 }
 
 // PredictFrame renders nothing; it prepares the given decoded frame for
-// the proxy's architecture and predicts.
+// the proxy's architecture (into proxy-owned scratch) and predicts.
 func (p *Proxy) PredictFrame(f video.Frame) uncertain.Mixture {
-	return p.Predict(InputFor(p.arch, f))
+	p.featBuf = AppendInput(p.featBuf[:0], p.arch, f)
+	return p.Predict(p.featBuf)
 }

@@ -1,0 +1,98 @@
+package cmdn
+
+import (
+	"testing"
+
+	"github.com/everest-project/everest/internal/simclock"
+)
+
+// TestTrainProcsBitIdentical is the package-level determinism contract:
+// the grid may train on any number of workers, yet the selected proxy,
+// every candidate report, the calibration factor and downstream
+// predictions must match the serial path bit for bit.
+func TestTrainProcsBitIdentical(t *testing.T) {
+	src := trafficSource(t, 1500)
+	train := makeSamples(src, ArchPooled, sampleEvery(1500, 9))
+	holdout := makeSamples(src, ArchPooled, offsetEvery(1500, 21, 4))
+	grid := []Hyper{{G: 5, H: 20}, {G: 8, H: 30}, {G: 12, H: 20}}
+
+	run := func(procs int) (*Proxy, []CandidateReport) {
+		cfg := Config{Grid: grid, Epochs: 5, Seed: 11, Procs: procs}
+		p, reports, err := Train(train, holdout, cfg, nil, simclock.Default())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p, reports
+	}
+	serial, serialReports := run(1)
+	for _, procs := range []int{2, 8} {
+		par, parReports := run(procs)
+		if par.HoldoutNLL() != serial.HoldoutNLL() {
+			t.Fatalf("procs=%d: holdout NLL %v != serial %v", procs, par.HoldoutNLL(), serial.HoldoutNLL())
+		}
+		if par.Hyper() != serial.Hyper() {
+			t.Fatalf("procs=%d: selected %+v != serial %+v", procs, par.Hyper(), serial.Hyper())
+		}
+		if par.Calibration() != serial.Calibration() {
+			t.Fatalf("procs=%d: calibration %v != serial %v", procs, par.Calibration(), serial.Calibration())
+		}
+		for i := range serialReports {
+			if parReports[i] != serialReports[i] {
+				t.Fatalf("procs=%d: report %d %+v != serial %+v", procs, i, parReports[i], serialReports[i])
+			}
+		}
+		for _, f := range []int{17, 430, 977, 1321} {
+			sm := serial.PredictFrame(src.Render(f))
+			pm := par.PredictFrame(src.Render(f))
+			if len(sm) != len(pm) {
+				t.Fatalf("procs=%d frame %d: mixture sizes differ", procs, f)
+			}
+			for c := range sm {
+				if sm[c] != pm[c] {
+					t.Fatalf("procs=%d frame %d component %d: %+v != %+v", procs, f, c, pm[c], sm[c])
+				}
+			}
+		}
+	}
+}
+
+func TestProxyCloneForInference(t *testing.T) {
+	src := trafficSource(t, 800)
+	train := makeSamples(src, ArchPooled, sampleEvery(800, 7))
+	holdout := makeSamples(src, ArchPooled, offsetEvery(800, 19, 3))
+	proxy, _, err := Train(train, holdout, Config{Grid: []Hyper{{G: 5, H: 20}}, Epochs: 4, Seed: 13}, nil, simclock.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	clone := proxy.CloneForInference()
+	for _, f := range []int{3, 99, 512, 790} {
+		want := proxy.PredictFrame(src.Render(f))
+		got := clone.PredictFrame(src.Render(f))
+		if len(want) != len(got) {
+			t.Fatalf("frame %d: clone mixture size differs", f)
+		}
+		for c := range want {
+			if want[c] != got[c] {
+				t.Fatalf("frame %d component %d: clone %+v vs %+v", f, c, got[c], want[c])
+			}
+		}
+	}
+}
+
+// BenchmarkCMDNGridTrainSerial and BenchmarkCMDNGridTrainParallel compare
+// the paper's full 12-point grid trained on one worker vs all cores.
+func benchGridTrain(b *testing.B, procs int) {
+	src := trafficSource(b, 2000)
+	train := makeSamples(src, ArchPooled, sampleEvery(2000, 7))
+	holdout := makeSamples(src, ArchPooled, offsetEvery(2000, 13, 3))
+	cfg := Config{Epochs: 5, Seed: 1, Procs: procs} // nil Grid → full 12-point paper grid
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := Train(train, holdout, cfg, nil, simclock.Default()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCMDNGridTrainSerial(b *testing.B)   { benchGridTrain(b, 1) }
+func BenchmarkCMDNGridTrainParallel(b *testing.B) { benchGridTrain(b, 0) }

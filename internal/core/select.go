@@ -29,6 +29,8 @@ type selector struct {
 	lastSortIter int
 	sortSk       int
 	sortSp       int
+
+	heap batchHeap // selectBatch scratch, reused across iterations
 }
 
 func newSelector(e *Engine) *selector {
@@ -105,22 +107,25 @@ func (s *selector) resort(sk, sp int) {
 	s.e.stats.Resorts++
 }
 
+// psiSorter sorts (order, psi) jointly in place.
+type psiSorter struct {
+	order []int
+	psi   []float64
+}
+
+func (p *psiSorter) Len() int           { return len(p.order) }
+func (p *psiSorter) Less(a, b int) bool { return p.psi[a] > p.psi[b] }
+func (p *psiSorter) Swap(a, b int) {
+	p.order[a], p.order[b] = p.order[b], p.order[a]
+	p.psi[a], p.psi[b] = p.psi[b], p.psi[a]
+}
+
 // sortByPsi sorts (order, psi) jointly by ψ descending; ties keep the
-// pre-existing ascending-ID order (stable).
+// pre-existing ascending-ID order (stable). The joint in-place sort
+// replaces an index-permutation pass that allocated three O(n) slices on
+// every resort.
 func sortByPsi(order []int, psi []float64) {
-	idx := make([]int, len(order))
-	for i := range idx {
-		idx[i] = i
-	}
-	sort.SliceStable(idx, func(a, b int) bool { return psi[idx[a]] > psi[idx[b]] })
-	ord2 := make([]int, len(order))
-	psi2 := make([]float64, len(psi))
-	for i, j := range idx {
-		ord2[i] = order[j]
-		psi2[i] = psi[j]
-	}
-	copy(order, ord2)
-	copy(psi, psi2)
+	sort.Stable(&psiSorter{order: order, psi: psi})
 }
 
 // expectedConfidence evaluates E[X_f] (Eq. 6) for the uncertain tuple with
@@ -156,10 +161,56 @@ func (s *selector) expectedConfidence(d uncertain.Dist, sk, sp int) float64 {
 	return e
 }
 
-// batchItem is a candidate retained for the current batch.
+// batchItem is a candidate retained for the current batch. pos is a
+// stable slot identifier in [0, b): replacements inherit the evicted
+// item's slot, which makes the heap's eviction choice — smallest E, then
+// smallest slot — coincide exactly with the old linear scan that replaced
+// the first minimum in a position-ordered slice.
 type batchItem struct {
-	id int
-	e  float64
+	id  int
+	e   float64
+	pos int
+}
+
+// batchHeap is a min-heap of batch candidates ordered by (e, pos), so the
+// root is the current batch's worst member.
+type batchHeap []batchItem
+
+func (h batchHeap) less(a, b int) bool {
+	if h[a].e != h[b].e {
+		return h[a].e < h[b].e
+	}
+	return h[a].pos < h[b].pos
+}
+
+func (h batchHeap) siftUp(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			return
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
+}
+
+func (h batchHeap) siftDown(i int) {
+	n := len(h)
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && h.less(l, smallest) {
+			smallest = l
+		}
+		if r < n && h.less(r, smallest) {
+			smallest = r
+		}
+		if smallest == i {
+			return
+		}
+		h[i], h[smallest] = h[smallest], h[i]
+		i = smallest
+	}
 }
 
 // selectBatch returns up to cfg.batch() uncertain tuple IDs with the
@@ -197,32 +248,22 @@ func (s *selector) selectBatch() []int {
 	if b > len(e.dists) {
 		b = len(e.dists)
 	}
-	best := make([]batchItem, 0, b)
-	worst := func() float64 {
-		if len(best) < b {
-			return -1
-		}
-		w := best[0].e
-		for _, it := range best[1:] {
-			if it.e < w {
-				w = it.e
-			}
-		}
-		return w
+	// The running batch is a min-heap over (E, slot): peeking the worst
+	// member and replacing it are O(1)/O(log b) instead of the old O(b)
+	// scans, and the heap storage is selector-owned scratch.
+	if cap(s.heap) < b {
+		s.heap = make(batchHeap, 0, b)
 	}
+	h := s.heap[:0]
 	insert := func(id int, ev float64) {
-		if len(best) < b {
-			best = append(best, batchItem{id, ev})
+		if len(h) < b {
+			h = append(h, batchItem{id: id, e: ev, pos: len(h)})
+			h.siftUp(len(h) - 1)
 			return
 		}
-		wi, wv := 0, best[0].e
-		for i, it := range best[1:] {
-			if it.e < wv {
-				wi, wv = i+1, it.e
-			}
-		}
-		if ev > wv {
-			best[wi] = batchItem{id, ev}
+		if ev > h[0].e {
+			h[0] = batchItem{id: id, e: ev, pos: h[0].pos}
+			h.siftDown(0)
 		}
 	}
 
@@ -232,11 +273,11 @@ func (s *selector) selectBatch() []int {
 		if !ok {
 			continue // cleaned since the last re-sort
 		}
-		if !e.cfg.DisableEarlyStop && len(best) == b {
+		if !e.cfg.DisableEarlyStop && len(h) == b {
 			// ψ_j is stale (computed at an earlier, lower S_k/S_p) and
 			// therefore an over-estimate: the bound is sound (Eq. 8).
 			bound := base + gamma*s.psi[i]
-			if bound <= worst() {
+			if bound <= h[0].e {
 				e.stats.Pruned += remainingLive(s.order[i:], e.dists)
 				break
 			}
@@ -245,11 +286,12 @@ func (s *selector) selectBatch() []int {
 		examined++
 		insert(id, ev)
 	}
+	s.heap = h
 	e.stats.Examined += examined
 	e.clock.Charge(simclock.PhaseSelect, float64(examined)*e.cost.SelectPerFrameMS)
 
-	ids := make([]int, len(best))
-	for i, it := range best {
+	ids := make([]int, len(h))
+	for i, it := range h {
 		ids[i] = it.id
 	}
 	sort.Ints(ids) // deterministic oracle call order

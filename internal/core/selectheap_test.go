@@ -1,0 +1,132 @@
+package core
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"github.com/everest-project/everest/internal/simclock"
+	"github.com/everest-project/everest/internal/xrand"
+)
+
+// referenceBatch is the pre-heap linear-scan batch keeper: a
+// position-ordered slice where the first strict minimum is replaced. The
+// heap must reproduce its final contents exactly, including under E ties.
+type referenceBatch struct {
+	b    int
+	best []batchItem
+}
+
+func (r *referenceBatch) insert(id int, ev float64) {
+	if len(r.best) < r.b {
+		r.best = append(r.best, batchItem{id: id, e: ev})
+		return
+	}
+	wi, wv := 0, r.best[0].e
+	for i, it := range r.best[1:] {
+		if it.e < wv {
+			wi, wv = i+1, it.e
+		}
+	}
+	if ev > wv {
+		r.best[wi] = batchItem{id: id, e: ev}
+	}
+}
+
+func (r *referenceBatch) worst() float64 {
+	if len(r.best) < r.b {
+		return -1
+	}
+	w := r.best[0].e
+	for _, it := range r.best[1:] {
+		if it.e < w {
+			w = it.e
+		}
+	}
+	return w
+}
+
+func heapInsert(h batchHeap, b, id int, ev float64) batchHeap {
+	if len(h) < b {
+		h = append(h, batchItem{id: id, e: ev, pos: len(h)})
+		h.siftUp(len(h) - 1)
+		return h
+	}
+	if ev > h[0].e {
+		h[0] = batchItem{id: id, e: ev, pos: h[0].pos}
+		h.siftDown(0)
+	}
+	return h
+}
+
+// TestBatchHeapMatchesLinearScan drives both batch keepers with random
+// streams (coarse values force frequent ties) and requires identical
+// worst-member tracking and identical final ID sets.
+func TestBatchHeapMatchesLinearScan(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := xrand.New(seed)
+		b := 1 + r.Intn(12)
+		n := 1 + r.Intn(200)
+		ref := &referenceBatch{b: b}
+		var h batchHeap
+		for i := 0; i < n; i++ {
+			// Values in {0, 0.25, …, 1.75} so ties are common.
+			ev := float64(r.Intn(8)) * 0.25
+			ref.insert(i, ev)
+			h = heapInsert(h, b, i, ev)
+			refWorst := ref.worst()
+			heapWorst := -1.0
+			if len(h) == b {
+				heapWorst = h[0].e
+			}
+			if refWorst != heapWorst {
+				return false
+			}
+		}
+		refIDs := make([]int, len(ref.best))
+		for i, it := range ref.best {
+			refIDs[i] = it.id
+		}
+		heapIDs := make([]int, len(h))
+		for i, it := range h {
+			heapIDs[i] = it.id
+		}
+		sort.Ints(refIDs)
+		sort.Ints(heapIDs)
+		if len(refIDs) != len(heapIDs) {
+			return false
+		}
+		for i := range refIDs {
+			if refIDs[i] != heapIDs[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSelectBatchScratchReuse pins the allocation discipline: repeated
+// selectBatch calls on a warm selector reuse the heap and sort scratch.
+func TestSelectBatchScratchReuse(t *testing.T) {
+	r := xrand.New(5)
+	rel, oracle := randomRelation(r, 5000, 100, 5, 12)
+	e, err := NewEngine(rel, Config{K: 20, Threshold: 0.9, BatchSize: 8}, oracle, nil, simclock.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := e.sel.selectBatch()
+	if len(first) == 0 {
+		t.Fatal("no batch selected")
+	}
+	// Warm path: no resort (schedule says reuse), heap reused → the only
+	// allocation left is the returned ID slice.
+	allocs := testing.AllocsPerRun(20, func() {
+		_ = e.sel.selectBatch()
+	})
+	if allocs > 2 {
+		t.Fatalf("selectBatch allocates %v objects per warm call, want ≤ 2", allocs)
+	}
+}

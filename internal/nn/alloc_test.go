@@ -1,0 +1,156 @@
+package nn
+
+import (
+	"sync"
+	"testing"
+
+	"github.com/everest-project/everest/internal/xrand"
+)
+
+// buildPredictModel mirrors the ArchPooled CMDN: Dense→ReLU backbone with
+// an MDN head — the shape Predict runs millions of times in Phase 1.
+func buildPredictModel() *Model {
+	r := xrand.New(99)
+	return &Model{
+		Backbone: NewSequential(NewDense(32, 24, r), NewReLU(24)),
+		Head:     NewMDN(24, 8, r),
+	}
+}
+
+func TestPredictAllocationFree(t *testing.T) {
+	m := buildPredictModel()
+	x := make([]float64, 32)
+	for i := range x {
+		x[i] = float64(i) * 0.1
+	}
+	m.Predict(x) // warm up scratch
+	if allocs := testing.AllocsPerRun(100, func() { m.Predict(x) }); allocs != 0 {
+		t.Fatalf("Model.Predict allocates %v objects per call, want 0", allocs)
+	}
+}
+
+func TestTrainStepAllocationFree(t *testing.T) {
+	m := buildPredictModel()
+	x := make([]float64, 32)
+	for i := range x {
+		x[i] = float64(i) * 0.1
+	}
+	step := func() {
+		feat := m.Backbone.Forward(x)
+		m.Head.Forward(feat)
+		gradFeat := m.Head.Backward(0.5)
+		m.Backbone.Backward(gradFeat)
+	}
+	step() // warm up scratch
+	if allocs := testing.AllocsPerRun(100, step); allocs != 0 {
+		t.Fatalf("forward/backward allocates %v objects per call, want 0", allocs)
+	}
+}
+
+func TestConvStackAllocationFree(t *testing.T) {
+	r := xrand.New(7)
+	seq := NewSequential(
+		NewConv2D(1, 8, 8, 2, r),
+		NewReLU(2*8*8),
+		NewMaxPool2D(2, 8, 8),
+		NewDense(2*4*4, 3, r),
+	)
+	x := make([]float64, 64)
+	for i := range x {
+		x[i] = float64(i%5) * 0.2
+	}
+	grad := []float64{1, -1, 0.5}
+	step := func() {
+		seq.Forward(x)
+		seq.Backward(grad)
+	}
+	step()
+	if allocs := testing.AllocsPerRun(50, step); allocs != 0 {
+		t.Fatalf("conv stack allocates %v objects per call, want 0", allocs)
+	}
+}
+
+func TestCloneForInferenceMatchesOriginal(t *testing.T) {
+	m := buildPredictModel()
+	clone := m.CloneForInference()
+	x := []float64{0.3}
+	xs := make([]float64, 32)
+	for i := range xs {
+		xs[i] = x[0] * float64(i)
+	}
+	want := m.Predict(xs)
+	got := clone.Predict(xs)
+	if len(want) != len(got) {
+		t.Fatalf("clone mixture size %d vs %d", len(got), len(want))
+	}
+	for i := range want {
+		if want[i] != got[i] {
+			t.Fatalf("component %d: clone %+v vs original %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestCloneForInferenceConcurrent(t *testing.T) {
+	m := buildPredictModel()
+	const workers = 8
+	const perWorker = 200
+	inputs := make([][]float64, perWorker)
+	r := xrand.New(3)
+	for i := range inputs {
+		inputs[i] = make([]float64, 32)
+		for j := range inputs[i] {
+			inputs[i][j] = r.Norm()
+		}
+	}
+	// Serial reference means.
+	want := make([]float64, perWorker)
+	for i, x := range inputs {
+		want[i] = m.Predict(x).Mean()
+	}
+	var wg sync.WaitGroup
+	errs := make([]string, workers)
+	for w := 0; w < workers; w++ {
+		clone := m.CloneForInference()
+		wg.Add(1)
+		go func(w int, c *Model) {
+			defer wg.Done()
+			for i, x := range inputs {
+				if got := c.Predict(x).Mean(); got != want[i] {
+					errs[w] = "clone diverged from serial prediction"
+					return
+				}
+			}
+		}(w, clone)
+	}
+	wg.Wait()
+	for _, e := range errs {
+		if e != "" {
+			t.Fatal(e)
+		}
+	}
+}
+
+func TestCloneConvModel(t *testing.T) {
+	r := xrand.New(11)
+	m := &Model{
+		Backbone: NewSequential(
+			NewConv2D(1, 8, 8, 2, r),
+			NewReLU(2*8*8),
+			NewMaxPool2D(2, 8, 8),
+			NewDense(2*4*4, 6, r),
+			NewReLU(6),
+		),
+		Head: NewMDN(6, 3, r),
+	}
+	x := make([]float64, 64)
+	for i := range x {
+		x[i] = float64(i%7) * 0.1
+	}
+	want := m.Predict(x)
+	got := m.CloneForInference().Predict(x)
+	for i := range want {
+		if want[i] != got[i] {
+			t.Fatalf("conv clone component %d: %+v vs %+v", i, got[i], want[i])
+		}
+	}
+}

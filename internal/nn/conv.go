@@ -16,6 +16,8 @@ type Conv2D struct {
 	k             int
 	w, b          *Param
 	x             []float64
+	fwd           []float64
+	din           []float64
 }
 
 // NewConv2D creates a conv layer with He-initialized 3×3 kernels.
@@ -44,7 +46,8 @@ func (c *Conv2D) Forward(x []float64) []float64 {
 		panic(fmt.Sprintf("nn: Conv2D input %d, want %d", len(x), c.inSize()))
 	}
 	c.x = x
-	out := make([]float64, c.OutSize())
+	c.fwd = scratch(c.fwd, c.OutSize())
+	out := c.fwd
 	pad := c.k / 2
 	for oc := 0; oc < c.outC; oc++ {
 		for y := 0; y < c.inH; y++ {
@@ -74,7 +77,8 @@ func (c *Conv2D) Forward(x []float64) []float64 {
 
 // Backward implements Layer.
 func (c *Conv2D) Backward(grad []float64) []float64 {
-	din := make([]float64, c.inSize())
+	c.din = zeroed(c.din, c.inSize())
+	din := c.din
 	pad := c.k / 2
 	for oc := 0; oc < c.outC; oc++ {
 		for y := 0; y < c.inH; y++ {
@@ -115,6 +119,8 @@ func (c *Conv2D) Params() []*Param { return []*Param{c.w, c.b} }
 type MaxPool2D struct {
 	c, h, w int // input geometry; h and w must be even
 	argmax  []int
+	fwd     []float64
+	dx      []float64
 }
 
 // NewMaxPool2D creates a pool layer for the given input geometry.
@@ -131,7 +137,8 @@ func (m *MaxPool2D) OutSize() int { return m.c * (m.h / 2) * (m.w / 2) }
 // Forward implements Layer.
 func (m *MaxPool2D) Forward(x []float64) []float64 {
 	oh, ow := m.h/2, m.w/2
-	out := make([]float64, m.OutSize())
+	m.fwd = scratch(m.fwd, m.OutSize())
+	out := m.fwd
 	for c := 0; c < m.c; c++ {
 		for y := 0; y < oh; y++ {
 			for xx := 0; xx < ow; xx++ {
@@ -157,7 +164,8 @@ func (m *MaxPool2D) Forward(x []float64) []float64 {
 
 // Backward implements Layer.
 func (m *MaxPool2D) Backward(grad []float64) []float64 {
-	dx := make([]float64, m.c*m.h*m.w)
+	m.dx = zeroed(m.dx, m.c*m.h*m.w)
+	dx := m.dx
 	for o, g := range grad {
 		dx[m.argmax[o]] += g
 	}

@@ -11,12 +11,21 @@ import (
 // layer mapping the backbone's features to the parameters of g Gaussians —
 // mixing logits α, means μ and log-standard-deviations s — trained by
 // negative log-likelihood [23, 27].
+//
+// All per-call working memory (mixture parameters, responsibilities,
+// gradients) lives in buffers sized once at construction, so Forward, NLL
+// and Backward allocate nothing. The Mixture returned by Forward is owned
+// by the head and valid until its next Forward.
 type MDN struct {
 	g     int
 	dense *Dense
 
-	// caches for Backward
+	// caches for NLL/Backward, sized g (lp/logNs/gamma) at construction.
 	pi, mu, sigma []float64
+	lp            []float64
+	gamma         []float64
+	grad          []float64 // 3g, Backward's head gradient
+	mix           uncertain.Mixture
 }
 
 // minLogSigma floors σ to keep the likelihood finite on near-deterministic
@@ -25,7 +34,17 @@ const minLogSigma = -4
 
 // NewMDN creates a head with g mixture components over featIn features.
 func NewMDN(featIn, g int, r *xrand.RNG) *MDN {
-	m := &MDN{g: g, dense: NewDense(featIn, 3*g, r)}
+	m := &MDN{
+		g:     g,
+		dense: NewDense(featIn, 3*g, r),
+		pi:    make([]float64, g),
+		mu:    make([]float64, g),
+		sigma: make([]float64, g),
+		lp:    make([]float64, g),
+		gamma: make([]float64, g),
+		grad:  make([]float64, 3*g),
+		mix:   make(uncertain.Mixture, g),
+	}
 	// Bias the initial log-sigmas to a moderate spread so early training
 	// does not saturate, and spread the initial means across the
 	// standardized-target range (roughly [-1.5, 4.5] for skewed counts)
@@ -39,13 +58,31 @@ func NewMDN(featIn, g int, r *xrand.RNG) *MDN {
 	return m
 }
 
+// cloneForInference returns a head sharing m's trained weights with
+// private scratch, safe for concurrent Forward/NLL against the original.
+func (m *MDN) cloneForInference() *MDN {
+	return &MDN{
+		g:     m.g,
+		dense: &Dense{in: m.dense.in, out: m.dense.out, w: m.dense.w, b: m.dense.b},
+		pi:    make([]float64, m.g),
+		mu:    make([]float64, m.g),
+		sigma: make([]float64, m.g),
+		lp:    make([]float64, m.g),
+		gamma: make([]float64, m.g),
+		grad:  make([]float64, 3*m.g),
+		mix:   make(uncertain.Mixture, m.g),
+	}
+}
+
 // Components returns g.
 func (m *MDN) Components() int { return m.g }
 
 // Params returns the head's trainable parameters.
 func (m *MDN) Params() []*Param { return m.dense.Params() }
 
-// Forward computes the predicted mixture for a feature vector.
+// Forward computes the predicted mixture for a feature vector. The
+// returned Mixture is owned by the head and valid until the next Forward;
+// callers that retain it must copy.
 func (m *MDN) Forward(feat []float64) uncertain.Mixture {
 	raw := m.dense.Forward(feat)
 	g := m.g
@@ -56,23 +93,19 @@ func (m *MDN) Forward(feat []float64) uncertain.Mixture {
 	for _, a := range alpha[1:] {
 		maxA = math.Max(maxA, a)
 	}
-	m.pi = make([]float64, g)
 	sum := 0.0
 	for j, a := range alpha {
 		m.pi[j] = math.Exp(a - maxA)
 		sum += m.pi[j]
 	}
-	mix := make(uncertain.Mixture, g)
-	m.mu = make([]float64, g)
-	m.sigma = make([]float64, g)
 	for j := 0; j < g; j++ {
 		m.pi[j] /= sum
 		m.mu[j] = muRaw[j]
 		s := math.Max(sRaw[j], minLogSigma)
 		m.sigma[j] = math.Exp(s)
-		mix[j] = uncertain.GaussianComponent{Weight: m.pi[j], Mean: m.mu[j], Sigma: m.sigma[j]}
+		m.mix[j] = uncertain.GaussianComponent{Weight: m.pi[j], Mean: m.mu[j], Sigma: m.sigma[j]}
 	}
-	return mix
+	return m.mix
 }
 
 // NLL returns the negative log-likelihood of target y under the mixture
@@ -80,7 +113,7 @@ func (m *MDN) Forward(feat []float64) uncertain.Mixture {
 func (m *MDN) NLL(y float64) float64 {
 	// logsumexp over log π_j + log N_j.
 	best := math.Inf(-1)
-	lp := make([]float64, m.g)
+	lp := m.lp
 	for j := 0; j < m.g; j++ {
 		z := (y - m.mu[j]) / m.sigma[j]
 		lp[j] = math.Log(m.pi[j]) - math.Log(m.sigma[j]) - 0.5*z*z - 0.5*math.Log(2*math.Pi)
@@ -98,7 +131,7 @@ func (m *MDN) NLL(y float64) float64 {
 func (m *MDN) Backward(y float64) []float64 {
 	g := m.g
 	// Responsibilities γ_j = π_j N_j / Σ π N (computed stably).
-	logNs := make([]float64, g)
+	logNs := m.lp
 	best := math.Inf(-1)
 	for j := 0; j < g; j++ {
 		z := (y - m.mu[j]) / m.sigma[j]
@@ -106,7 +139,7 @@ func (m *MDN) Backward(y float64) []float64 {
 		best = math.Max(best, logNs[j])
 	}
 	var norm float64
-	gamma := make([]float64, g)
+	gamma := m.gamma
 	for j := 0; j < g; j++ {
 		gamma[j] = math.Exp(logNs[j] - best)
 		norm += gamma[j]
@@ -115,7 +148,7 @@ func (m *MDN) Backward(y float64) []float64 {
 		gamma[j] /= norm
 	}
 
-	grad := make([]float64, 3*g)
+	grad := m.grad
 	for j := 0; j < g; j++ {
 		// dL/dα_j = π_j − γ_j (softmax + NLL).
 		grad[j] = m.pi[j] - gamma[j]

@@ -1,10 +1,20 @@
 // Package nn is a small from-scratch neural-network substrate built for
 // the CMDN proxy scorer (§3.2): dense and convolutional layers, ReLU,
 // max-pooling, an Adam optimizer and a mixture-density output head trained
-// by negative log-likelihood. It is single-threaded, slice-based and
-// deliberately free of cleverness — the reproduction needs a correct,
-// deterministic trainer at sample counts of a few thousand, not a
-// framework.
+// by negative log-likelihood. It is slice-based and deliberately free of
+// cleverness — the reproduction needs a correct, deterministic trainer at
+// sample counts of a few thousand, not a framework.
+//
+// Memory discipline: layers own reusable scratch buffers, so the
+// steady-state forward/backward hot path allocates nothing. The slices
+// returned by Forward and Backward are owned by the layer and remain valid
+// only until its next call; callers that retain results must copy.
+//
+// Concurrency: a Layer or Model instance processes one sample at a time
+// and is NOT safe for concurrent use. Model.CloneForInference returns a
+// clone that shares the trained weights but owns private scratch, so N
+// clones can run Forward/Predict on N goroutines as long as nobody trains
+// concurrently.
 package nn
 
 import (
@@ -34,7 +44,8 @@ func (p *Param) ZeroGrad() {
 }
 
 // Layer is a differentiable transform. Forward caches whatever Backward
-// needs, so a Layer instance processes one sample at a time.
+// needs, so a Layer instance processes one sample at a time. Forward and
+// Backward return layer-owned scratch, valid until the next call.
 type Layer interface {
 	// Forward maps the input activation to the output activation.
 	Forward(x []float64) []float64
@@ -47,11 +58,54 @@ type Layer interface {
 	OutSize() int
 }
 
+// scratch returns buf resized to n, reusing its backing array when able.
+func scratch(buf []float64, n int) []float64 {
+	if cap(buf) < n {
+		return make([]float64, n)
+	}
+	return buf[:n]
+}
+
+// zeroed returns buf resized to n with every element cleared.
+func zeroed(buf []float64, n int) []float64 {
+	buf = scratch(buf, n)
+	for i := range buf {
+		buf[i] = 0
+	}
+	return buf
+}
+
+// cloneLayerForInference returns a layer sharing l's trainable parameters
+// but owning private activation scratch. All layer types defined in this
+// package are supported; cloning an unknown Layer implementation panics.
+func cloneLayerForInference(l Layer) Layer {
+	switch v := l.(type) {
+	case *Dense:
+		return &Dense{in: v.in, out: v.out, w: v.w, b: v.b}
+	case *ReLU:
+		return NewReLU(v.n)
+	case *Conv2D:
+		return &Conv2D{inC: v.inC, inH: v.inH, inW: v.inW, outC: v.outC, k: v.k, w: v.w, b: v.b}
+	case *MaxPool2D:
+		return NewMaxPool2D(v.c, v.h, v.w)
+	case *Sequential:
+		layers := make([]Layer, len(v.layers))
+		for i, l := range v.layers {
+			layers[i] = cloneLayerForInference(l)
+		}
+		return &Sequential{layers: layers}
+	default:
+		panic(fmt.Sprintf("nn: cannot clone layer of type %T", l))
+	}
+}
+
 // Dense is a fully connected layer: out = W·x + b.
 type Dense struct {
 	in, out int
 	w, b    *Param
 	x       []float64 // cached input
+	fwd     []float64 // Forward scratch
+	dx      []float64 // Backward scratch
 }
 
 // NewDense creates a dense layer with He-initialized weights.
@@ -70,7 +124,8 @@ func (d *Dense) Forward(x []float64) []float64 {
 		panic(fmt.Sprintf("nn: Dense input %d, want %d", len(x), d.in))
 	}
 	d.x = x
-	out := make([]float64, d.out)
+	d.fwd = scratch(d.fwd, d.out)
+	out := d.fwd
 	for o := 0; o < d.out; o++ {
 		s := d.b.W[o]
 		row := d.w.W[o*d.in : (o+1)*d.in]
@@ -84,7 +139,8 @@ func (d *Dense) Forward(x []float64) []float64 {
 
 // Backward implements Layer.
 func (d *Dense) Backward(grad []float64) []float64 {
-	dx := make([]float64, d.in)
+	d.dx = zeroed(d.dx, d.in)
+	dx := d.dx
 	for o := 0; o < d.out; o++ {
 		g := grad[o]
 		d.b.G[o] += g
@@ -108,6 +164,8 @@ func (d *Dense) OutSize() int { return d.out }
 type ReLU struct {
 	n    int
 	mask []bool
+	fwd  []float64
+	dx   []float64
 }
 
 // NewReLU creates a ReLU over n units.
@@ -115,12 +173,14 @@ func NewReLU(n int) *ReLU { return &ReLU{n: n, mask: make([]bool, n)} }
 
 // Forward implements Layer.
 func (r *ReLU) Forward(x []float64) []float64 {
-	out := make([]float64, len(x))
+	r.fwd = scratch(r.fwd, len(x))
+	out := r.fwd
 	for i, v := range x {
 		if v > 0 {
 			out[i] = v
 			r.mask[i] = true
 		} else {
+			out[i] = 0
 			r.mask[i] = false
 		}
 	}
@@ -129,10 +189,13 @@ func (r *ReLU) Forward(x []float64) []float64 {
 
 // Backward implements Layer.
 func (r *ReLU) Backward(grad []float64) []float64 {
-	dx := make([]float64, len(grad))
+	r.dx = scratch(r.dx, len(grad))
+	dx := r.dx
 	for i, g := range grad {
 		if r.mask[i] {
 			dx[i] = g
+		} else {
+			dx[i] = 0
 		}
 	}
 	return dx

@@ -16,12 +16,26 @@ type Model struct {
 	Head *MDN
 }
 
-// Predict returns the predicted score distribution for input x.
+// Predict returns the predicted score distribution for input x. The
+// returned Mixture is backed by model-owned scratch and valid until the
+// next Predict/Forward on this model; callers that retain it must copy.
 func (m *Model) Predict(x []float64) uncertain.Mixture {
 	if m.Backbone != nil {
 		x = m.Backbone.Forward(x)
 	}
 	return m.Head.Forward(x)
+}
+
+// CloneForInference returns a model that shares m's trained weights but
+// owns private activation scratch. Clones support concurrent Predict (one
+// goroutine per clone) as long as no goroutine trains the shared weights
+// at the same time.
+func (m *Model) CloneForInference() *Model {
+	c := &Model{Head: m.Head.cloneForInference()}
+	if m.Backbone != nil {
+		c.Backbone = cloneLayerForInference(m.Backbone)
+	}
+	return c
 }
 
 // params collects all trainable parameters.

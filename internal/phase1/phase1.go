@@ -16,6 +16,7 @@ import (
 	"github.com/everest-project/everest/internal/video"
 	"github.com/everest-project/everest/internal/vision"
 	"github.com/everest-project/everest/internal/windows"
+	"github.com/everest-project/everest/internal/workpool"
 	"github.com/everest-project/everest/internal/xrand"
 )
 
@@ -41,6 +42,10 @@ type Options struct {
 	Cost simclock.CostModel
 	// Seed drives sampling and training.
 	Seed uint64
+	// Procs bounds the worker count for feature extraction, CMDN grid
+	// training and D0 proxy-inference sweeps; ≤ 0 means GOMAXPROCS.
+	// Results are bit-identical for every value.
+	Procs int
 }
 
 func (o Options) withDefaults() Options {
@@ -91,6 +96,7 @@ type State struct {
 	arch  cmdn.Arch
 	clock *simclock.Clock
 	cost  simclock.CostModel
+	procs int
 }
 
 // Run executes Phase 1.
@@ -145,12 +151,14 @@ func Run(src video.Source, udf vision.UDF, opt Options, clock *simclock.Clock) (
 	holdScores := label(holdIdx)
 
 	arch := opt.Proxy.Arch
+	// Feature extraction is a pure function of the frame index, so samples
+	// can be rendered and featurized on all cores with index-ordered
+	// emission.
 	mkSamples := func(idx []int, scores []float64) []cmdn.Sample {
-		out := make([]cmdn.Sample, len(idx))
-		for k, i := range idx {
-			out[k] = cmdn.Sample{Frame: i, X: cmdn.InputFor(arch, src.Render(i)), Y: scores[k]}
-		}
-		return out
+		return workpool.Map(opt.Procs, len(idx), func(_, k int) cmdn.Sample {
+			i := idx[k]
+			return cmdn.Sample{Frame: i, X: cmdn.InputFor(arch, src.Render(i)), Y: scores[k]}
+		})
 	}
 
 	proxyCfg := opt.Proxy
@@ -158,6 +166,9 @@ func Run(src video.Source, udf vision.UDF, opt Options, clock *simclock.Clock) (
 	proxyCfg.FrameW, proxyCfg.FrameH = w, h
 	if proxyCfg.Seed == 0 {
 		proxyCfg.Seed = rng.Split("cmdn").Uint64()
+	}
+	if proxyCfg.Procs == 0 {
+		proxyCfg.Procs = opt.Procs
 	}
 	proxy, _, err := cmdn.Train(mkSamples(trainIdx, trainScores), mkSamples(holdIdx, holdScores), proxyCfg, clock, opt.Cost)
 	if err != nil {
@@ -197,6 +208,7 @@ func Run(src video.Source, udf vision.UDF, opt Options, clock *simclock.Clock) (
 		arch:    arch,
 		clock:   clock,
 		cost:    opt.Cost,
+		procs:   opt.Procs,
 		Info: Info{
 			TotalFrames:    n,
 			TrainSamples:   len(trainIdx),
@@ -214,24 +226,62 @@ func (s *State) MixtureOf(i int) uncertain.Mixture {
 	return s.Proxy.PredictFrame(s.Src.Render(i))
 }
 
+// InferMixtures runs proxy inference for the given frames on all
+// configured workers and returns the mixtures in input order, identical
+// to calling MixtureOf serially. No cost is charged; charging happens
+// where inference volume is decided.
+func (s *State) InferMixtures(ids []int) []uncertain.Mixture {
+	return workpool.MapWith(s.procs, len(ids), s.Proxy.CloneForInference,
+		func(p *cmdn.Proxy, k int) uncertain.Mixture {
+			return p.PredictFrame(s.Src.Render(ids[k]))
+		})
+}
+
+// InferRetainedMixtures runs proxy inference for every retained frame
+// without an exact Phase 1 label, on all configured workers, and returns
+// those frame IDs with their mixtures in retained order. No cost is
+// charged; callers charge where the inference volume is decided.
+func (s *State) InferRetainedMixtures() ([]int, []uncertain.Mixture) {
+	ids := make([]int, 0, len(s.Diff.Retained))
+	for _, f := range s.Diff.Retained {
+		if _, ok := s.Labeled[f]; !ok {
+			ids = append(ids, f)
+		}
+	}
+	return ids, s.InferMixtures(ids)
+}
+
 // FrameRelation builds D0 over retained frames: labelled frames enter as
 // certain tuples (§3.2), the rest get their quantized CMDN distribution.
-// Proxy inference cost is charged per inferred frame.
+// Tuples are computed on all configured workers and emitted in retained
+// order, bit-identical to the serial scan. Proxy inference cost is
+// charged per inferred frame.
 func (s *State) FrameRelation(qopt uncertain.QuantizeOptions) uncertain.Relation {
-	rel := make(uncertain.Relation, 0, len(s.Diff.Retained))
+	type tupleOut struct {
+		dist     uncertain.Dist
+		inferred bool
+	}
+	outs := workpool.MapWith(s.procs, len(s.Diff.Retained), s.Proxy.CloneForInference,
+		func(p *cmdn.Proxy, k int) tupleOut {
+			i := s.Diff.Retained[k]
+			if score, ok := s.Labeled[i]; ok {
+				return tupleOut{dist: uncertain.Certain(ClampLevel(uncertain.LevelOf(score, qopt.Step), qopt))}
+			}
+			mix := p.PredictFrame(s.Src.Render(i))
+			d, err := uncertain.Quantize(mix, qopt)
+			if err != nil {
+				// Degenerate mixture: fall back to a point mass at its mean.
+				d = uncertain.Certain(ClampLevel(uncertain.LevelOf(mix.Mean(), qopt.Step), qopt))
+			}
+			return tupleOut{dist: d, inferred: true}
+		})
+	rel := make(uncertain.Relation, len(outs))
 	inferred := 0
-	for _, i := range s.Diff.Retained {
-		if score, ok := s.Labeled[i]; ok {
-			rel = append(rel, uncertain.XTuple{ID: i, Dist: uncertain.Certain(ClampLevel(uncertain.LevelOf(score, qopt.Step), qopt))})
-			continue
+	for k, o := range outs {
+		rel[k] = uncertain.XTuple{ID: s.Diff.Retained[k], Dist: o.dist}
+		if o.inferred {
+			inferred++
 		}
-		inferred++
-		d, err := uncertain.Quantize(s.MixtureOf(i), qopt)
-		if err != nil {
-			// Degenerate mixture: fall back to a point mass at its mean.
-			d = uncertain.Certain(ClampLevel(uncertain.LevelOf(s.MixtureOf(i).Mean(), qopt.Step), qopt))
-		}
-		rel = append(rel, uncertain.XTuple{ID: i, Dist: d})
 	}
 	s.clock.Charge(simclock.PhasePopulateD0, float64(inferred)*s.cost.ProxyMS)
 	return rel
@@ -247,34 +297,47 @@ func (s *State) WindowRelation(size int, qopt uncertain.QuantizeOptions) (uncert
 // given size starting every stride frames. Stride < size produces
 // overlapping (correlated) windows; the caller must then run Phase 2 with
 // the union bound.
+//
+// The representatives the window aggregation consults are enumerated up
+// front (a cheap segment walk, no pixels touched), their mixtures are
+// inferred on all configured workers, and the relation itself is then
+// assembled serially from the cache — so the result, and the simulated
+// inference charge, match the serial lazy-cache path exactly.
 func (s *State) WindowRelationStrided(size, stride int, qopt uncertain.QuantizeOptions) (uncertain.Relation, error) {
-	mixCache := make(map[int]windows.FrameScore, len(s.Diff.Retained))
-	inferred := 0
-	scoreOf := func(rep int) windows.FrameScore {
-		if fs, ok := mixCache[rep]; ok {
-			return fs
-		}
-		var fs windows.FrameScore
-		if score, ok := s.Labeled[rep]; ok {
-			fs = windows.FrameScore{IsExact: true, Exact: score}
-		} else {
-			inferred++
-			fs = windows.FrameScore{Mix: s.MixtureOf(rep)}
-		}
-		mixCache[rep] = fs
-		return fs
-	}
 	maxLevel := 0
 	if qopt.MaxLevel > 0 && qopt.MaxLevel < int(^uint(0)>>1) {
 		maxLevel = qopt.MaxLevel
 	}
-	rel, err := windows.BuildRelation(scoreOf, s.Diff, windows.Options{
+	wopt := windows.Options{
 		Size:     size,
 		Stride:   stride,
 		Step:     qopt.Step,
 		MaxLevel: maxLevel,
-	})
-	s.clock.Charge(simclock.PhasePopulateD0, float64(inferred)*s.cost.ProxyMS)
+	}
+	reps := windows.Reps(s.Diff, wopt)
+	inferIDs := make([]int, 0, len(reps))
+	mixCache := make(map[int]windows.FrameScore, len(reps))
+	for _, rep := range reps {
+		if score, ok := s.Labeled[rep]; ok {
+			mixCache[rep] = windows.FrameScore{IsExact: true, Exact: score}
+		} else {
+			inferIDs = append(inferIDs, rep)
+		}
+	}
+	for k, mix := range s.InferMixtures(inferIDs) {
+		mixCache[inferIDs[k]] = windows.FrameScore{Mix: mix}
+	}
+	rel, err := windows.BuildRelation(func(rep int) windows.FrameScore {
+		fs, ok := mixCache[rep]
+		if !ok {
+			// windows.Reps enumerates exactly BuildRelation's requests; a
+			// miss means the two went out of sync and the window means
+			// would silently be wrong.
+			panic(fmt.Sprintf("phase1: representative %d missing from precomputed window cache", rep))
+		}
+		return fs
+	}, s.Diff, wopt)
+	s.clock.Charge(simclock.PhasePopulateD0, float64(len(inferIDs))*s.cost.ProxyMS)
 	return rel, err
 }
 

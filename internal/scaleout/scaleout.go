@@ -40,6 +40,7 @@ import (
 	"github.com/everest-project/everest/internal/video"
 	"github.com/everest-project/everest/internal/vision"
 	"github.com/everest-project/everest/internal/windows"
+	"github.com/everest-project/everest/internal/workpool"
 	"github.com/everest-project/everest/internal/xrand"
 )
 
@@ -245,6 +246,10 @@ func runShard(src video.Source, udf vision.UDF, opt Options, qopt uncertain.Quan
 	clock := simclock.NewClock()
 	p1opt := opt.Phase1
 	p1opt.Seed = seed
+	// All shards run concurrently, so each gets an equal slice of the CPU
+	// budget instead of a full fan-out of its own (which would oversubscribe
+	// the cores workers×procs). Procs never affects results, only speed.
+	p1opt.Procs = max(1, workpool.Procs(p1opt.Procs)/opt.Workers)
 	st, err := phase1.Run(slice, udf, p1opt, clock)
 	if err != nil {
 		return shardOut{err: err}
@@ -253,18 +258,19 @@ func runShard(src video.Source, udf vision.UDF, opt Options, qopt uncertain.Quan
 	if opt.Window > 0 {
 		// Window queries need per-retained-frame Phase 1 knowledge in
 		// global coordinates; aggregation happens after the merge because
-		// windows may straddle shard boundaries.
+		// windows may straddle shard boundaries. Proxy inference for the
+		// unlabeled retained frames runs on all configured workers.
 		scores := make(map[int]windows.FrameScore, len(st.Diff.Retained))
-		inferred := 0
 		for _, f := range st.Diff.Retained {
 			if s, ok := st.Labeled[f]; ok {
 				scores[lo+f] = windows.FrameScore{IsExact: true, Exact: s}
-				continue
 			}
-			inferred++
-			scores[lo+f] = windows.FrameScore{Mix: st.MixtureOf(f)}
 		}
-		clock.Charge(simclock.PhasePopulateD0, float64(inferred)*p1opt.Cost.ProxyMS)
+		inferIDs, mixes := st.InferRetainedMixtures()
+		for k, f := range inferIDs {
+			scores[lo+f] = windows.FrameScore{Mix: mixes[k]}
+		}
+		clock.Charge(simclock.PhasePopulateD0, float64(len(inferIDs))*p1opt.Cost.ProxyMS)
 		out.scores = scores
 		return out
 	}

@@ -1,0 +1,128 @@
+// Package workpool is the deterministic parallel-execution substrate of
+// the real-CPU hot paths: CMDN grid training, Phase 1 feature extraction
+// and D0 population, and proxy inference sweeps all fan out through it.
+//
+// Determinism contract: every helper assigns work by item index, collects
+// results into index-ordered slots, and reduces in ascending index order.
+// A computation that is a pure function of its item index therefore
+// produces byte-identical output regardless of the worker count — the
+// property the engine's "same Config.Seed ⇒ same Result" guarantee rests
+// on. The scheduling (which worker runs which index, in what real-time
+// order) is intentionally unobservable.
+//
+// All helpers run the caller's function on the calling goroutine when the
+// effective worker count is 1 or the item count is small, so the serial
+// path is exactly the naive loop.
+package workpool
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Procs resolves a parallelism knob: values ≤ 0 mean "use all cores"
+// (GOMAXPROCS); positive values are returned unchanged.
+func Procs(requested int) int {
+	if requested <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return requested
+}
+
+// ForEach runs fn(worker, i) for every i in [0, n), spread over up to
+// procs workers. Worker IDs are dense in [0, workers) so callers can give
+// each worker private scratch (model clones, buffers); every index is
+// processed by exactly one worker. Panics inside fn are captured and
+// re-raised on the calling goroutine.
+func ForEach(procs, n int, fn func(worker, i int)) {
+	if n <= 0 {
+		return
+	}
+	p := Procs(procs)
+	if p > n {
+		p = n
+	}
+	if p == 1 {
+		for i := 0; i < n; i++ {
+			fn(0, i)
+		}
+		return
+	}
+	var (
+		next int64 = 0
+		wg   sync.WaitGroup
+		pmu  sync.Mutex
+		pval any
+	)
+	wg.Add(p)
+	for w := 0; w < p; w++ {
+		go func(worker int) {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					pmu.Lock()
+					if pval == nil {
+						pval = r
+					}
+					pmu.Unlock()
+				}
+			}()
+			for {
+				i := int(atomic.AddInt64(&next, 1)) - 1
+				if i >= n {
+					return
+				}
+				fn(worker, i)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if pval != nil {
+		panic(fmt.Sprintf("workpool: worker panic: %v", pval))
+	}
+}
+
+// Map runs fn(worker, i) for every i in [0, n) and returns the results in
+// index order. The output is identical for every worker count as long as
+// fn(_, i) is a pure function of i.
+func Map[T any](procs, n int, fn func(worker, i int) T) []T {
+	out := make([]T, n)
+	ForEach(procs, n, func(worker, i int) {
+		out[i] = fn(worker, i)
+	})
+	return out
+}
+
+// MapWith is Map for workers that need private mutable scratch (model
+// clones, buffers): newScratch runs at most once per worker, lazily, on
+// that worker's goroutine, and fn receives the worker's own instance.
+// The scratch must not influence fn's result value, only its speed.
+func MapWith[S, T any](procs, n int, newScratch func() S, fn func(scratch S, i int) T) []T {
+	p := Procs(procs)
+	scratch := make([]S, p)
+	made := make([]bool, p)
+	out := make([]T, n)
+	ForEach(p, n, func(worker, i int) {
+		if !made[worker] {
+			scratch[worker] = newScratch()
+			made[worker] = true
+		}
+		out[i] = fn(scratch[worker], i)
+	})
+	return out
+}
+
+// Sum computes Σ fn(worker, i) for i in [0, n). Per-item terms are
+// computed in parallel but reduced serially in ascending index order, so
+// the floating-point rounding — and therefore the result bits — match the
+// naive serial loop exactly, for every worker count.
+func Sum(procs, n int, fn func(worker, i int) float64) float64 {
+	terms := Map(procs, n, fn)
+	total := 0.0
+	for _, t := range terms {
+		total += t
+	}
+	return total
+}

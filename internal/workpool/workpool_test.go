@@ -1,0 +1,121 @@
+package workpool
+
+import (
+	"math"
+	"runtime"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+func TestProcs(t *testing.T) {
+	if got := Procs(0); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Procs(0) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := Procs(-3); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Procs(-3) = %d", got)
+	}
+	if got := Procs(5); got != 5 {
+		t.Fatalf("Procs(5) = %d", got)
+	}
+}
+
+func TestForEachCoversEveryIndexOnce(t *testing.T) {
+	for _, procs := range []int{1, 2, 7, 64} {
+		const n = 1000
+		counts := make([]int64, n)
+		ForEach(procs, n, func(_, i int) {
+			atomic.AddInt64(&counts[i], 1)
+		})
+		for i, c := range counts {
+			if c != 1 {
+				t.Fatalf("procs=%d: index %d processed %d times", procs, i, c)
+			}
+		}
+	}
+}
+
+func TestForEachWorkerIDsDense(t *testing.T) {
+	const n = 200
+	var maxWorker int64 = -1
+	ForEach(4, n, func(w, _ int) {
+		for {
+			cur := atomic.LoadInt64(&maxWorker)
+			if int64(w) <= cur || atomic.CompareAndSwapInt64(&maxWorker, cur, int64(w)) {
+				break
+			}
+		}
+		if w < 0 || w >= 4 {
+			t.Errorf("worker id %d out of [0,4)", w)
+		}
+	})
+}
+
+func TestForEachZeroAndNegativeN(t *testing.T) {
+	called := false
+	ForEach(4, 0, func(_, _ int) { called = true })
+	ForEach(4, -5, func(_, _ int) { called = true })
+	if called {
+		t.Fatal("fn called for empty range")
+	}
+}
+
+func TestMapOrdered(t *testing.T) {
+	for _, procs := range []int{1, 3, 16} {
+		got := Map(procs, 500, func(_, i int) int { return i * i })
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("procs=%d: out[%d] = %d", procs, i, v)
+			}
+		}
+	}
+}
+
+func TestSumBitIdenticalAcrossWorkerCounts(t *testing.T) {
+	// Sums of values at wildly different magnitudes expose any change in
+	// reduction order; all worker counts must agree bit-for-bit with the
+	// serial loop.
+	const n = 4096
+	term := func(_, i int) float64 {
+		return math.Sin(float64(i)) * math.Pow(10, float64(i%30)-15)
+	}
+	want := 0.0
+	for i := 0; i < n; i++ {
+		want += term(0, i)
+	}
+	for _, procs := range []int{1, 2, 5, 32} {
+		if got := Sum(procs, n, term); got != want {
+			t.Fatalf("procs=%d: sum %v != serial %v", procs, got, want)
+		}
+	}
+}
+
+func TestForEachPanicPropagates(t *testing.T) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("worker panic not propagated")
+		}
+		if s, ok := r.(string); !ok || !strings.Contains(s, "boom") {
+			t.Fatalf("unexpected panic value %v", r)
+		}
+	}()
+	ForEach(4, 100, func(_, i int) {
+		if i == 37 {
+			panic("boom")
+		}
+	})
+}
+
+func TestForEachSerialPanicPropagates(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("serial panic not propagated")
+		}
+	}()
+	ForEach(1, 3, func(_, i int) {
+		if i == 1 {
+			panic("boom")
+		}
+	})
+}

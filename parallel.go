@@ -1,7 +1,6 @@
 package everest
 
 import (
-	"github.com/everest-project/everest/internal/phase1"
 	"github.com/everest-project/everest/internal/scaleout"
 	"github.com/everest-project/everest/internal/uncertain"
 	"github.com/everest-project/everest/internal/video"
@@ -41,17 +40,11 @@ func RunParallel(src video.Source, udf vision.UDF, cfg Config, workers int) (*Pa
 		Stride:           cfg.Stride,
 		WindowSampleFrac: cfg.WindowSampleFrac,
 		UnionBound:       cfg.UnionBound,
-		Phase1: phase1.Options{
-			SampleFrac:  cfg.SampleFrac,
-			SampleCap:   cfg.SampleCap,
-			MinSamples:  cfg.MinSamples,
-			HoldoutFrac: cfg.HoldoutFrac,
-			Diff:        cfg.Diff,
-			DisableDiff: cfg.DisableDiff,
-			Proxy:       cfg.Proxy,
-			Cost:        cfg.Cost,
-		},
-		Seed: cfg.Seed,
+		// Seed 0 here: scaleout ignores Phase1.Seed and derives per-shard
+		// streams from its own Seed. Procs rides along, so each shard's
+		// inner pipeline also uses the multi-core engine.
+		Phase1: cfg.phase1Options(0),
+		Seed:   cfg.Seed,
 	})
 	if err != nil {
 		return nil, err

@@ -1,0 +1,122 @@
+package everest
+
+import (
+	"runtime"
+	"testing"
+
+	"github.com/everest-project/everest/internal/video"
+	"github.com/everest-project/everest/internal/vision"
+)
+
+// TestRunProcsBitIdentical is the engine-level determinism guarantee: the
+// multi-core execution engine must produce byte-identical results to the
+// serial path for every worker count — same Top-K IDs, scores,
+// confidence, Phase 2 counters and simulated charges.
+func TestRunProcsBitIdentical(t *testing.T) {
+	udf := vision.CountUDF{Class: video.ClassCar}
+	// 8 forces multi-worker scheduling even on small CI machines;
+	// NumCPU covers the documented default.
+	workerCounts := []int{8, runtime.NumCPU()}
+	for _, seed := range []uint64{7, 29, 101} {
+		cfg := smallCfg(5)
+		cfg.Seed = seed
+		cfg.Procs = 1
+		src := testSource(t, 6000, seed)
+		serial, err := Run(src, udf, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, procs := range workerCounts {
+			pcfg := cfg
+			pcfg.Procs = procs
+			par, err := Run(testSource(t, 6000, seed), udf, pcfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if par.Confidence != serial.Confidence {
+				t.Fatalf("seed %d procs %d: confidence %v != serial %v", seed, procs, par.Confidence, serial.Confidence)
+			}
+			if par.EngineStats != serial.EngineStats {
+				t.Fatalf("seed %d procs %d: stats %+v != serial %+v", seed, procs, par.EngineStats, serial.EngineStats)
+			}
+			if par.Phase1 != serial.Phase1 {
+				t.Fatalf("seed %d procs %d: phase1 %+v != serial %+v", seed, procs, par.Phase1, serial.Phase1)
+			}
+			if par.Clock.TotalMS() != serial.Clock.TotalMS() {
+				t.Fatalf("seed %d procs %d: simulated cost %v != serial %v", seed, procs, par.Clock.TotalMS(), serial.Clock.TotalMS())
+			}
+			for i := range serial.IDs {
+				if par.IDs[i] != serial.IDs[i] || par.Scores[i] != serial.Scores[i] {
+					t.Fatalf("seed %d procs %d: result %d (%d, %v) != serial (%d, %v)",
+						seed, procs, i, par.IDs[i], par.Scores[i], serial.IDs[i], serial.Scores[i])
+				}
+			}
+		}
+	}
+}
+
+// TestWindowQueryProcsBitIdentical covers the window-relation path, whose
+// parallel D0 population precomputes the representative set.
+func TestWindowQueryProcsBitIdentical(t *testing.T) {
+	udf := vision.CountUDF{Class: video.ClassCar}
+	cfg := smallCfg(5)
+	cfg.Window = 30
+	cfg.Procs = 1
+	serial, err := Run(testSource(t, 6000, 43), udf, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Procs = 8
+	par, err := Run(testSource(t, 6000, 43), udf, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if par.Confidence != serial.Confidence || par.Clock.TotalMS() != serial.Clock.TotalMS() {
+		t.Fatalf("window query diverged: conf %v/%v cost %v/%v",
+			par.Confidence, serial.Confidence, par.Clock.TotalMS(), serial.Clock.TotalMS())
+	}
+	for i := range serial.IDs {
+		if par.IDs[i] != serial.IDs[i] || par.Scores[i] != serial.Scores[i] {
+			t.Fatalf("window %d: (%d, %v) != serial (%d, %v)",
+				i, par.IDs[i], par.Scores[i], serial.IDs[i], serial.Scores[i])
+		}
+	}
+}
+
+// TestBuildIndexProcsBitIdentical covers the ingestion path: the index
+// built on all cores must serve identical queries to one built serially.
+func TestBuildIndexProcsBitIdentical(t *testing.T) {
+	udf := vision.CountUDF{Class: video.ClassCar}
+	cfg := smallCfg(5)
+	cfg.Procs = 1
+	src := testSource(t, 6000, 47)
+	serialIx, err := BuildIndex(src, udf, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Procs = 8
+	parIx, err := BuildIndex(testSource(t, 6000, 47), udf, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parIx.IngestMS() != serialIx.IngestMS() {
+		t.Fatalf("ingest cost %v != serial %v", parIx.IngestMS(), serialIx.IngestMS())
+	}
+	qcfg := smallCfg(5)
+	serialRes, err := serialIx.Query(src, udf, qcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parRes, err := parIx.Query(src, udf, qcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parRes.Confidence != serialRes.Confidence {
+		t.Fatalf("query confidence %v != serial %v", parRes.Confidence, serialRes.Confidence)
+	}
+	for i := range serialRes.IDs {
+		if parRes.IDs[i] != serialRes.IDs[i] || parRes.Scores[i] != serialRes.Scores[i] {
+			t.Fatalf("query result %d diverged", i)
+		}
+	}
+}
