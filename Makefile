@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test vet race bench experiments
+.PHONY: build test vet race fuzz bench experiments
 
 build:
 	$(GO) build ./...
@@ -16,8 +16,12 @@ test:
 # Race-check the concurrency packages and the engine determinism tests;
 # the full suite under -race is too slow for a quick gate.
 race:
-	$(GO) test -race ./internal/workpool/ ./internal/cmdn/ ./internal/phase1/ ./internal/nn/ ./internal/diffdet/
-	$(GO) test -race -run 'ProcsBitIdentical' .
+	$(GO) test -race ./internal/workpool/ ./internal/cmdn/ ./internal/phase1/ ./internal/nn/ ./internal/diffdet/ ./internal/windows/ ./internal/core/
+	$(GO) test -race -run 'ProcsBitIdentical|GoldenConcurrent|SessionConcurrent|QueryBatch' .
+
+# Short-budget fuzz of the workpool determinism contract.
+fuzz:
+	$(GO) test -run '^$$' -fuzz FuzzMapOrdering -fuzztime 30s ./internal/workpool/
 
 # Capture the engine benchmark suite into BENCH_engine.json so future
 # changes have a perf trajectory to compare against.

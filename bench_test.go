@@ -13,7 +13,11 @@ package everest_test
 import (
 	"testing"
 
+	everest "github.com/everest-project/everest"
+	"github.com/everest-project/everest/internal/cmdn"
 	"github.com/everest-project/everest/internal/harness"
+	"github.com/everest-project/everest/internal/video"
+	"github.com/everest-project/everest/internal/vision"
 )
 
 // benchScale keeps each figure's benchmark in the seconds range on one
@@ -224,6 +228,50 @@ func BenchmarkSessionReuse(b *testing.B) {
 			b.ReportMetric(aloneMS/sessionMS, "work-sharing-gain")
 		}
 		b.ReportMetric(float64(rows[len(rows)-1].CacheSize), "cached-labels")
+	}
+}
+
+// BenchmarkSessionConcurrent measures the concurrent-serving scenario: 8
+// identical queries answered at once from one shared session over a
+// prebuilt index. Phase 1 runs once outside the loop; each iteration
+// serves the batch from a fresh session (empty cache), so the number
+// reflects the concurrent Phase 2 path, not cache warm-up.
+func BenchmarkSessionConcurrent(b *testing.B) {
+	const callers = 8
+	spec, err := video.DatasetByName("Archie")
+	if err != nil {
+		b.Fatal(err)
+	}
+	src, err := spec.Build(4000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	udf := vision.CountUDF{Class: src.TargetClass()}
+	cfg := everest.Config{
+		K: 10, Threshold: 0.9, Seed: 1,
+		Proxy: cmdn.Config{Grid: []cmdn.Hyper{
+			{G: 5, H: 20}, {G: 5, H: 30}, {G: 8, H: 30}, {G: 12, H: 40},
+		}},
+	}
+	ix, err := everest.BuildIndex(src, udf, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sess, err := everest.NewSession(ix, src, udf)
+		if err != nil {
+			b.Fatal(err)
+		}
+		results, err := sess.RunConcurrent(cfg, callers)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			b.ReportMetric(float64(callers), "concurrent-queries")
+			b.ReportMetric(results[0].Confidence, "confidence")
+			b.ReportMetric(float64(sess.CachedLabels()), "cached-labels")
+		}
 	}
 }
 

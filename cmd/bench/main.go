@@ -61,7 +61,7 @@ type Report struct {
 func main() {
 	var (
 		out       = flag.String("out", "BENCH_engine.json", "output JSON path")
-		pattern   = flag.String("bench", "Fig4Overall|CMDNGridTrain|ProxyPredict|TrainGridPoint|SelectBatch|EngineRun", "benchmark regexp")
+		pattern   = flag.String("bench", "Fig4Overall|CMDNGridTrain|ProxyPredict|TrainGridPoint|SelectBatch|EngineRun|SessionConcurrent", "benchmark regexp")
 		pkgs      = flag.String("pkg", ".,./internal/cmdn,./internal/core", "comma-separated packages")
 		benchtime = flag.String("benchtime", "", "passed to -benchtime when non-empty (e.g. 1x, 2s)")
 	)

@@ -101,9 +101,11 @@ type Config struct {
 	Seed uint64
 	// Procs bounds the real CPU workers used by the execution engine
 	// (CMDN grid training, holdout evaluation, feature extraction, D0
-	// proxy-inference sweeps). Zero or negative means GOMAXPROCS. The
-	// knob trades wall-clock only: results are bit-identical for every
-	// value, and simulated (simclock) charges do not change.
+	// proxy-inference sweeps, the difference detector, window
+	// aggregation and Phase 2 candidate selection). Zero or negative
+	// means GOMAXPROCS. The knob trades wall-clock only: results are
+	// bit-identical for every value, and simulated (simclock) charges do
+	// not change.
 	Procs int
 	// MaxCleaned caps Phase 2 oracle invocations (0 = none); a test and
 	// safety valve, not a paper knob.
@@ -314,6 +316,7 @@ func Run(src video.Source, udf vision.UDF, cfg Config) (*Result, error) {
 		DisableEarlyStop: cfg.DisableEarlyStop,
 		ResortOnce:       cfg.ResortOnce,
 		Bound:            cfg.boundKind(),
+		Procs:            cfg.Procs,
 	}
 	if cfg.DisablePrefetch {
 		coreCfg.UnhiddenDecodeMS = cfg.Cost.DecodeMS

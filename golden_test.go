@@ -1,0 +1,239 @@
+package everest
+
+import (
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"github.com/everest-project/everest/internal/cmdn"
+	"github.com/everest-project/everest/internal/video"
+	"github.com/everest-project/everest/internal/vision"
+	"github.com/everest-project/everest/internal/visualroad"
+)
+
+var updateGolden = flag.Bool("update-golden", false,
+	"rewrite testdata/golden_determinism.json from the current engine output")
+
+const goldenPath = "testdata/golden_determinism.json"
+
+// goldenProcs are the worker counts every golden scenario runs at; all
+// must produce the one committed answer.
+var goldenProcs = []int{1, 2, 8}
+
+// goldenResult is the serializable projection of a Result: everything a
+// query answers with, including the per-phase simulated charges. JSON
+// round-trips float64 exactly (shortest-repr encoding), so equality on
+// the decoded struct is bit equality.
+type goldenResult struct {
+	IDs        []int              `json:"ids"`
+	Scores     []float64          `json:"scores"`
+	Confidence float64            `json:"confidence"`
+	Bound      string             `json:"bound"`
+	Stats      map[string]int     `json:"stats"`
+	Phase1     map[string]float64 `json:"phase1"`
+	PhaseMS    map[string]float64 `json:"phase_ms"`
+	TotalMS    float64            `json:"total_ms"`
+}
+
+func goldenOf(res *Result) goldenResult {
+	g := goldenResult{
+		IDs:        res.IDs,
+		Scores:     res.Scores,
+		Confidence: res.Confidence,
+		Bound:      res.Bound.String(),
+		Stats: map[string]int{
+			"iterations":        res.EngineStats.Iterations,
+			"cleaned":           res.EngineStats.Cleaned,
+			"examined":          res.EngineStats.Examined,
+			"pruned":            res.EngineStats.Pruned,
+			"resorts":           res.EngineStats.Resorts,
+			"bootstrap_cleaned": res.EngineStats.BootstrapCleaned,
+			"oracle_calls":      res.EngineStats.OracleCalls,
+		},
+		Phase1: map[string]float64{
+			"total_frames":    float64(res.Phase1.TotalFrames),
+			"train_samples":   float64(res.Phase1.TrainSamples),
+			"holdout_samples": float64(res.Phase1.HoldoutSamples),
+			"retained":        float64(res.Phase1.Retained),
+			"tuples":          float64(res.Phase1.Tuples),
+			"hyper_g":         float64(res.Phase1.Hyper.G),
+			"hyper_h":         float64(res.Phase1.Hyper.H),
+			"holdout_nll":     res.Phase1.HoldoutNLL,
+		},
+		PhaseMS: map[string]float64{},
+		TotalMS: res.Clock.TotalMS(),
+	}
+	for _, ps := range res.Clock.Breakdown() {
+		g.PhaseMS[string(ps.Phase)] = ps.MS
+	}
+	return g
+}
+
+// goldenScenario is one committed end-to-end configuration, mirroring the
+// shape (not the scale) of the paper experiments it is named after.
+type goldenScenario struct {
+	name string
+	src  video.Source
+	udf  vision.UDF
+	cfg  Config
+}
+
+// goldenCfg keeps every scenario in the seconds range: one grid point,
+// a higher sampling fraction, a fixed seed.
+func goldenCfg(k int) Config {
+	return Config{
+		K:          k,
+		Threshold:  0.9,
+		Seed:       21,
+		SampleFrac: 0.05,
+		Proxy:      cmdn.Config{Grid: []cmdn.Hyper{{G: 5, H: 30}}, Epochs: 30},
+	}
+}
+
+func goldenScenarios(t *testing.T) []goldenScenario {
+	t.Helper()
+	build := func(name string, frames int) video.Source {
+		spec, err := video.DatasetByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		src, err := spec.Build(frames)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return src
+	}
+	road, err := visualroad.Generate(50, 3000, 0x51a1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fig7 := goldenCfg(5)
+	fig7.Window = 30
+	return []goldenScenario{
+		// fig4 shape: the default Top-K frame query on a Table 7 counting
+		// dataset.
+		{"fig4-archie-topk", build("Archie", 3000), vision.CountUDF{Class: video.ClassCar}, goldenCfg(10)},
+		// fig7 shape: a Top-K tumbling-window query.
+		{"fig7-archie-window30", build("Archie", 3000), vision.CountUDF{Class: video.ClassCar}, fig7},
+		// fig8 shape: Visual-Road density traffic.
+		{"fig8-visualroad-50cars", road, vision.CountUDF{Class: road.TargetClass()}, goldenCfg(5)},
+	}
+}
+
+// TestGoldenDeterminism is the end-to-end determinism lock: for each
+// committed scenario, Run at Procs ∈ {1, 2, 8} must produce one answer —
+// IDs, scores, confidence, Phase 2 counters, Phase 1 statistics and every
+// simulated charge — and that answer must match the committed snapshot in
+// testdata byte for byte. A diff here means the engine's output changed:
+// either a bug, or an intentional change that must be re-committed with
+// -update-golden and called out in the PR.
+func TestGoldenDeterminism(t *testing.T) {
+	got := make(map[string]goldenResult)
+	for _, sc := range goldenScenarios(t) {
+		var first *Result
+		for _, procs := range goldenProcs {
+			cfg := sc.cfg
+			cfg.Procs = procs
+			res, err := Run(sc.src, sc.udf, cfg)
+			if err != nil {
+				t.Fatalf("%s procs=%d: %v", sc.name, procs, err)
+			}
+			if first == nil {
+				first = res
+				got[sc.name] = goldenOf(res)
+				continue
+			}
+			if !reflect.DeepEqual(goldenOf(res), goldenOf(first)) {
+				t.Fatalf("%s: procs=%d diverged from procs=%d", sc.name, procs, goldenProcs[0])
+			}
+		}
+	}
+
+	if *updateGolden {
+		data, err := json.MarshalIndent(got, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, append(data, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s with %d scenarios", goldenPath, len(got))
+		return
+	}
+
+	data, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("reading golden snapshot (run with -update-golden to create): %v", err)
+	}
+	var want map[string]goldenResult
+	if err := json.Unmarshal(data, &want); err != nil {
+		t.Fatal(err)
+	}
+	if len(want) != len(got) {
+		t.Fatalf("golden snapshot has %d scenarios, engine produced %d", len(want), len(got))
+	}
+	for name, g := range got {
+		w, ok := want[name]
+		if !ok {
+			t.Fatalf("scenario %s missing from golden snapshot", name)
+		}
+		if !reflect.DeepEqual(g, w) {
+			gj, _ := json.MarshalIndent(g, "", "  ")
+			wj, _ := json.MarshalIndent(w, "", "  ")
+			t.Fatalf("scenario %s diverged from golden snapshot\ngot:\n%s\nwant:\n%s", name, gj, wj)
+		}
+	}
+}
+
+// TestGoldenConcurrentSession extends the determinism lock to the
+// concurrent-serving path: N concurrent Session.Query callers launched
+// over one cache snapshot (QueryBatch) must each return bit-identically
+// what a lone indexed query returns, at every worker count.
+func TestGoldenConcurrentSession(t *testing.T) {
+	spec, err := video.DatasetByName("Archie")
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := spec.Build(3000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	udf := vision.CountUDF{Class: video.ClassCar}
+	cfg := goldenCfg(10)
+	ix, err := BuildIndex(src, udf, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := ix.Query(src, udf, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refGolden := goldenOf(ref)
+	for _, procs := range goldenProcs {
+		qcfg := cfg
+		qcfg.Procs = procs
+		sess, err := NewSession(ix, src, udf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		results, err := sess.RunConcurrent(qcfg, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, r := range results {
+			g := goldenOf(r)
+			if !reflect.DeepEqual(g, refGolden) {
+				gj, _ := json.MarshalIndent(g, "", "  ")
+				wj, _ := json.MarshalIndent(refGolden, "", "  ")
+				t.Fatalf("procs=%d caller %d diverged from the lone indexed query\ngot:\n%s\nwant:\n%s",
+					procs, i, gj, wj)
+			}
+		}
+	}
+}

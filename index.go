@@ -126,8 +126,9 @@ func (ix *Index) frameRelation(qopt uncertain.QuantizeOptions, labels map[int]fl
 
 // windowRelation rebuilds the window-level D0 (Eq. 9) from the captured
 // mixtures and segment structure. labels, when non-nil, supplies exact
-// scores confirmed by earlier queries in the same Session.
-func (ix *Index) windowRelation(size, stride int, qopt uncertain.QuantizeOptions, labels map[int]float64) (uncertain.Relation, error) {
+// scores confirmed by earlier queries in the same Session; it must not be
+// mutated while this runs (the score lookup fans out over procs workers).
+func (ix *Index) windowRelation(size, stride int, qopt uncertain.QuantizeOptions, labels map[int]float64, procs int) (uncertain.Relation, error) {
 	diff := diffdet.Result{RepOf: ix.repOf}
 	maxLevel := 0
 	if qopt.MaxLevel > 0 && qopt.MaxLevel < int(^uint(0)>>1) {
@@ -141,7 +142,7 @@ func (ix *Index) windowRelation(size, stride int, qopt uncertain.QuantizeOptions
 			return windows.FrameScore{IsExact: true, Exact: s}
 		}
 		return windows.FrameScore{Mix: ix.mixtures[int32(rep)]}
-	}, diff, windows.Options{Size: size, Stride: stride, Step: qopt.Step, MaxLevel: maxLevel})
+	}, diff, windows.Options{Size: size, Stride: stride, Step: qopt.Step, MaxLevel: maxLevel, Procs: procs})
 }
 
 // Query runs Phase 2 against the index. The source and UDF must be the
@@ -217,7 +218,7 @@ func (ix *Index) query(src video.Source, udf vision.UDF, cfg Config, labels map[
 	engineCost.OracleMS = 0
 	var err error
 	if cfg.Window > 0 {
-		rel, err = ix.windowRelation(cfg.Window, cfg.windowStride(), qopt, labels)
+		rel, err = ix.windowRelation(cfg.Window, cfg.windowStride(), qopt, labels, cfg.Procs)
 		if err != nil {
 			return nil, err
 		}
@@ -258,6 +259,7 @@ func (ix *Index) query(src video.Source, udf vision.UDF, cfg Config, labels map[
 		DisableEarlyStop: cfg.DisableEarlyStop,
 		ResortOnce:       cfg.ResortOnce,
 		Bound:            cfg.boundKind(),
+		Procs:            cfg.Procs,
 	}
 	if cfg.DisablePrefetch {
 		coreCfg.UnhiddenDecodeMS = cfg.Cost.DecodeMS

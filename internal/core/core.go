@@ -68,6 +68,11 @@ type Config struct {
 	// independent product (default) or the dependence-safe union bound
 	// required for overlapping sliding windows.
 	Bound BoundKind
+	// Procs bounds the workers Select-candidate evaluates E[X_f] on,
+	// following the engine-wide convention: zero or negative means
+	// GOMAXPROCS. The knob trades wall-clock only — the selected batches,
+	// counters and simulated charges are bit-identical for every value.
+	Procs int
 }
 
 func (c Config) validate(n int) error {

@@ -1,0 +1,67 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"github.com/everest-project/everest/internal/simclock"
+	"github.com/everest-project/everest/internal/xrand"
+)
+
+// runAtProcs executes one full Phase 2 over a freshly built (seeded)
+// relation and returns everything observable: the result, the simulated
+// clock total and the oracle's invocation count.
+func runAtProcs(t *testing.T, cfg Config, procs int) (Result, float64, int) {
+	t.Helper()
+	// The relation must be larger than minParallelSelect so the parallel
+	// E[X_f] scan actually engages (smaller relations fall back to the
+	// serial path, which is the same contract trivially).
+	r := xrand.New(99).Split("core/parallel")
+	rel, oracle := randomRelation(r, minParallelSelect+500, 60, 6, 10)
+	clock := simclock.NewClock()
+	cfg.Procs = procs
+	eng, err := NewEngine(rel, cfg, oracle, clock, simclock.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := eng.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, clock.TotalMS(), oracle.calls
+}
+
+// TestEngineProcsBitIdentical mirrors cmdn's package-level determinism
+// contract for the parallel Select-candidate: batches, counters,
+// simulated charges and the final Top-K must match the serial scan bit
+// for bit at every worker count, in every bound mode, with and without
+// the ψ early stop. Run under -race it also proves the speculative
+// E[X_f] fan-out is data-race free.
+func TestEngineProcsBitIdentical(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  Config
+	}{
+		{"default", Config{K: 20, Threshold: 0.95}},
+		{"no-early-stop", Config{K: 20, Threshold: 0.95, DisableEarlyStop: true}},
+		{"union-bound", Config{K: 10, Threshold: 0.6, Bound: BoundUnion, MaxCleaned: 400}},
+		{"batch-32", Config{K: 20, Threshold: 0.95, BatchSize: 32}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			serialRes, serialMS, serialCalls := runAtProcs(t, tc.cfg, 1)
+			for _, procs := range []int{0, 2, 8} {
+				res, ms, calls := runAtProcs(t, tc.cfg, procs)
+				if !reflect.DeepEqual(res, serialRes) {
+					t.Fatalf("procs=%d: result %+v != serial %+v", procs, res, serialRes)
+				}
+				if ms != serialMS {
+					t.Fatalf("procs=%d: simulated cost %v != serial %v", procs, ms, serialMS)
+				}
+				if calls != serialCalls {
+					t.Fatalf("procs=%d: oracle calls %d != serial %d", procs, calls, serialCalls)
+				}
+			}
+		})
+	}
+}

@@ -6,17 +6,18 @@
 // Following the paper (and NoScope [38]), similarity is pixel mean squared
 // error. To parallelize, the video is split into clips of c frames; every
 // frame in a clip is compared against the clip's middle frame and
-// discarded when the MSE falls below the threshold. Clips are processed
-// concurrently.
+// discarded when the MSE falls below the threshold. Clips fan out through
+// the engine-wide workpool: each clip is a pure function of its index and
+// writes only its own frame range, so the result is bit-identical at any
+// worker count.
 package diffdet
 
 import (
 	"fmt"
-	"runtime"
-	"sync"
 
 	"github.com/everest-project/everest/internal/simclock"
 	"github.com/everest-project/everest/internal/video"
+	"github.com/everest-project/everest/internal/workpool"
 )
 
 // Options configures the detector.
@@ -30,7 +31,15 @@ type Options struct {
 	MSEThreshold float64
 	// ClipSize is c; zero means 30 (the paper's setting).
 	ClipSize int
-	// Parallelism bounds concurrent clip workers; zero means GOMAXPROCS.
+	// Procs bounds concurrent clip workers, following the engine-wide
+	// Config.Procs convention: zero or negative means GOMAXPROCS. Results
+	// are bit-identical for every value.
+	Procs int
+	// Parallelism is the pre-workpool name for the worker bound.
+	//
+	// Deprecated: set Procs (or the engine-wide Config.Procs, which is
+	// threaded through automatically). Parallelism is honoured only when
+	// Procs is zero.
 	Parallelism int
 }
 
@@ -41,8 +50,8 @@ func (o Options) withDefaults() Options {
 	if o.ClipSize == 0 {
 		o.ClipSize = 30
 	}
-	if o.Parallelism <= 0 {
-		o.Parallelism = runtime.GOMAXPROCS(0)
+	if o.Procs == 0 && o.Parallelism > 0 {
+		o.Procs = o.Parallelism
 	}
 	return o
 }
@@ -96,42 +105,36 @@ func Run(src video.Source, opt Options, clock *simclock.Clock, cost simclock.Cos
 	res := Result{RepOf: make([]int32, n)}
 	retained := make([]bool, n)
 
+	// Each clip touches only its own frame range [lo, hi), so the clips
+	// are independent workpool items; errors collect into per-clip slots
+	// and the first (lowest-clip) one is reported, as in the serial loop.
 	nClips := (n + opt.ClipSize - 1) / opt.ClipSize
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, opt.Parallelism)
 	errs := make([]error, nClips)
-	for c := 0; c < nClips; c++ {
-		wg.Add(1)
-		sem <- struct{}{}
-		go func(c int) {
-			defer wg.Done()
-			defer func() { <-sem }()
-			lo := c * opt.ClipSize
-			hi := min(lo+opt.ClipSize, n)
-			mid := lo + (hi-lo)/2
-			midFrame := src.Render(mid)
-			retained[mid] = true
-			res.RepOf[mid] = int32(mid)
-			for i := lo; i < hi; i++ {
-				if i == mid {
-					continue
-				}
-				f := src.Render(i)
-				mse, err := f.MSE(midFrame)
-				if err != nil {
-					errs[c] = err
-					return
-				}
-				if mse < opt.MSEThreshold {
-					res.RepOf[i] = int32(mid)
-				} else {
-					retained[i] = true
-					res.RepOf[i] = int32(i)
-				}
+	workpool.ForEach(opt.Procs, nClips, func(_, c int) {
+		lo := c * opt.ClipSize
+		hi := min(lo+opt.ClipSize, n)
+		mid := lo + (hi-lo)/2
+		midFrame := src.Render(mid)
+		retained[mid] = true
+		res.RepOf[mid] = int32(mid)
+		for i := lo; i < hi; i++ {
+			if i == mid {
+				continue
 			}
-		}(c)
-	}
-	wg.Wait()
+			f := src.Render(i)
+			mse, err := f.MSE(midFrame)
+			if err != nil {
+				errs[c] = err
+				return
+			}
+			if mse < opt.MSEThreshold {
+				res.RepOf[i] = int32(mid)
+			} else {
+				retained[i] = true
+				res.RepOf[i] = int32(i)
+			}
+		}
+	})
 	for _, err := range errs {
 		if err != nil {
 			return Result{}, err

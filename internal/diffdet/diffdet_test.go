@@ -1,7 +1,9 @@
 package diffdet
 
 import (
+	"fmt"
 	"math"
+	"reflect"
 	"testing"
 
 	"github.com/everest-project/everest/internal/simclock"
@@ -165,6 +167,26 @@ func TestDeterministicAcrossParallelism(t *testing.T) {
 			t.Fatal("parallelism changed retained set")
 		}
 	}
+}
+
+// TestDeterministicAcrossProcs is the workpool-era determinism contract:
+// the detector result — retained set and representative map — must be
+// bit-identical for every worker count, and the deprecated Parallelism
+// knob must keep selecting workers with identical output.
+func TestDeterministicAcrossProcs(t *testing.T) {
+	src := testSource(t, 2000)
+	serial := mustRun(t, src, Options{Procs: 1})
+	check := func(name string, got Result) {
+		t.Helper()
+		if !reflect.DeepEqual(serial, got) {
+			t.Fatalf("%s diverged from serial run", name)
+		}
+	}
+	for _, procs := range []int{2, 8} {
+		check(fmt.Sprintf("procs=%d", procs), mustRun(t, src, Options{Procs: procs}))
+	}
+	check("procs=0 (GOMAXPROCS)", mustRun(t, src, Options{}))
+	check("deprecated Parallelism=8", mustRun(t, src, Options{Parallelism: 8}))
 }
 
 func TestShortVideo(t *testing.T) {

@@ -186,7 +186,13 @@ func Run(src video.Source, udf vision.UDF, opt Options, clock *simclock.Clock) (
 		diff = diffdet.Result{Retained: retained, RepOf: rep}
 		clock.Charge(simclock.PhasePopulateD0, float64(n)*opt.Cost.DecodeMS)
 	} else {
-		diff, err = diffdet.Run(src, opt.Diff, clock, opt.Cost, simclock.PhasePopulateD0)
+		dopt := opt.Diff
+		if dopt.Procs == 0 && dopt.Parallelism == 0 {
+			// The detector follows the engine-wide worker bound unless its
+			// own (or the deprecated Parallelism) knob is set explicitly.
+			dopt.Procs = opt.Procs
+		}
+		diff, err = diffdet.Run(src, dopt, clock, opt.Cost, simclock.PhasePopulateD0)
 		if err != nil {
 			return nil, err
 		}
@@ -313,6 +319,7 @@ func (s *State) WindowRelationStrided(size, stride int, qopt uncertain.QuantizeO
 		Stride:   stride,
 		Step:     qopt.Step,
 		MaxLevel: maxLevel,
+		Procs:    s.procs,
 	}
 	reps := windows.Reps(s.Diff, wopt)
 	inferIDs := make([]int, 0, len(reps))

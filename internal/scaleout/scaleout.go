@@ -213,6 +213,9 @@ func Run(src video.Source, udf vision.UDF, opt Options) (*Report, error) {
 		BatchSize:  opt.BatchSize,
 		MaxCleaned: opt.MaxCleaned,
 		Bound:      opt.boundKind(),
+		// The merged Phase 2 runs on the coordinator, so it gets the full
+		// engine-wide worker bound, not the per-shard split.
+		Procs: opt.Phase1.Procs,
 	}, oracle, clock, engineCost)
 	if err != nil {
 		return nil, err

@@ -109,7 +109,10 @@ func CountClass(dets []Detection, class string) int {
 type UDF interface {
 	// Name identifies the UDF.
 	Name() string
-	// Score returns the exact raw score of each listed frame.
+	// Score returns the exact raw score of each listed frame. It must be
+	// safe for concurrent calls: the scale-out shards and concurrent
+	// session queries (Session.QueryBatch) invoke it from multiple
+	// goroutines at once.
 	Score(src video.Source, ids []int) []float64
 	// Quantize returns the level-grid options for this score domain.
 	// Counting UDFs use step 1; others supply their step as §3.2 requires.

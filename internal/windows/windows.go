@@ -20,6 +20,7 @@ import (
 
 	"github.com/everest-project/everest/internal/diffdet"
 	"github.com/everest-project/everest/internal/uncertain"
+	"github.com/everest-project/everest/internal/workpool"
 	"github.com/everest-project/everest/internal/xrand"
 )
 
@@ -46,6 +47,13 @@ type Options struct {
 	// MaxLevel clamps window levels (use the UDF's bound); zero means
 	// unbounded.
 	MaxLevel int
+	// Procs bounds the workers BuildRelation aggregates windows on,
+	// following the engine-wide Config.Procs convention: zero or negative
+	// means GOMAXPROCS. Results are bit-identical for every value. When
+	// the effective worker count exceeds 1, scoreOf must be safe for
+	// concurrent calls (a read of immutable state, e.g. a map populated
+	// before the call).
+	Procs int
 }
 
 func (o Options) stride() int {
@@ -103,6 +111,12 @@ func Reps(diff diffdet.Result, opt Options) []int {
 // Per Eq. 9, window w with segments s_1..s_l represented by frames
 // r_1..r_l gets S_w ~ N(1/L Σ|s_t|·μ̄_rt, 1/L Σ|s_t|·σ̄²_rt). Windows whose
 // segments are all exact become certain tuples.
+//
+// Every window is a pure function of its index (diff and scoreOf are
+// read-only during the call), so the aggregation fans out over opt.Procs
+// workers with index-ordered emission; the relation — and the reported
+// error, always the lowest failing window's — are bit-identical to the
+// serial scan for every worker count.
 func BuildRelation(scoreOf func(rep int) FrameScore, diff diffdet.Result, opt Options) (uncertain.Relation, error) {
 	if opt.Size <= 0 {
 		return nil, fmt.Errorf("windows: size must be positive, got %d", opt.Size)
@@ -122,8 +136,11 @@ func BuildRelation(scoreOf func(rep int) FrameScore, diff diffdet.Result, opt Op
 	}
 	qopt := uncertain.QuantizeOptions{Step: opt.Step, MinLevel: 0, MaxLevel: maxLevel}
 
-	rel := make(uncertain.Relation, 0, nw)
-	for w := 0; w < nw; w++ {
+	type windowOut struct {
+		d   uncertain.Dist
+		err error
+	}
+	outs := workpool.Map(opt.Procs, nw, func(_, w int) windowOut {
 		lo, hi := w*stride, w*stride+opt.Size
 		var mean, variance float64
 		allExact := true
@@ -140,18 +157,22 @@ func BuildRelation(scoreOf func(rep int) FrameScore, diff diffdet.Result, opt Op
 			// variance (conservative vs. the independent-average 1/L²).
 			variance += frac * fs.Mix.Variance()
 		}
-		var d uncertain.Dist
-		var err error
 		if allExact {
 			lvl := uncertain.LevelOf(mean, opt.Step)
-			d = uncertain.Certain(min(max(lvl, 0), maxLevel))
-		} else {
-			d, err = uncertain.QuantizeNormal(mean, math.Sqrt(variance), qopt)
-			if err != nil {
-				return nil, fmt.Errorf("windows: window %d: %w", w, err)
-			}
+			return windowOut{d: uncertain.Certain(min(max(lvl, 0), maxLevel))}
 		}
-		rel = append(rel, uncertain.XTuple{ID: w, Dist: d})
+		d, err := uncertain.QuantizeNormal(mean, math.Sqrt(variance), qopt)
+		if err != nil {
+			return windowOut{err: fmt.Errorf("windows: window %d: %w", w, err)}
+		}
+		return windowOut{d: d}
+	})
+	rel := make(uncertain.Relation, 0, nw)
+	for w, o := range outs {
+		if o.err != nil {
+			return nil, o.err
+		}
+		rel = append(rel, uncertain.XTuple{ID: w, Dist: o.d})
 	}
 	return rel, nil
 }

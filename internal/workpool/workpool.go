@@ -16,7 +16,6 @@
 package workpool
 
 import (
-	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -80,7 +79,10 @@ func ForEach(procs, n int, fn func(worker, i int)) {
 	}
 	wg.Wait()
 	if pval != nil {
-		panic(fmt.Sprintf("workpool: worker panic: %v", pval))
+		// Re-raise the first worker's original panic value, untouched, so
+		// typed values (runtime.Error, fmt-built strings) survive for the
+		// caller's recover instead of being flattened into a string.
+		panic(pval)
 	}
 }
 

@@ -1,8 +1,12 @@
 package everest
 
 import (
+	"fmt"
+	"sync"
+
 	"github.com/everest-project/everest/internal/video"
 	"github.com/everest-project/everest/internal/vision"
+	"github.com/everest-project/everest/internal/workpool"
 )
 
 // Session runs many queries against one Index while sharing oracle work
@@ -14,14 +18,23 @@ import (
 // bill too. Different K, thres, window size and stride all share one
 // cache, because an exact frame score is query-independent.
 //
-// A Session is tied to the (video, UDF) pair of its Index and is not safe
-// for concurrent use.
+// A Session is tied to the (video, UDF) pair of its Index and is safe for
+// concurrent use: any number of goroutines may call Query at once over
+// the shared Index and label cache. Each query runs on a private snapshot
+// of the cache taken when it starts and merges its newly confirmed labels
+// back when it finishes, so a query's result is a deterministic function
+// of (snapshot, Config) — the engine never observes another query's
+// labels mid-flight. For bit-reproducible concurrent execution use
+// QueryBatch (or RunConcurrent), which gives every query of the batch the
+// same snapshot and merges in query order; see DESIGN.md's shared-label-
+// cache contract.
 type Session struct {
-	ix     *Index
-	src    video.Source
-	udf    vision.UDF
-	labels map[int]float64
+	ix  *Index
+	src video.Source
+	udf vision.UDF
 
+	mu      sync.Mutex
+	labels  map[int]float64
 	queries int
 }
 
@@ -39,22 +52,146 @@ func NewSession(ix *Index, src video.Source, udf vision.UDF) (*Session, error) {
 	}, nil
 }
 
+// snapshotLabels copies the shared cache under the lock. Queries run on
+// private clones of the snapshot (the engine reads cached labels from the
+// clone and records fresh confirmations into it), and the pristine
+// snapshot identifies the fresh entries at merge time.
+func (s *Session) snapshotLabels() map[int]float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return cloneLabels(s.labels)
+}
+
+// freshLabels extracts the labels a finished query added on top of its
+// snapshot. Queries only add entries, so overlay ⊇ snap and equal sizes
+// mean nothing fresh. Runs outside the session lock.
+func freshLabels(snap, overlay map[int]float64) map[int]float64 {
+	if len(overlay) == len(snap) {
+		return nil
+	}
+	fresh := make(map[int]float64, len(overlay)-len(snap))
+	for f, v := range overlay {
+		if _, ok := snap[f]; !ok {
+			fresh[f] = v
+		}
+	}
+	return fresh
+}
+
+// mergeLabels folds a finished query's fresh confirmations into the
+// shared cache and counts the query; the critical section is sized by the
+// new labels, not the whole cache. Exact scores are query-independent, so
+// merge order can only affect which equal value wins.
+func (s *Session) mergeLabels(fresh map[int]float64, queries int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for f, v := range fresh {
+		s.labels[f] = v
+	}
+	s.queries += queries
+}
+
+// cloneLabels copies a label map (a query's private overlay).
+func cloneLabels(m map[int]float64) map[int]float64 {
+	c := make(map[int]float64, len(m))
+	for f, v := range m {
+		c[f] = v
+	}
+	return c
+}
+
 // Query runs one Top-K (or Top-K-window) query, reusing every oracle
 // label revealed by earlier queries in this session. Only the marginal
 // oracle cost — frames no previous query confirmed — is charged to the
-// result's clock.
+// result's clock. Query is safe for concurrent use; each call's result is
+// the deterministic function of the cache snapshot it starts from.
 func (s *Session) Query(cfg Config) (*Result, error) {
-	res, err := s.ix.query(s.src, s.udf, cfg, s.labels)
+	snap := s.snapshotLabels()
+	overlay := cloneLabels(snap)
+	res, err := s.ix.query(s.src, s.udf, cfg, overlay)
 	if err != nil {
 		return nil, err
 	}
-	s.queries++
+	s.mergeLabels(freshLabels(snap, overlay), 1)
 	return res, nil
+}
+
+// QueryBatch runs the given queries concurrently over one shared cache
+// snapshot and returns their results in input order. Because every query
+// of the batch sees the same snapshot and the overlays merge in query
+// order after all complete, the results — and the cache state left behind
+// — are bit-identical for every interleaving and worker count, unlike
+// free-running concurrent Query calls (whose snapshots depend on arrival
+// order).
+//
+// Each query's worker budget (Config.Procs) is divided by the batch
+// width, mirroring the scale-out shard convention, so a wide batch does
+// not oversubscribe the cores; Procs never affects results. On failure
+// the first failing query's error (lowest index) is returned; the
+// successful queries' confirmed labels are still merged, so their oracle
+// work is not lost.
+func (s *Session) QueryBatch(cfgs []Config) ([]*Result, error) {
+	if len(cfgs) == 0 {
+		return nil, nil
+	}
+	snap := s.snapshotLabels()
+	overlays := make([]map[int]float64, len(cfgs))
+	results := make([]*Result, len(cfgs))
+	errs := make([]error, len(cfgs))
+	var wg sync.WaitGroup
+	for i := range cfgs {
+		overlays[i] = cloneLabels(snap)
+		cfg := cfgs[i]
+		cfg.Procs = max(1, workpool.Procs(cfg.Procs)/len(cfgs))
+		wg.Add(1)
+		go func(i int, cfg Config) {
+			defer wg.Done()
+			results[i], errs[i] = s.ix.query(s.src, s.udf, cfg, overlays[i])
+		}(i, cfg)
+	}
+	wg.Wait()
+	var firstErr error
+	for i := range cfgs {
+		if errs[i] != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("everest: batch query %d: %w", i, errs[i])
+			}
+			continue
+		}
+		s.mergeLabels(freshLabels(snap, overlays[i]), 1)
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return results, nil
+}
+
+// RunConcurrent runs n copies of the same query concurrently via
+// QueryBatch — the N-concurrent-callers serving scenario. All n results
+// are bit-identical to each other and to a single Query from the same
+// cache state.
+func (s *Session) RunConcurrent(cfg Config, n int) ([]*Result, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("everest: concurrent query count must be positive, got %d", n)
+	}
+	cfgs := make([]Config, n)
+	for i := range cfgs {
+		cfgs[i] = cfg
+	}
+	return s.QueryBatch(cfgs)
 }
 
 // CachedLabels returns the number of distinct frames whose exact score
 // the session has accumulated.
-func (s *Session) CachedLabels() int { return len(s.labels) }
+func (s *Session) CachedLabels() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.labels)
+}
 
 // Queries returns how many queries completed in this session.
-func (s *Session) Queries() int { return s.queries }
+func (s *Session) Queries() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.queries
+}
