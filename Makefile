@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test vet race fuzz bench experiments
+.PHONY: build test vet race fuzz bench bench-diff bench-smoke experiments
 
 build:
 	$(GO) build ./...
@@ -16,8 +16,8 @@ test:
 # Race-check the concurrency packages and the engine determinism tests;
 # the full suite under -race is too slow for a quick gate.
 race:
-	$(GO) test -race ./internal/workpool/ ./internal/cmdn/ ./internal/phase1/ ./internal/nn/ ./internal/diffdet/ ./internal/windows/ ./internal/core/
-	$(GO) test -race -run 'ProcsBitIdentical|GoldenConcurrent|SessionConcurrent|QueryBatch' .
+	$(GO) test -race ./internal/workpool/ ./internal/labelstore/ ./internal/cmdn/ ./internal/phase1/ ./internal/nn/ ./internal/diffdet/ ./internal/windows/ ./internal/core/
+	$(GO) test -race -run 'ProcsBitIdentical|GoldenConcurrent|SessionConcurrent|QueryBatch|SharedSession|AdmissionLimit' .
 
 # Short-budget fuzz of the workpool determinism contract.
 fuzz:
@@ -27,6 +27,16 @@ fuzz:
 # changes have a perf trajectory to compare against.
 bench:
 	$(GO) run ./cmd/bench
+
+# Re-run the suite and print per-benchmark deltas against the committed
+# BENCH_engine.json (fails if a committed benchmark went missing).
+bench-diff:
+	$(GO) run ./cmd/bench -compare BENCH_engine.json
+
+# One-iteration serving-path smoke run: catches regressions that compile
+# but explode allocations (also the CI benchmark smoke job).
+bench-smoke:
+	$(GO) test -run '^$$' -bench 'SessionConcurrent|SessionSharedCache' -benchtime 1x -benchmem .
 
 experiments:
 	$(GO) run ./cmd/experiments

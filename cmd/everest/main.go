@@ -19,6 +19,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sync"
 
 	everest "github.com/everest-project/everest"
 	"github.com/everest-project/everest/internal/eql"
@@ -40,6 +41,8 @@ func main() {
 		seed    = flag.Uint64("seed", 1, "random seed")
 		procs   = flag.Int("procs", 0, "CPU workers for the execution engine (0 = all cores; results are identical for any value)")
 		conc    = flag.Int("concurrent", 0, "serve the query N times concurrently from one shared session (builds or loads an index first)")
+		shared  = flag.Bool("shared", false, "with -concurrent: serve from N distinct sessions joined to the process-wide (video, UDF) label cache instead of one private session")
+		admit   = flag.Int("admit", 0, "admission control: cap on concurrent oracle-heavy query batches per label cache (0 = no cap)")
 		list    = flag.Bool("list", false, "list datasets and exit")
 		query   = flag.String("query", "", `EQL statement, e.g. 'SELECT TOP 50 FRAMES FROM "Taipei-bus" RANK BY count(car) THRESHOLD 0.9'`)
 		explain = flag.Bool("explain", false, "describe the EQL query's plan without running it")
@@ -103,12 +106,13 @@ func main() {
 	}
 
 	cfg := everest.Config{
-		K:         *k,
-		Threshold: *thres,
-		Window:    *window,
-		Stride:    *stride,
-		Seed:      *seed,
-		Procs:     *procs,
+		K:              *k,
+		Threshold:      *thres,
+		Window:         *window,
+		Stride:         *stride,
+		Seed:           *seed,
+		Procs:          *procs,
+		AdmissionLimit: *admit,
 	}
 
 	if *saveIx != "" {
@@ -137,7 +141,7 @@ func main() {
 	fmt.Println()
 
 	if *conc > 0 {
-		if err := runConcurrent(src, udf, cfg, *useIx, *conc); err != nil {
+		if err := runConcurrent(src, udf, cfg, *useIx, *conc, *shared); err != nil {
 			fatal(err)
 		}
 		return
@@ -178,11 +182,15 @@ func main() {
 	printResult(res, src.FPS(), "")
 }
 
-// runConcurrent answers the same query n times at once from one shared
-// session: a saved index when path is non-empty, otherwise Phase 1 runs
-// once up front. All n answers are bit-identical (QueryBatch snapshot
-// semantics), and together they pay the oracle bill of a single query.
-func runConcurrent(src video.Source, udf vision.UDF, cfg everest.Config, path string, n int) error {
+// runConcurrent answers the same query n times at once: from one
+// private session by default, or — with shared — from n distinct
+// sessions all joined to the process-wide (video, UDF) label cache, the
+// many-users serving scenario. A saved index is used when path is
+// non-empty, otherwise Phase 1 runs once up front. In both modes the
+// answers pay the oracle bill of roughly a single query: the private
+// session batches over one snapshot (bit-identical answers), the shared
+// sessions reuse each other's published labels.
+func runConcurrent(src video.Source, udf vision.UDF, cfg everest.Config, path string, n int, shared bool) error {
 	var ix *everest.Index
 	var err error
 	if path != "" {
@@ -203,6 +211,9 @@ func runConcurrent(src video.Source, udf vision.UDF, cfg everest.Config, path st
 		}
 		fmt.Printf("(phase 1 ingested once: %.0f sim-ms, %d retained frames)\n", ix.IngestMS(), ix.Info().Retained)
 	}
+	if shared {
+		return runShared(src, udf, cfg, ix, n)
+	}
 	sess, err := everest.NewSession(ix, src, udf)
 	if err != nil {
 		return err
@@ -218,6 +229,67 @@ func runConcurrent(src video.Source, udf vision.UDF, cfg everest.Config, path st
 			i, r.Confidence, r.EngineStats.Cleaned, r.Clock.TotalMS())
 	}
 	fmt.Printf("\nfirst answer (all %d are bit-identical):\n", n)
+	printResult(results[0], src.FPS(), "")
+	return nil
+}
+
+// runShared serves the query from n distinct shared sessions launched
+// concurrently — the "n users, one video" scenario. Sessions reuse each
+// other's published labels through the process-wide cache; how much is
+// reused depends on in-flight overlap: free-running sessions that start
+// together all pay the oracle (the cache shares *completed* work), while
+// -admit caps how many are in flight, so with -admit 1 the first session
+// pays and the rest serve oracle-free. Per-session numbers depend on
+// arrival order; each individual answer is still the deterministic
+// function of the cache version it pinned.
+func runShared(src video.Source, udf vision.UDF, cfg everest.Config, ix *everest.Index, n int) error {
+	results := make([]*everest.Result, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	var last *everest.Session
+	for i := 0; i < n; i++ {
+		sess, err := everest.NewSharedSession(ix, src, udf)
+		if err != nil {
+			return err
+		}
+		last = sess
+		wg.Add(1)
+		go func(i int, sess *everest.Session) {
+			defer wg.Done()
+			results[i], errs[i] = sess.Query(cfg)
+		}(i, sess)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	totalCleaned := 0
+	paid := 0
+	lone := 0 // what one cold-cache query pays: the biggest single bill
+	for _, r := range results {
+		totalCleaned += r.EngineStats.Cleaned
+		if r.EngineStats.Cleaned > 0 {
+			paid++
+		}
+		if r.EngineStats.Cleaned > lone {
+			lone = r.EngineStats.Cleaned
+		}
+	}
+	admitNote := "no admission cap"
+	if cfg.AdmissionLimit > 0 {
+		admitNote = fmt.Sprintf("admission cap %d", cfg.AdmissionLimit)
+	}
+	fmt.Printf("\n%d concurrent user sessions over one process-wide cache (%s; cache now %d labels, version %d):\n",
+		n, admitNote, last.CachedLabels(), last.CacheVersion())
+	for i, r := range results {
+		fmt.Printf("  session %-3d confidence %.4f, cleaned %d, %.0f sim-ms\n",
+			i, r.Confidence, r.EngineStats.Cleaned, r.Clock.TotalMS())
+	}
+	fmt.Printf("\n%d of %d sessions paid the oracle; %d confirmations total (a lone cold-cache query pays %d)\n",
+		paid, n, totalCleaned, lone)
+	fmt.Printf("\nfirst answer:\n")
 	printResult(results[0], src.FPS(), "")
 	return nil
 }

@@ -53,6 +53,7 @@ import (
 	"github.com/everest-project/everest/internal/video"
 	"github.com/everest-project/everest/internal/vision"
 	"github.com/everest-project/everest/internal/windows"
+	"github.com/everest-project/everest/internal/workpool"
 )
 
 // Config parameterizes one Top-K query.
@@ -110,6 +111,14 @@ type Config struct {
 	// MaxCleaned caps Phase 2 oracle invocations (0 = none); a test and
 	// safety valve, not a paper knob.
 	MaxCleaned int
+	// AdmissionLimit is the serving-path admission-control knob: it caps
+	// how many oracle-heavy units (a lone Session.Query, or one whole
+	// QueryBatch) may run concurrently against the session's label
+	// cache; excess callers queue. For shared sessions the cap spans
+	// every session on the same (video, UDF) cache, protecting the
+	// oracle budget under fan-in. Zero means no cap. Admission changes
+	// scheduling only — results stay bit-identical.
+	AdmissionLimit int
 
 	// DisableDiff skips the difference detector (ablation A4).
 	DisableDiff bool
@@ -152,6 +161,17 @@ func (c Config) withDefaults() Config {
 		c.Cost = simclock.Default()
 	}
 	return c
+}
+
+// queryPool returns a resident worker pool for one query or ingestion
+// run (nil when the effective worker count is 1, where transient
+// serial paths are exact already). The caller owns it: pass it down
+// via the Pool options and Close it when the operation finishes.
+func (c Config) queryPool() *workpool.Pool {
+	if workpool.Procs(c.Procs) == 1 {
+		return nil
+	}
+	return workpool.NewPool(c.Procs)
 }
 
 // phase1Options maps the user-facing Config onto Phase 1's options. The
@@ -265,7 +285,16 @@ func Run(src video.Source, udf vision.UDF, cfg Config) (*Result, error) {
 	}
 
 	clock := simclock.NewClock()
-	p1, err := phase1.Run(src, udf, cfg.phase1Options(cfg.Seed), clock)
+	// One resident worker pool serves the whole query: Phase 1 fan-outs,
+	// window aggregation and Phase 2's speculative selection blocks all
+	// reuse the same goroutines.
+	pool := cfg.queryPool()
+	if pool != nil {
+		defer pool.Close()
+	}
+	p1opts := cfg.phase1Options(cfg.Seed)
+	p1opts.Pool = pool
+	p1, err := phase1.Run(src, udf, p1opts, clock)
 	if err != nil {
 		return nil, err
 	}
@@ -317,6 +346,7 @@ func Run(src video.Source, udf vision.UDF, cfg Config) (*Result, error) {
 		ResortOnce:       cfg.ResortOnce,
 		Bound:            cfg.boundKind(),
 		Procs:            cfg.Procs,
+		Pool:             pool,
 	}
 	if cfg.DisablePrefetch {
 		coreCfg.UnhiddenDecodeMS = cfg.Cost.DecodeMS

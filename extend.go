@@ -48,8 +48,14 @@ func (ix *Index) Extend(src video.Source, udf vision.UDF, cfg Config) (tailMS fl
 		return 0, err
 	}
 	clock := simclock.NewClock()
+	pool := cfg.queryPool()
+	if pool != nil {
+		defer pool.Close()
+	}
 	// cfg.Seed ^ lo: a fresh stream per append.
-	st, err := phase1.Run(tail, udf, cfg.phase1Options(cfg.Seed^uint64(lo)), clock)
+	p1opts := cfg.phase1Options(cfg.Seed ^ uint64(lo))
+	p1opts.Pool = pool
+	st, err := phase1.Run(tail, udf, p1opts, clock)
 	if err != nil {
 		return 0, fmt.Errorf("everest: extending index: %w", err)
 	}

@@ -8,12 +8,14 @@ import (
 
 	"github.com/everest-project/everest/internal/core"
 	"github.com/everest-project/everest/internal/diffdet"
+	"github.com/everest-project/everest/internal/labelstore"
 	"github.com/everest-project/everest/internal/phase1"
 	"github.com/everest-project/everest/internal/simclock"
 	"github.com/everest-project/everest/internal/uncertain"
 	"github.com/everest-project/everest/internal/video"
 	"github.com/everest-project/everest/internal/vision"
 	"github.com/everest-project/everest/internal/windows"
+	"github.com/everest-project/everest/internal/workpool"
 )
 
 // Index is a precomputed Phase 1 artifact: the difference-detector
@@ -58,7 +60,13 @@ func BuildIndex(src video.Source, udf vision.UDF, cfg Config) (*Index, error) {
 	}
 	cfg = cfg.withDefaults()
 	clock := simclock.NewClock()
-	st, err := phase1.Run(src, udf, cfg.phase1Options(cfg.Seed), clock)
+	pool := cfg.queryPool()
+	if pool != nil {
+		defer pool.Close()
+	}
+	p1opts := cfg.phase1Options(cfg.Seed)
+	p1opts.Pool = pool
+	st, err := phase1.Run(src, udf, p1opts, clock)
 	if err != nil {
 		return nil, err
 	}
@@ -96,9 +104,9 @@ func BuildIndex(src video.Source, udf vision.UDF, cfg Config) (*Index, error) {
 }
 
 // frameRelation rebuilds D0 from the captured mixtures. labels, when
-// non-nil, supplies exact scores confirmed by earlier queries in the same
-// Session; those frames enter D0 certain.
-func (ix *Index) frameRelation(qopt uncertain.QuantizeOptions, labels map[int]float64) (uncertain.Relation, error) {
+// non-nil, supplies exact scores confirmed by earlier queries over the
+// same cache (session overlay); those frames enter D0 certain.
+func (ix *Index) frameRelation(qopt uncertain.QuantizeOptions, labels *labelstore.Overlay) (uncertain.Relation, error) {
 	rel := make(uncertain.Relation, 0, len(ix.retained))
 	for _, f := range ix.retained {
 		if s, ok := ix.exact[f]; ok {
@@ -106,7 +114,7 @@ func (ix *Index) frameRelation(qopt uncertain.QuantizeOptions, labels map[int]fl
 			rel = append(rel, uncertain.XTuple{ID: int(f), Dist: uncertain.Certain(lvl)})
 			continue
 		}
-		if s, ok := labels[int(f)]; ok {
+		if s, ok := labels.Get(int(f)); ok {
 			lvl := phase1.ClampLevel(uncertain.LevelOf(s, qopt.Step), qopt)
 			rel = append(rel, uncertain.XTuple{ID: int(f), Dist: uncertain.Certain(lvl)})
 			continue
@@ -126,9 +134,10 @@ func (ix *Index) frameRelation(qopt uncertain.QuantizeOptions, labels map[int]fl
 
 // windowRelation rebuilds the window-level D0 (Eq. 9) from the captured
 // mixtures and segment structure. labels, when non-nil, supplies exact
-// scores confirmed by earlier queries in the same Session; it must not be
-// mutated while this runs (the score lookup fans out over procs workers).
-func (ix *Index) windowRelation(size, stride int, qopt uncertain.QuantizeOptions, labels map[int]float64, procs int) (uncertain.Relation, error) {
+// scores confirmed by earlier queries over the same cache; it must not
+// be mutated while this runs (the score lookup fans out over the
+// query's workers).
+func (ix *Index) windowRelation(size, stride int, qopt uncertain.QuantizeOptions, labels *labelstore.Overlay, procs int, pool *workpool.Pool) (uncertain.Relation, error) {
 	diff := diffdet.Result{RepOf: ix.repOf}
 	maxLevel := 0
 	if qopt.MaxLevel > 0 && qopt.MaxLevel < int(^uint(0)>>1) {
@@ -138,11 +147,11 @@ func (ix *Index) windowRelation(size, stride int, qopt uncertain.QuantizeOptions
 		if s, ok := ix.exact[int32(rep)]; ok {
 			return windows.FrameScore{IsExact: true, Exact: s}
 		}
-		if s, ok := labels[rep]; ok {
+		if s, ok := labels.Get(rep); ok {
 			return windows.FrameScore{IsExact: true, Exact: s}
 		}
 		return windows.FrameScore{Mix: ix.mixtures[int32(rep)]}
-	}, diff, windows.Options{Size: size, Stride: stride, Step: qopt.Step, MaxLevel: maxLevel, Procs: procs})
+	}, diff, windows.Options{Size: size, Stride: stride, Step: qopt.Step, MaxLevel: maxLevel, Procs: procs, Pool: pool})
 }
 
 // Query runs Phase 2 against the index. The source and UDF must be the
@@ -167,10 +176,11 @@ func (ix *Index) validateFor(src video.Source, udf vision.UDF) error {
 }
 
 // query is the shared Phase 2 path for Index.Query and Session.Query.
-// When labels is non-nil it is the session's cross-query cache: frames in
-// it enter D0 certain, cleaned frames are recorded into it, and oracle
-// cost is charged only for cache misses.
-func (ix *Index) query(src video.Source, udf vision.UDF, cfg Config, labels map[int]float64) (*Result, error) {
+// When labels is non-nil it is the query's private overlay over the
+// session cache snapshot: frames in it enter D0 certain, cleaned frames
+// are recorded into its fresh set, and oracle cost is charged only for
+// cache misses.
+func (ix *Index) query(src video.Source, udf vision.UDF, cfg Config, labels *labelstore.Overlay) (*Result, error) {
 	if err := ix.validateFor(src, udf); err != nil {
 		return nil, err
 	}
@@ -183,6 +193,13 @@ func (ix *Index) query(src video.Source, udf vision.UDF, cfg Config, labels map[
 	}
 
 	clock := simclock.NewClock()
+	// One resident worker pool serves the whole query: window
+	// aggregation and Phase 2's speculative selection blocks reuse the
+	// same goroutines instead of spawning a worker set per block.
+	pool := cfg.queryPool()
+	if pool != nil {
+		defer pool.Close()
+	}
 	qopt := udf.Quantize()
 	// scoreFrames is the frame-level oracle shared by both query kinds:
 	// it consults and feeds the session cache and charges per miss.
@@ -190,7 +207,7 @@ func (ix *Index) query(src video.Source, udf vision.UDF, cfg Config, labels map[
 		scores := make([]float64, len(ids))
 		var missAt, missIDs []int
 		for i, id := range ids {
-			if s, ok := labels[id]; ok {
+			if s, ok := labels.Get(id); ok {
 				scores[i] = s
 				continue
 			}
@@ -201,9 +218,7 @@ func (ix *Index) query(src video.Source, udf vision.UDF, cfg Config, labels map[
 			fresh := udf.Score(src, missIDs)
 			for j, i := range missAt {
 				scores[i] = fresh[j]
-				if labels != nil {
-					labels[missIDs[j]] = fresh[j]
-				}
+				labels.Set(missIDs[j], fresh[j])
 			}
 			clock.Charge(simclock.PhaseConfirm, float64(len(missIDs))*udf.OracleCostMS(cfg.Cost))
 		}
@@ -218,7 +233,7 @@ func (ix *Index) query(src video.Source, udf vision.UDF, cfg Config, labels map[
 	engineCost.OracleMS = 0
 	var err error
 	if cfg.Window > 0 {
-		rel, err = ix.windowRelation(cfg.Window, cfg.windowStride(), qopt, labels, cfg.Procs)
+		rel, err = ix.windowRelation(cfg.Window, cfg.windowStride(), qopt, labels, cfg.Procs, pool)
 		if err != nil {
 			return nil, err
 		}
@@ -260,6 +275,7 @@ func (ix *Index) query(src video.Source, udf vision.UDF, cfg Config, labels map[
 		ResortOnce:       cfg.ResortOnce,
 		Bound:            cfg.boundKind(),
 		Procs:            cfg.Procs,
+		Pool:             pool,
 	}
 	if cfg.DisablePrefetch {
 		coreCfg.UnhiddenDecodeMS = cfg.Cost.DecodeMS

@@ -27,6 +27,7 @@ import (
 
 	"github.com/everest-project/everest/internal/simclock"
 	"github.com/everest-project/everest/internal/uncertain"
+	"github.com/everest-project/everest/internal/workpool"
 )
 
 // Oracle reveals exact score levels for frames (or windows). Implementations
@@ -73,6 +74,12 @@ type Config struct {
 	// GOMAXPROCS. The knob trades wall-clock only — the selected batches,
 	// counters and simulated charges are bit-identical for every value.
 	Procs int
+	// Pool, when non-nil, is a caller-owned resident worker pool the
+	// speculative E[X_f] blocks fan out on. Select-candidate dispatches
+	// thousands of blocks per query, so resident workers remove a
+	// goroutine-spawn-and-join per block; nil falls back to transient
+	// workers. Never affects results.
+	Pool *workpool.Pool
 }
 
 func (c Config) validate(n int) error {

@@ -317,7 +317,7 @@ func (s *selector) selectBatch() []int {
 		for lo := 0; lo < len(s.order); lo += block {
 			hi := min(lo+block, len(s.order))
 			evs := s.evBuf[:hi-lo]
-			workpool.ForEach(procs, hi-lo, func(_, k int) {
+			workpool.ForEachOn(e.cfg.Pool, procs, hi-lo, func(_, k int) {
 				if d, ok := e.dists[s.order[lo+k]]; ok {
 					evs[k] = s.expectedConfidence(d, sk, sp)
 				}

@@ -35,12 +35,11 @@ type Options struct {
 	// Config.Procs convention: zero or negative means GOMAXPROCS. Results
 	// are bit-identical for every value.
 	Procs int
-	// Parallelism is the pre-workpool name for the worker bound.
-	//
-	// Deprecated: set Procs (or the engine-wide Config.Procs, which is
-	// threaded through automatically). Parallelism is honoured only when
-	// Procs is zero.
-	Parallelism int
+	// Pool, when non-nil, runs the clips on a caller-owned resident
+	// worker pool instead of transient goroutines; ingestion paths that
+	// already hold a pool for the rest of the pipeline reuse it here.
+	// Never affects results.
+	Pool *workpool.Pool
 }
 
 func (o Options) withDefaults() Options {
@@ -49,9 +48,6 @@ func (o Options) withDefaults() Options {
 	}
 	if o.ClipSize == 0 {
 		o.ClipSize = 30
-	}
-	if o.Procs == 0 && o.Parallelism > 0 {
-		o.Procs = o.Parallelism
 	}
 	return o
 }
@@ -110,7 +106,7 @@ func Run(src video.Source, opt Options, clock *simclock.Clock, cost simclock.Cos
 	// and the first (lowest-clip) one is reported, as in the serial loop.
 	nClips := (n + opt.ClipSize - 1) / opt.ClipSize
 	errs := make([]error, nClips)
-	workpool.ForEach(opt.Procs, nClips, func(_, c int) {
+	workpool.ForEachOn(opt.Pool, opt.Procs, nClips, func(_, c int) {
 		lo := c * opt.ClipSize
 		hi := min(lo+opt.ClipSize, n)
 		mid := lo + (hi-lo)/2

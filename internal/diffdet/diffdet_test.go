@@ -8,6 +8,7 @@ import (
 
 	"github.com/everest-project/everest/internal/simclock"
 	"github.com/everest-project/everest/internal/video"
+	"github.com/everest-project/everest/internal/workpool"
 )
 
 func testSource(t *testing.T, frames int) *video.Synthetic {
@@ -155,24 +156,10 @@ func TestClockCharging(t *testing.T) {
 	}
 }
 
-func TestDeterministicAcrossParallelism(t *testing.T) {
-	src := testSource(t, 2000)
-	a := mustRun(t, src, Options{Parallelism: 1})
-	b := mustRun(t, src, Options{Parallelism: 8})
-	if len(a.Retained) != len(b.Retained) {
-		t.Fatal("parallelism changed the result")
-	}
-	for i := range a.Retained {
-		if a.Retained[i] != b.Retained[i] {
-			t.Fatal("parallelism changed retained set")
-		}
-	}
-}
-
 // TestDeterministicAcrossProcs is the workpool-era determinism contract:
 // the detector result — retained set and representative map — must be
-// bit-identical for every worker count, and the deprecated Parallelism
-// knob must keep selecting workers with identical output.
+// bit-identical for every worker count, whether the clips run on
+// transient workers or on a caller-owned resident pool.
 func TestDeterministicAcrossProcs(t *testing.T) {
 	src := testSource(t, 2000)
 	serial := mustRun(t, src, Options{Procs: 1})
@@ -186,7 +173,9 @@ func TestDeterministicAcrossProcs(t *testing.T) {
 		check(fmt.Sprintf("procs=%d", procs), mustRun(t, src, Options{Procs: procs}))
 	}
 	check("procs=0 (GOMAXPROCS)", mustRun(t, src, Options{}))
-	check("deprecated Parallelism=8", mustRun(t, src, Options{Parallelism: 8}))
+	pool := workpool.NewPool(8)
+	defer pool.Close()
+	check("resident pool (8 workers)", mustRun(t, src, Options{Pool: pool}))
 }
 
 func TestShortVideo(t *testing.T) {

@@ -1,0 +1,144 @@
+package labelstore
+
+import (
+	"sort"
+	"sync"
+)
+
+// SharedCache is a versioned label store many sessions read and
+// publish into concurrently. Reads are O(1) snapshots of an immutable
+// Map; publishes fold a query's fresh labels in under a short lock and
+// bump the version.
+//
+// Determinism contract (see DESIGN.md, "Serving layer"): a query pins
+// one version when it snapshots and never observes later publishes, so
+// its result is a deterministic function of (pinned snapshot, Config).
+// Publishes are monotone — labels are only ever added, and an exact
+// frame score is query-independent, so the store's content at version
+// v is the same set of labels no matter which interleaving of
+// publishes produced it; only the version number at which a given
+// label appears depends on arrival order.
+type SharedCache struct {
+	mu      sync.Mutex
+	labels  Map
+	version uint64
+
+	// Admission control: inflight counts oracle-heavy units (a lone
+	// query or one QueryBatch) currently running against this cache;
+	// admit blocks while inflight ≥ the caller's limit.
+	cond     *sync.Cond
+	inflight int
+}
+
+// NewSharedCache returns an empty cache. Sessions with a private label
+// cache use one of these unshared; shared sessions get a registry
+// instance via For.
+func NewSharedCache() *SharedCache {
+	c := &SharedCache{}
+	c.cond = sync.NewCond(&c.mu)
+	return c
+}
+
+// Snapshot returns the current label map and the version it
+// represents. The map is immutable; the caller can read it — and layer
+// an Overlay over it — without further coordination.
+func (c *SharedCache) Snapshot() (Map, uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.labels, c.version
+}
+
+// Publish folds fresh labels into the cache and returns the new
+// version. Empty publishes do not bump the version. Keys are folded in
+// ascending order so the trie's internal shape — not just its content
+// — is independent of Go map iteration order.
+func (c *SharedCache) Publish(fresh map[int]float64) uint64 {
+	if len(fresh) == 0 {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		return c.version
+	}
+	keys := make([]int, 0, len(fresh))
+	for f := range fresh {
+		keys = append(keys, f)
+	}
+	sort.Ints(keys)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	m := c.labels
+	for _, f := range keys {
+		m = m.Set(f, fresh[f])
+	}
+	c.labels = m
+	c.version++
+	return c.version
+}
+
+// Len returns the number of labels currently stored.
+func (c *SharedCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.labels.Len()
+}
+
+// Version returns the current publish version.
+func (c *SharedCache) Version() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.version
+}
+
+// Admit blocks until fewer than limit oracle-heavy units are running
+// against this cache, then reserves a slot; the returned release frees
+// it. limit ≤ 0 means no cap (the release is still required). Each
+// caller enforces its own limit against the shared in-flight count, so
+// heterogeneous configs degrade gracefully: the strictest in-flight
+// caller waits the longest. Admission changes scheduling only, never
+// results.
+func (c *SharedCache) Admit(limit int) (release func()) {
+	c.mu.Lock()
+	for limit > 0 && c.inflight >= limit {
+		c.cond.Wait()
+	}
+	c.inflight++
+	c.mu.Unlock()
+	return func() {
+		c.mu.Lock()
+		c.inflight--
+		c.mu.Unlock()
+		c.cond.Broadcast()
+	}
+}
+
+// registry is the process-wide cache directory: one SharedCache per
+// (video source, UDF) pair, so every session over the same pair —
+// across all users of the process — reuses one label store.
+var registry = struct {
+	mu sync.Mutex
+	m  map[string]*SharedCache
+}{m: make(map[string]*SharedCache)}
+
+// For returns the process-wide shared cache for the given (video
+// source, UDF) identity, creating it on first use. Callers build the
+// key from the identifiers that make label reuse sound: same video
+// content and same scoring function.
+func For(key string) *SharedCache {
+	registry.mu.Lock()
+	defer registry.mu.Unlock()
+	c, ok := registry.m[key]
+	if !ok {
+		c = NewSharedCache()
+		registry.m[key] = c
+	}
+	return c
+}
+
+// ResetForTest detaches every registry entry: sessions already holding
+// a cache keep it, future For calls start fresh. Benchmarks and tests
+// use this to measure cold-cache behaviour; production code has no
+// reason to call it.
+func ResetForTest() {
+	registry.mu.Lock()
+	defer registry.mu.Unlock()
+	registry.m = make(map[string]*SharedCache)
+}

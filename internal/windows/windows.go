@@ -54,6 +54,10 @@ type Options struct {
 	// concurrent calls (a read of immutable state, e.g. a map populated
 	// before the call).
 	Procs int
+	// Pool, when non-nil, aggregates the windows on a caller-owned
+	// resident worker pool instead of transient goroutines (serving
+	// paths reuse one pool per query). Never affects results.
+	Pool *workpool.Pool
 }
 
 func (o Options) stride() int {
@@ -140,7 +144,7 @@ func BuildRelation(scoreOf func(rep int) FrameScore, diff diffdet.Result, opt Op
 		d   uncertain.Dist
 		err error
 	}
-	outs := workpool.Map(opt.Procs, nw, func(_, w int) windowOut {
+	outs := workpool.MapOn(opt.Pool, opt.Procs, nw, func(_, w int) windowOut {
 		lo, hi := w*stride, w*stride+opt.Size
 		var mean, variance float64
 		allExact := true

@@ -1,0 +1,128 @@
+package workpool
+
+import (
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+func TestPoolCoversEveryIndexOnce(t *testing.T) {
+	for _, procs := range []int{1, 2, 7, 16} {
+		p := NewPool(procs)
+		// Reuse the same pool across many batches of varying size —
+		// the resident-worker scenario selectBatch drives.
+		for _, n := range []int{1, 3, 100, 1000, 0, 7} {
+			counts := make([]int64, n)
+			p.ForEach(n, func(_, i int) {
+				atomic.AddInt64(&counts[i], 1)
+			})
+			for i, c := range counts {
+				if c != 1 {
+					t.Fatalf("procs=%d n=%d: index %d processed %d times", procs, n, i, c)
+				}
+			}
+		}
+		p.Close()
+	}
+}
+
+func TestPoolWorkerIDsDense(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	const n = 500
+	var maxWorker int64 = -1
+	p.ForEach(n, func(worker, _ int) {
+		if w := int64(worker); w >= 0 {
+			for {
+				cur := atomic.LoadInt64(&maxWorker)
+				if w <= cur || atomic.CompareAndSwapInt64(&maxWorker, cur, w) {
+					break
+				}
+			}
+		}
+	})
+	if got := atomic.LoadInt64(&maxWorker); got >= int64(p.Workers()) {
+		t.Fatalf("worker id %d outside [0, %d)", got, p.Workers())
+	}
+}
+
+// TestPoolMatchesTransient locks the substrate-equivalence contract:
+// a pure function of the item index must produce identical output on
+// the resident pool, the transient helpers, and the serial loop.
+func TestPoolMatchesTransient(t *testing.T) {
+	const n = 997
+	fn := func(_, i int) float64 { return float64(i*i%313) / 7 }
+	serial := Map(1, n, fn)
+	transient := Map(8, n, fn)
+	p := NewPool(8)
+	defer p.Close()
+	pooled := MapOn(p, 8, n, fn)
+	viaNilPool := MapOn(nil, 8, n, fn)
+	for i := range serial {
+		if pooled[i] != serial[i] || transient[i] != serial[i] || viaNilPool[i] != serial[i] {
+			t.Fatalf("index %d diverged across substrates", i)
+		}
+	}
+}
+
+func TestPoolMapWithScratchPerWorker(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	var made int64
+	out := MapWithOn(p, 4, 300, func() *int64 {
+		atomic.AddInt64(&made, 1)
+		s := new(int64)
+		return s
+	}, func(s *int64, i int) int {
+		*s++ // private mutable scratch; result must not depend on it
+		return i * 2
+	})
+	for i, v := range out {
+		if v != i*2 {
+			t.Fatalf("out[%d] = %d", i, v)
+		}
+	}
+	if made > int64(p.Workers()) {
+		t.Fatalf("newScratch ran %d times for %d workers", made, p.Workers())
+	}
+}
+
+func TestPoolPanicPropagates(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("panic did not propagate from pool worker")
+		}
+		if s, ok := r.(string); !ok || !strings.Contains(s, "boom") {
+			t.Fatalf("panic value %v lost its original form", r)
+		}
+	}()
+	p.ForEach(100, func(_, i int) {
+		if i == 37 {
+			panic("boom 37")
+		}
+	})
+}
+
+// TestPoolSurvivesPanicBatch checks the pool is reusable after a
+// panicking batch — the residency property: one bad query must not
+// poison the workers serving the next one.
+func TestPoolSurvivesPanicBatch(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	func() {
+		defer func() { recover() }()
+		p.ForEach(50, func(_, i int) {
+			if i%2 == 0 {
+				panic("even")
+			}
+		})
+	}()
+	var sum int64
+	p.ForEach(100, func(_, i int) { atomic.AddInt64(&sum, int64(i)) })
+	if sum != 4950 {
+		t.Fatalf("post-panic batch sum = %d, want 4950", sum)
+	}
+}

@@ -3,7 +3,9 @@ package everest
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
+	"github.com/everest-project/everest/internal/labelstore"
 	"github.com/everest-project/everest/internal/video"
 	"github.com/everest-project/everest/internal/vision"
 	"github.com/everest-project/everest/internal/workpool"
@@ -20,127 +22,119 @@ import (
 //
 // A Session is tied to the (video, UDF) pair of its Index and is safe for
 // concurrent use: any number of goroutines may call Query at once over
-// the shared Index and label cache. Each query runs on a private snapshot
-// of the cache taken when it starts and merges its newly confirmed labels
-// back when it finishes, so a query's result is a deterministic function
-// of (snapshot, Config) — the engine never observes another query's
-// labels mid-flight. For bit-reproducible concurrent execution use
-// QueryBatch (or RunConcurrent), which gives every query of the batch the
-// same snapshot and merges in query order; see DESIGN.md's shared-label-
-// cache contract.
+// the shared Index and label cache. The cache is a versioned persistent
+// map (internal/labelstore): each query pins an O(1) immutable snapshot
+// when it starts and publishes its newly confirmed labels back when it
+// finishes, so a query's result is a deterministic function of
+// (snapshot, Config) — the engine never observes another query's labels
+// mid-flight, and snapshot cost no longer grows with the cache. For
+// bit-reproducible concurrent execution use QueryBatch (or
+// RunConcurrent), which gives every query of the batch the same snapshot
+// and merges in query order; see DESIGN.md's shared-label-cache
+// contract.
+//
+// NewSession gives the session a private cache; NewSharedSession joins
+// the process-wide cache for the (video, UDF) pair, so separate user
+// sessions over the same pair reuse each other's oracle labels.
 type Session struct {
 	ix  *Index
 	src video.Source
 	udf vision.UDF
 
-	mu      sync.Mutex
-	labels  map[int]float64
-	queries int
+	cache   *labelstore.SharedCache
+	queries atomic.Int64
 }
 
-// NewSession validates that (src, udf) matches the index and returns an
-// empty-cache session.
+// NewSession validates that (src, udf) matches the index and returns a
+// session with a private, empty label cache.
 func NewSession(ix *Index, src video.Source, udf vision.UDF) (*Session, error) {
 	if err := ix.validateFor(src, udf); err != nil {
 		return nil, err
 	}
 	return &Session{
-		ix:     ix,
-		src:    src,
-		udf:    udf,
-		labels: make(map[int]float64),
+		ix:    ix,
+		src:   src,
+		udf:   udf,
+		cache: labelstore.NewSharedCache(),
 	}, nil
 }
 
-// snapshotLabels copies the shared cache under the lock. Queries run on
-// private clones of the snapshot (the engine reads cached labels from the
-// clone and records fresh confirmations into it), and the pristine
-// snapshot identifies the fresh entries at merge time.
-func (s *Session) snapshotLabels() map[int]float64 {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return cloneLabels(s.labels)
+// NewSharedSession is NewSession on the process-wide label cache for
+// the (video, UDF) pair: every shared session over the same pair — one
+// per user in a serving deployment — publishes into and snapshots from
+// one store, so a frame any user's query confirmed is free for all
+// later queries, whoever issues them. Results remain deterministic per
+// query: each pins an immutable cache version when it starts (see
+// DESIGN.md's serving-layer contract).
+func NewSharedSession(ix *Index, src video.Source, udf vision.UDF) (*Session, error) {
+	if err := ix.validateFor(src, udf); err != nil {
+		return nil, err
+	}
+	return &Session{
+		ix:    ix,
+		src:   src,
+		udf:   udf,
+		cache: labelstore.For(sharedCacheKey(ix)),
+	}, nil
 }
 
-// freshLabels extracts the labels a finished query added on top of its
-// snapshot. Queries only add entries, so overlay ⊇ snap and equal sizes
-// mean nothing fresh. Runs outside the session lock.
-func freshLabels(snap, overlay map[int]float64) map[int]float64 {
-	if len(overlay) == len(snap) {
-		return nil
-	}
-	fresh := make(map[int]float64, len(overlay)-len(snap))
-	for f, v := range overlay {
-		if _, ok := snap[f]; !ok {
-			fresh[f] = v
-		}
-	}
-	return fresh
-}
-
-// mergeLabels folds a finished query's fresh confirmations into the
-// shared cache and counts the query; the critical section is sized by the
-// new labels, not the whole cache. Exact scores are query-independent, so
-// merge order can only affect which equal value wins.
-func (s *Session) mergeLabels(fresh map[int]float64, queries int) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	for f, v := range fresh {
-		s.labels[f] = v
-	}
-	s.queries += queries
-}
-
-// cloneLabels copies a label map (a query's private overlay).
-func cloneLabels(m map[int]float64) map[int]float64 {
-	c := make(map[int]float64, len(m))
-	for f, v := range m {
-		c[f] = v
-	}
-	return c
+// sharedCacheKey identifies the label-reuse domain: same video content
+// and same scoring function. Frame count is included because label
+// frame indices are only meaningful against one fixed timeline.
+func sharedCacheKey(ix *Index) string {
+	return fmt.Sprintf("%s\x00%d\x00%s", ix.dataset, ix.totalFrames, ix.udfName)
 }
 
 // Query runs one Top-K (or Top-K-window) query, reusing every oracle
-// label revealed by earlier queries in this session. Only the marginal
-// oracle cost — frames no previous query confirmed — is charged to the
-// result's clock. Query is safe for concurrent use; each call's result is
-// the deterministic function of the cache snapshot it starts from.
+// label revealed by earlier queries over this session's cache. Only the
+// marginal oracle cost — frames no previous query confirmed — is
+// charged to the result's clock. Query is safe for concurrent use; each
+// call's result is the deterministic function of the cache version it
+// pins at start. Config.AdmissionLimit, when set, gates the call behind
+// the cache's admission control.
 func (s *Session) Query(cfg Config) (*Result, error) {
-	snap := s.snapshotLabels()
-	overlay := cloneLabels(snap)
+	release := s.cache.Admit(cfg.AdmissionLimit)
+	defer release()
+	snap, _ := s.cache.Snapshot()
+	overlay := labelstore.NewOverlay(snap)
 	res, err := s.ix.query(s.src, s.udf, cfg, overlay)
 	if err != nil {
 		return nil, err
 	}
-	s.mergeLabels(freshLabels(snap, overlay), 1)
+	s.cache.Publish(overlay.Fresh())
+	s.queries.Add(1)
 	return res, nil
 }
 
 // QueryBatch runs the given queries concurrently over one shared cache
 // snapshot and returns their results in input order. Because every query
 // of the batch sees the same snapshot and the overlays merge in query
-// order after all complete, the results — and the cache state left behind
-// — are bit-identical for every interleaving and worker count, unlike
+// order after all complete, the results — and the labels published —
+// are bit-identical for every interleaving and worker count, unlike
 // free-running concurrent Query calls (whose snapshots depend on arrival
 // order).
 //
 // Each query's worker budget (Config.Procs) is divided by the batch
 // width, mirroring the scale-out shard convention, so a wide batch does
-// not oversubscribe the cores; Procs never affects results. On failure
-// the first failing query's error (lowest index) is returned; the
-// successful queries' confirmed labels are still merged, so their oracle
-// work is not lost.
+// not oversubscribe the cores; Procs never affects results. The whole
+// batch counts as one unit against the cache's admission control (the
+// strictest AdmissionLimit in the batch applies). On failure the first
+// failing query's error (lowest index) is returned; the successful
+// queries' confirmed labels are still published, so their oracle work is
+// not lost.
 func (s *Session) QueryBatch(cfgs []Config) ([]*Result, error) {
 	if len(cfgs) == 0 {
 		return nil, nil
 	}
-	snap := s.snapshotLabels()
-	overlays := make([]map[int]float64, len(cfgs))
+	release := s.cache.Admit(batchAdmissionLimit(cfgs))
+	defer release()
+	snap, _ := s.cache.Snapshot()
+	overlays := make([]*labelstore.Overlay, len(cfgs))
 	results := make([]*Result, len(cfgs))
 	errs := make([]error, len(cfgs))
 	var wg sync.WaitGroup
 	for i := range cfgs {
-		overlays[i] = cloneLabels(snap)
+		overlays[i] = labelstore.NewOverlay(snap)
 		cfg := cfgs[i]
 		cfg.Procs = max(1, workpool.Procs(cfg.Procs)/len(cfgs))
 		wg.Add(1)
@@ -158,12 +152,25 @@ func (s *Session) QueryBatch(cfgs []Config) ([]*Result, error) {
 			}
 			continue
 		}
-		s.mergeLabels(freshLabels(snap, overlays[i]), 1)
+		s.cache.Publish(overlays[i].Fresh())
+		s.queries.Add(1)
 	}
 	if firstErr != nil {
 		return nil, firstErr
 	}
 	return results, nil
+}
+
+// batchAdmissionLimit resolves a batch's admission cap: the strictest
+// positive limit any member requests (0 = no cap).
+func batchAdmissionLimit(cfgs []Config) int {
+	limit := 0
+	for _, cfg := range cfgs {
+		if cfg.AdmissionLimit > 0 && (limit == 0 || cfg.AdmissionLimit < limit) {
+			limit = cfg.AdmissionLimit
+		}
+	}
+	return limit
 }
 
 // RunConcurrent runs n copies of the same query concurrently via
@@ -182,16 +189,20 @@ func (s *Session) RunConcurrent(cfg Config, n int) ([]*Result, error) {
 }
 
 // CachedLabels returns the number of distinct frames whose exact score
-// the session has accumulated.
+// the session's cache has accumulated. For shared sessions this counts
+// the whole process-wide cache, including other sessions' labels.
 func (s *Session) CachedLabels() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return len(s.labels)
+	return s.cache.Len()
+}
+
+// CacheVersion returns the cache's current publish version: it advances
+// by one for every query (from any session on a shared cache) that
+// confirmed at least one new frame.
+func (s *Session) CacheVersion() uint64 {
+	return s.cache.Version()
 }
 
 // Queries returns how many queries completed in this session.
 func (s *Session) Queries() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.queries
+	return int(s.queries.Load())
 }
