@@ -16,12 +16,14 @@ test:
 # Race-check the concurrency packages and the engine determinism tests;
 # the full suite under -race is too slow for a quick gate.
 race:
-	$(GO) test -race ./internal/workpool/ ./internal/labelstore/ ./internal/cmdn/ ./internal/phase1/ ./internal/nn/ ./internal/diffdet/ ./internal/windows/ ./internal/core/
-	$(GO) test -race -run 'ProcsBitIdentical|GoldenConcurrent|SessionConcurrent|QueryBatch|SharedSession|AdmissionLimit' .
+	$(GO) test -race ./internal/workpool/ ./internal/labelstore/ ./internal/engine/ ./internal/cmdn/ ./internal/phase1/ ./internal/nn/ ./internal/diffdet/ ./internal/windows/ ./internal/core/
+	$(GO) test -race -run 'ProcsBitIdentical|GoldenConcurrent|GoldenCoalesced|SessionConcurrent|QueryBatch|SharedSession|AdmissionLimit|Coalesced' .
 
-# Short-budget fuzz of the workpool determinism contract.
+# Short-budget fuzz of the workpool determinism contract and the engine
+# plan compiler's normalize/validate invariants.
 fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzMapOrdering -fuzztime 30s ./internal/workpool/
+	$(GO) test -run '^$$' -fuzz FuzzPlanNormalize -fuzztime 30s ./internal/engine/
 
 # Capture the engine benchmark suite into BENCH_engine.json so future
 # changes have a perf trajectory to compare against.
@@ -34,9 +36,10 @@ bench-diff:
 	$(GO) run ./cmd/bench -compare BENCH_engine.json
 
 # One-iteration serving-path smoke run: catches regressions that compile
-# but explode allocations (also the CI benchmark smoke job).
+# but explode allocations (also the CI benchmark smoke job, which
+# additionally runs bench-diff against the committed baseline).
 bench-smoke:
-	$(GO) test -run '^$$' -bench 'SessionConcurrent|SessionSharedCache' -benchtime 1x -benchmem .
+	$(GO) test -run '^$$' -bench 'SessionConcurrent|SessionSharedCache|SessionCoalesced' -benchtime 1x -benchmem .
 
 experiments:
 	$(GO) run ./cmd/experiments

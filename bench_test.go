@@ -367,6 +367,87 @@ func BenchmarkSessionSharedCache(b *testing.B) {
 	}
 }
 
+// BenchmarkSessionCoalesced measures the cross-query coalescing
+// scheduler: 6 compatible queries (different K and thres over one
+// indexed video) served as one coalesced group against N fully
+// independent runs of the same queries. The group pays one Phase 1 pass
+// (the prebuilt index, amortized outside the timer, where independent
+// everest.Run calls would each pay their own) and — because the group
+// shares a single label overlay — strictly fewer oracle confirmations
+// and calls than the independent runs. Each timed iteration serves the
+// whole group from a cold cache: the timed path is plan compilation,
+// relation builds over the shared overlay and the merged Phase 2 loops.
+func BenchmarkSessionCoalesced(b *testing.B) {
+	spec, err := video.DatasetByName("Archie")
+	if err != nil {
+		b.Fatal(err)
+	}
+	src, err := spec.Build(4000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	udf := vision.CountUDF{Class: src.TargetClass()}
+	base := everest.Config{
+		K: 10, Threshold: 0.9, Seed: 1,
+		Proxy: cmdn.Config{Grid: []cmdn.Hyper{
+			{G: 5, H: 20}, {G: 5, H: 30}, {G: 8, H: 30}, {G: 12, H: 40},
+		}},
+	}
+	mkCfgs := func(coalesce bool) []everest.Config {
+		ks := []int{10, 5, 3, 20, 8, 10}
+		ths := []float64{0.9, 0.9, 0.99, 0.9, 0.95, 0.99}
+		cfgs := make([]everest.Config, len(ks))
+		for i := range ks {
+			cfgs[i] = base
+			cfgs[i].K = ks[i]
+			cfgs[i].Threshold = ths[i]
+			cfgs[i].Coalesce = coalesce
+		}
+		return cfgs
+	}
+	ix, err := everest.BuildIndex(src, udf, base)
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Independent baseline, outside the timer: every query pays its own
+	// oracle bill from a cold cache.
+	var indepCleaned, indepCalls int
+	for _, cfg := range mkCfgs(false) {
+		res, err := ix.Query(src, udf, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		indepCleaned += res.EngineStats.Cleaned
+		indepCalls += res.EngineStats.OracleCalls
+	}
+	b.ResetTimer()
+	var coalCleaned, coalCalls int
+	for i := 0; i < b.N; i++ {
+		sess, err := everest.NewSession(ix, src, udf) // cold cache per iteration
+		if err != nil {
+			b.Fatal(err)
+		}
+		results, err := sess.QueryBatch(mkCfgs(true))
+		if err != nil {
+			b.Fatal(err)
+		}
+		coalCleaned, coalCalls = 0, 0
+		for _, res := range results {
+			coalCleaned += res.EngineStats.Cleaned
+			coalCalls += res.EngineStats.OracleCalls
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(coalCleaned), "cleaned-coalesced")
+	b.ReportMetric(float64(indepCleaned), "cleaned-independent")
+	b.ReportMetric(float64(coalCalls), "oracle-calls-coalesced")
+	b.ReportMetric(float64(indepCalls), "oracle-calls-independent")
+	if coalCalls >= indepCalls || coalCleaned >= indepCleaned {
+		b.Fatalf("coalesced group paid %d calls / %d cleaned, independent runs %d / %d — coalescing saved nothing",
+			coalCalls, coalCleaned, indepCalls, indepCleaned)
+	}
+}
+
 // BenchmarkSlidingWindows regenerates the sliding-vs-tumbling comparison
 // (E3): the cleaning price of the dependence-safe union bound.
 func BenchmarkSlidingWindows(b *testing.B) {

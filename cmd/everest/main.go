@@ -9,6 +9,7 @@
 //	everest -dataset Archie -k 10 -window 300 -stride 30   # sliding windows
 //	everest -dataset Archie -k 50 -parallel 4              # scale-out
 //	everest -dataset Archie -k 10 -concurrent 8            # concurrent serving from one session
+//	everest -dataset Archie -k 10 -concurrent 8 -coalesce  # one coalesced engine run for all 8
 //	everest -dataset Dashcam-California -udf tailgate -k 50
 //	everest -query 'SELECT TOP 10 WINDOWS OF 300 EVERY 30 FROM Archie RANK BY count(car)' [-explain]
 //	everest -repl
@@ -30,25 +31,26 @@ import (
 
 func main() {
 	var (
-		dataset = flag.String("dataset", "Archie", "dataset name (see -list)")
-		k       = flag.Int("k", 50, "result size K")
-		thres   = flag.Float64("thres", 0.9, "probabilistic guarantee threshold")
-		window  = flag.Int("window", 0, "window size in frames (0 = frame query)")
-		stride  = flag.Int("stride", 0, "window stride in frames (0 = tumbling; < window slides with the union bound)")
-		workers = flag.Int("parallel", 1, "scale-out worker count")
-		frames  = flag.Int("frames", 0, "override frame count (0 = dataset default)")
-		udfName = flag.String("udf", "count", "scoring UDF: count | tailgate | sentiment")
-		seed    = flag.Uint64("seed", 1, "random seed")
-		procs   = flag.Int("procs", 0, "CPU workers for the execution engine (0 = all cores; results are identical for any value)")
-		conc    = flag.Int("concurrent", 0, "serve the query N times concurrently from one shared session (builds or loads an index first)")
-		shared  = flag.Bool("shared", false, "with -concurrent: serve from N distinct sessions joined to the process-wide (video, UDF) label cache instead of one private session")
-		admit   = flag.Int("admit", 0, "admission control: cap on concurrent oracle-heavy query batches per label cache (0 = no cap)")
-		list    = flag.Bool("list", false, "list datasets and exit")
-		query   = flag.String("query", "", `EQL statement, e.g. 'SELECT TOP 50 FRAMES FROM "Taipei-bus" RANK BY count(car) THRESHOLD 0.9'`)
-		explain = flag.Bool("explain", false, "describe the EQL query's plan without running it")
-		shell   = flag.Bool("repl", false, "interactive EQL shell (ingest-once, session-shared queries)")
-		saveIx  = flag.String("saveindex", "", "run Phase 1 only and save an ingestion index to this file")
-		useIx   = flag.String("useindex", "", "answer from a saved ingestion index (Phase 2 only)")
+		dataset  = flag.String("dataset", "Archie", "dataset name (see -list)")
+		k        = flag.Int("k", 50, "result size K")
+		thres    = flag.Float64("thres", 0.9, "probabilistic guarantee threshold")
+		window   = flag.Int("window", 0, "window size in frames (0 = frame query)")
+		stride   = flag.Int("stride", 0, "window stride in frames (0 = tumbling; < window slides with the union bound)")
+		workers  = flag.Int("parallel", 1, "scale-out worker count")
+		frames   = flag.Int("frames", 0, "override frame count (0 = dataset default)")
+		udfName  = flag.String("udf", "count", "scoring UDF: count | tailgate | sentiment")
+		seed     = flag.Uint64("seed", 1, "random seed")
+		procs    = flag.Int("procs", 0, "CPU workers for the execution engine (0 = all cores; results are identical for any value)")
+		conc     = flag.Int("concurrent", 0, "serve the query N times concurrently from one shared session (builds or loads an index first)")
+		shared   = flag.Bool("shared", false, "with -concurrent: serve from N distinct sessions joined to the process-wide (video, UDF) label cache instead of one private session")
+		admit    = flag.Int("admit", 0, "admission control: cap on concurrent oracle-heavy query batches per label cache (0 = no cap)")
+		coalesce = flag.Bool("coalesce", false, "with -concurrent: route queries through the cross-query coalescing scheduler (one engine run per compatible group; overlapping frames labeled and charged once)")
+		list     = flag.Bool("list", false, "list datasets and exit")
+		query    = flag.String("query", "", `EQL statement, e.g. 'SELECT TOP 50 FRAMES FROM "Taipei-bus" RANK BY count(car) THRESHOLD 0.9'`)
+		explain  = flag.Bool("explain", false, "describe the EQL query's plan without running it")
+		shell    = flag.Bool("repl", false, "interactive EQL shell (ingest-once, session-shared queries)")
+		saveIx   = flag.String("saveindex", "", "run Phase 1 only and save an ingestion index to this file")
+		useIx    = flag.String("useindex", "", "answer from a saved ingestion index (Phase 2 only)")
 	)
 	flag.Parse()
 
@@ -113,6 +115,7 @@ func main() {
 		Seed:           *seed,
 		Procs:          *procs,
 		AdmissionLimit: *admit,
+		Coalesce:       *coalesce,
 	}
 
 	if *saveIx != "" {
@@ -222,8 +225,12 @@ func runConcurrent(src video.Source, udf vision.UDF, cfg everest.Config, path st
 	if err != nil {
 		return err
 	}
-	fmt.Printf("\n%d concurrent queries served from one session (cache now %d labels):\n",
-		n, sess.CachedLabels())
+	mode := "one session"
+	if cfg.Coalesce {
+		mode = "one session, coalesced into one engine run"
+	}
+	fmt.Printf("\n%d concurrent queries served from %s (cache now %d labels):\n",
+		n, mode, sess.CachedLabels())
 	for i, r := range results {
 		fmt.Printf("  query %-3d confidence %.4f, cleaned %d, %.0f sim-ms\n",
 			i, r.Confidence, r.EngineStats.Cleaned, r.Clock.TotalMS())
@@ -239,9 +246,12 @@ func runConcurrent(src video.Source, udf vision.UDF, cfg everest.Config, path st
 // reused depends on in-flight overlap: free-running sessions that start
 // together all pay the oracle (the cache shares *completed* work), while
 // -admit caps how many are in flight, so with -admit 1 the first session
-// pays and the rest serve oracle-free. Per-session numbers depend on
-// arrival order; each individual answer is still the deterministic
-// function of the cache version it pinned.
+// pays and the rest serve oracle-free — and -coalesce batches in-flight
+// queries into one engine run on the pair's scheduler, so even
+// simultaneous starters share labels and the group pays roughly one
+// query's bill. Per-session numbers depend on arrival order; each
+// individual answer is still the deterministic function of the cache
+// version (or coalesced group position) it got.
 func runShared(src video.Source, udf vision.UDF, cfg everest.Config, ix *everest.Index, n int) error {
 	results := make([]*everest.Result, n)
 	errs := make([]error, n)
@@ -280,6 +290,9 @@ func runShared(src video.Source, udf vision.UDF, cfg everest.Config, ix *everest
 	admitNote := "no admission cap"
 	if cfg.AdmissionLimit > 0 {
 		admitNote = fmt.Sprintf("admission cap %d", cfg.AdmissionLimit)
+	}
+	if cfg.Coalesce {
+		admitNote += ", coalescing scheduler"
 	}
 	fmt.Printf("\n%d concurrent user sessions over one process-wide cache (%s; cache now %d labels, version %d):\n",
 		n, admitNote, last.CachedLabels(), last.CacheVersion())

@@ -1,0 +1,155 @@
+package everest
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/everest-project/everest/internal/labelstore"
+	"github.com/everest-project/everest/internal/video"
+	"github.com/everest-project/everest/internal/vision"
+)
+
+// TestCoalescedSharedSessionsShareOneScheduler is the cross-user
+// coalescing scenario the scheduler exists for: N distinct shared
+// sessions — one per user — fire the same query concurrently with
+// Coalesce on. Group commit plus the shared label cache must keep the
+// total oracle bill at one lone query's, whatever the interleaving,
+// and every user gets the same answer.
+func TestCoalescedSharedSessionsShareOneScheduler(t *testing.T) {
+	labelstore.ResetForTest()
+	defer labelstore.ResetForTest()
+	src := testSource(t, 9000, 91)
+	udf := vision.CountUDF{Class: video.ClassCar}
+	cfg := smallCfg(5)
+	ix, err := BuildIndex(src, udf, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lone, err := ix.Query(src, udf, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ccfg := cfg
+	ccfg.Coalesce = true
+	const users = 6
+	results := make([]*Result, users)
+	errs := make([]error, users)
+	var wg sync.WaitGroup
+	for i := 0; i < users; i++ {
+		sess, err := NewSharedSession(ix, src, udf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func(i int, sess *Session) {
+			defer wg.Done()
+			results[i], errs[i] = sess.Query(ccfg)
+		}(i, sess)
+	}
+	wg.Wait()
+	total := 0
+	for i := 0; i < users; i++ {
+		if errs[i] != nil {
+			t.Fatalf("user %d: %v", i, errs[i])
+		}
+		for j := range lone.IDs {
+			if results[i].IDs[j] != lone.IDs[j] || results[i].Scores[j] != lone.Scores[j] {
+				t.Fatalf("user %d got a different answer", i)
+			}
+		}
+		total += results[i].EngineStats.Cleaned
+	}
+	if total > lone.EngineStats.Cleaned {
+		t.Fatalf("%d coalesced users cleaned %d frames total, a lone query cleans %d",
+			users, total, lone.EngineStats.Cleaned)
+	}
+}
+
+// TestSessionCacheMaxLabelsPolicy checks the Config.CacheMaxLabels
+// knob threads through to the label cache: the cache stays bounded,
+// evictions advance the version, and queries after eviction simply
+// re-pay the oracle for what was dropped — same answer.
+func TestSessionCacheMaxLabelsPolicy(t *testing.T) {
+	src := testSource(t, 9000, 93)
+	udf := vision.CountUDF{Class: video.ClassCar}
+	ix, err := BuildIndex(src, udf, smallCfg(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := NewSession(ix, src, udf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := smallCfg(5)
+	cfg.CacheMaxLabels = 1
+	first, err := sess.Query(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.EngineStats.Cleaned == 0 {
+		t.Fatal("first query cleaned nothing; the eviction assertions would be vacuous")
+	}
+	// One batch is always kept (the newest), so the cache holds the first
+	// query's labels for now.
+	if sess.CachedLabels() != first.EngineStats.Cleaned {
+		t.Fatalf("cache holds %d labels, first query cleaned %d", sess.CachedLabels(), first.EngineStats.Cleaned)
+	}
+	// A different query publishes a second batch, which evicts the first.
+	bigger := smallCfg(5)
+	bigger.Threshold = 0.99
+	bigger.CacheMaxLabels = 1
+	vBefore := sess.CacheVersion()
+	if _, err := sess.Query(bigger); err != nil {
+		t.Fatal(err)
+	}
+	if sess.CachedLabels() >= first.EngineStats.Cleaned+1 {
+		t.Fatalf("cache grew to %d labels despite CacheMaxLabels=1", sess.CachedLabels())
+	}
+	if sess.CacheVersion() < vBefore+2 {
+		t.Fatalf("eviction did not bump the version: %d → %d", vBefore, sess.CacheVersion())
+	}
+	// The evicted frames are re-charged, and the answer is unchanged.
+	again, err := sess.Query(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range first.IDs {
+		if first.IDs[i] != again.IDs[i] || first.Scores[i] != again.Scores[i] {
+			t.Fatalf("answer changed after eviction at %d", i)
+		}
+	}
+}
+
+// TestSessionCacheTTLPolicy exercises the Config.CacheTTL knob through
+// the public API: a TTL generous enough for the test's duration keeps
+// every label (no spurious eviction on the hot path).
+func TestSessionCacheTTLPolicy(t *testing.T) {
+	src := testSource(t, 9000, 97)
+	udf := vision.CountUDF{Class: video.ClassCar}
+	ix, err := BuildIndex(src, udf, smallCfg(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := NewSession(ix, src, udf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := smallCfg(5)
+	cfg.CacheTTL = time.Hour
+	first, err := sess.Query(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	repeat, err := sess.Query(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if repeat.EngineStats.Cleaned != 0 {
+		t.Fatalf("repeat within the TTL cleaned %d frames, want 0", repeat.EngineStats.Cleaned)
+	}
+	if sess.CachedLabels() != first.EngineStats.Cleaned {
+		t.Fatalf("TTL policy lost labels: %d vs %d", sess.CachedLabels(), first.EngineStats.Cleaned)
+	}
+}

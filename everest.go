@@ -34,6 +34,14 @@
 //   - NewSession shares every oracle-revealed frame score across the
 //     queries of one analysis session, making repeats and drill-downs
 //     oracle-free.
+//   - Config.Coalesce batches compatible in-flight session queries —
+//     across users, with NewSharedSession — into one engine run that
+//     labels overlapping frames once (bit-identical to serial
+//     execution in submission order).
+//
+// Every entrypoint compiles its Config to an explicit query plan
+// executed by the one pipeline in internal/engine; see DESIGN.md's
+// "Engine pipeline & scheduler" contract.
 //
 // All "runtimes" are simulated milliseconds accumulated on a
 // simclock.Clock using a cost model calibrated to the paper's hardware;
@@ -42,18 +50,16 @@ package everest
 
 import (
 	"errors"
-	"fmt"
+	"time"
 
 	"github.com/everest-project/everest/internal/cmdn"
 	"github.com/everest-project/everest/internal/core"
 	"github.com/everest-project/everest/internal/diffdet"
+	"github.com/everest-project/everest/internal/engine"
 	"github.com/everest-project/everest/internal/phase1"
 	"github.com/everest-project/everest/internal/simclock"
-	"github.com/everest-project/everest/internal/uncertain"
 	"github.com/everest-project/everest/internal/video"
 	"github.com/everest-project/everest/internal/vision"
-	"github.com/everest-project/everest/internal/windows"
-	"github.com/everest-project/everest/internal/workpool"
 )
 
 // Config parameterizes one Top-K query.
@@ -116,9 +122,34 @@ type Config struct {
 	// QueryBatch) may run concurrently against the session's label
 	// cache; excess callers queue. For shared sessions the cap spans
 	// every session on the same (video, UDF) cache, protecting the
-	// oracle budget under fan-in. Zero means no cap. Admission changes
-	// scheduling only — results stay bit-identical.
+	// oracle budget under fan-in. Zero or negative means no cap.
+	// Admission changes scheduling only — results stay bit-identical.
 	AdmissionLimit int
+	// Coalesce routes Session queries through the label cache's
+	// cross-query scheduler: compatible queries submitted while another
+	// runs are batched into one engine run that shares a single label
+	// overlay and worker pool, so overlapping frames are labeled once
+	// and charged once. Results are bit-identical to executing the same
+	// queries serially in submission order, each seeing its
+	// predecessors' labels (see DESIGN.md "Engine pipeline &
+	// scheduler"). A coalesced QueryBatch runs its queries as one
+	// pre-formed group in input order.
+	Coalesce bool
+	// CacheTTL, when positive, bounds how long a published label batch
+	// stays in the session's label cache: on each publish or snapshot,
+	// batches older than the TTL are evicted (the eviction bumps the
+	// cache version; queries pinned to earlier snapshots are
+	// unaffected). Protects long-lived process-wide caches over
+	// drifting videos. Zero leaves the cache's current policy untouched
+	// (keep forever by default); a negative value clears an installed
+	// policy, restoring the unbounded default.
+	CacheTTL time.Duration
+	// CacheMaxLabels, when positive, caps how many policy-governed
+	// labels the cache holds: after a publish pushes it past the cap,
+	// the oldest publish batches are evicted until it fits. Zero leaves
+	// the current policy untouched (unbounded by default); negative
+	// clears it. Policies are per cache, last writer wins.
+	CacheMaxLabels int
 
 	// DisableDiff skips the difference detector (ablation A4).
 	DisableDiff bool
@@ -163,17 +194,6 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// queryPool returns a resident worker pool for one query or ingestion
-// run (nil when the effective worker count is 1, where transient
-// serial paths are exact already). The caller owns it: pass it down
-// via the Pool options and Close it when the operation finishes.
-func (c Config) queryPool() *workpool.Pool {
-	if workpool.Procs(c.Procs) == 1 {
-		return nil
-	}
-	return workpool.NewPool(c.Procs)
-}
-
 // phase1Options maps the user-facing Config onto Phase 1's options. The
 // seed is supplied by the caller because the scale-out and append paths
 // derive their own per-shard streams.
@@ -192,22 +212,32 @@ func (c Config) phase1Options(seed uint64) phase1.Options {
 	}
 }
 
-// windowStride returns the effective window stride (tumbling by default).
-func (c Config) windowStride() int {
-	if c.Stride <= 0 {
-		return c.Window
-	}
-	return c.Stride
-}
-
-// boundKind selects the Phase 2 confidence computation: the paper's exact
-// independent product unless the tuples are correlated (overlapping
-// windows) or the caller forces the conservative bound.
-func (c Config) boundKind() core.BoundKind {
-	if c.UnionBound || (c.Window > 0 && c.windowStride() < c.Window) {
-		return core.BoundUnion
-	}
-	return core.BoundIndependent
+// plan compiles the (defaulted) Config down to the engine's explicit
+// query plan: every entrypoint — Run, Index.Query, Extend's tail
+// ingest, Session queries — goes through this one translation, so the
+// pipeline semantics live in internal/engine alone. The caller
+// validates via engine.NewPlan / Plan.ValidateFor.
+func (c Config) plan() engine.Plan {
+	return engine.Plan{
+		K:         c.K,
+		Threshold: c.Threshold,
+		Window: engine.WindowSpec{
+			Size:       c.Window,
+			Stride:     c.Stride,
+			SampleFrac: c.WindowSampleFrac,
+		},
+		BatchSize:        c.BatchSize,
+		MaxCleaned:       c.MaxCleaned,
+		DisableEarlyStop: c.DisableEarlyStop,
+		ResortOnce:       c.ResortOnce,
+		DisablePrefetch:  c.DisablePrefetch,
+		ForceUnionBound:  c.UnionBound,
+		Procs:            c.Procs,
+		Seed:             c.Seed,
+		Cost:             c.Cost,
+		AdmissionLimit:   c.AdmissionLimit,
+		Ingest:           c.phase1Options(c.Seed),
+	}.Normalize()
 }
 
 // Phase1Info reports what Phase 1 did.
@@ -255,137 +285,60 @@ type Result struct {
 	Phase1 Phase1Info
 }
 
-// Run executes a Top-K query over src with the given scoring UDF.
+// phase1InfoOf converts the ingest stage's statistics into the public
+// report shape (Tuples is per-query and filled in by resultOf).
+func phase1InfoOf(in phase1.Info) Phase1Info {
+	return Phase1Info{
+		TotalFrames:    in.TotalFrames,
+		TrainSamples:   in.TrainSamples,
+		HoldoutSamples: in.HoldoutSamples,
+		Retained:       in.Retained,
+		Hyper:          in.Hyper,
+		HoldoutNLL:     in.HoldoutNLL,
+	}
+}
+
+// resultOf converts an engine outcome into the public Result.
+func resultOf(out *engine.Outcome, p engine.Plan, info Phase1Info) *Result {
+	info.Tuples = out.Tuples
+	stride := 0
+	if p.Window.Enabled() {
+		stride = p.Window.Stride
+	}
+	return &Result{
+		IDs:          out.IDs,
+		Scores:       out.Scores,
+		Confidence:   out.Confidence,
+		Bound:        out.Bound,
+		IsWindow:     p.Window.Enabled(),
+		WindowSize:   p.Window.Size,
+		WindowStride: stride,
+		Clock:        out.Clock,
+		EngineStats:  out.Stats,
+		Phase1:       info,
+	}
+}
+
+// Run executes a Top-K query over src with the given scoring UDF: it
+// compiles the Config to an engine plan, ingests Phase 1 into an
+// artifact and executes the plan against it — the same pipeline every
+// other entrypoint uses, sharing one clock and worker pool across both
+// stages.
 func Run(src video.Source, udf vision.UDF, cfg Config) (*Result, error) {
 	if src == nil || udf == nil {
 		return nil, errors.New("everest: nil source or UDF")
 	}
 	cfg = cfg.withDefaults()
-	if cfg.K <= 0 {
-		return nil, fmt.Errorf("everest: K must be positive, got %d", cfg.K)
-	}
-	if cfg.Threshold <= 0 || cfg.Threshold > 1 {
-		return nil, fmt.Errorf("everest: threshold must be in (0,1], got %v", cfg.Threshold)
-	}
-	n := src.NumFrames()
-	if n == 0 {
-		return nil, errors.New("everest: empty video")
-	}
-	if cfg.Window < 0 {
-		return nil, fmt.Errorf("everest: negative window %d", cfg.Window)
-	}
-	if cfg.Window == 0 && cfg.Stride > 0 {
-		return nil, fmt.Errorf("everest: stride %d given without a window", cfg.Stride)
-	}
-	if cfg.Window > 0 {
-		if nw := windows.NumSlidingWindows(n, cfg.Window, cfg.windowStride()); nw < cfg.K {
-			return nil, fmt.Errorf("everest: only %d windows of %d frames (stride %d) but K=%d",
-				nw, cfg.Window, cfg.windowStride(), cfg.K)
-		}
-	}
-
-	clock := simclock.NewClock()
-	// One resident worker pool serves the whole query: Phase 1 fan-outs,
-	// window aggregation and Phase 2's speculative selection blocks all
-	// reuse the same goroutines.
-	pool := cfg.queryPool()
-	if pool != nil {
-		defer pool.Close()
-	}
-	p1opts := cfg.phase1Options(cfg.Seed)
-	p1opts.Pool = pool
-	p1, err := phase1.Run(src, udf, p1opts, clock)
+	plan, err := engine.NewPlan(cfg.plan())
 	if err != nil {
 		return nil, err
 	}
-
-	qopt := udf.Quantize()
-	var rel uncertain.Relation
-	var oracle core.Oracle
-	engineCost := cfg.Cost
-	if cfg.Window > 0 {
-		rel, err = p1.WindowRelationStrided(cfg.Window, cfg.windowStride(), qopt)
-		if err != nil {
-			return nil, err
-		}
-		wOracle := &windows.Oracle{
-			ScoreFrames: func(ids []int) ([]float64, error) {
-				return udf.Score(src, ids), nil
-			},
-			Size:       cfg.Window,
-			Stride:     cfg.windowStride(),
-			SampleFrac: cfg.WindowSampleFrac,
-			Step:       qopt.Step,
-			Seed:       cfg.Seed,
-		}
-		// The engine charges OracleMS per cleaned tuple; a window
-		// confirmation scores SamplesPerWindow frames.
-		engineCost.OracleMS = cfg.Cost.OracleMS * float64(wOracle.SamplesPerWindow())
-		oracle = wOracle
-	} else {
-		rel = p1.FrameRelation(qopt)
-		oracle = core.OracleFunc(func(ids []int) ([]int, error) {
-			scores := udf.Score(src, ids)
-			levels := make([]int, len(ids))
-			for i, s := range scores {
-				levels[i] = uncertain.LevelOf(s, qopt.Step)
-			}
-			return levels, nil
-		})
+	if err := plan.ValidateFor(src.NumFrames()); err != nil {
+		return nil, err
 	}
-	if cfg.K > len(rel) {
-		return nil, fmt.Errorf("everest: K=%d exceeds relation size %d", cfg.K, len(rel))
-	}
-
-	coreCfg := core.Config{
-		K:                cfg.K,
-		Threshold:        cfg.Threshold,
-		BatchSize:        cfg.BatchSize,
-		MaxCleaned:       cfg.MaxCleaned,
-		DisableEarlyStop: cfg.DisableEarlyStop,
-		ResortOnce:       cfg.ResortOnce,
-		Bound:            cfg.boundKind(),
-		Procs:            cfg.Procs,
-		Pool:             pool,
-	}
-	if cfg.DisablePrefetch {
-		coreCfg.UnhiddenDecodeMS = cfg.Cost.DecodeMS
-	}
-	eng, err := core.NewEngine(rel, coreCfg, oracle, clock, engineCost)
+	art, out, err := engine.Run(src, udf, plan)
 	if err != nil {
 		return nil, err
 	}
-	coreRes, err := eng.Run()
-	if err != nil {
-		return nil, err
-	}
-
-	scores := make([]float64, len(coreRes.Levels))
-	for i, lvl := range coreRes.Levels {
-		scores[i] = uncertain.LevelValue(lvl, qopt.Step)
-	}
-	stride := 0
-	if cfg.Window > 0 {
-		stride = cfg.windowStride()
-	}
-	return &Result{
-		IDs:          coreRes.IDs,
-		Scores:       scores,
-		Confidence:   coreRes.Confidence,
-		Bound:        coreRes.Bound,
-		IsWindow:     cfg.Window > 0,
-		WindowSize:   cfg.Window,
-		WindowStride: stride,
-		Clock:        clock,
-		EngineStats:  coreRes.Stats,
-		Phase1: Phase1Info{
-			TotalFrames:    p1.Info.TotalFrames,
-			TrainSamples:   p1.Info.TrainSamples,
-			HoldoutSamples: p1.Info.HoldoutSamples,
-			Retained:       p1.Info.Retained,
-			Tuples:         len(rel),
-			Hyper:          p1.Info.Hyper,
-			HoldoutNLL:     p1.Info.HoldoutNLL,
-		},
-	}, nil
+	return resultOf(out, plan, phase1InfoOf(art.Info)), nil
 }

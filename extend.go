@@ -4,7 +4,7 @@ import (
 	"errors"
 	"fmt"
 
-	"github.com/everest-project/everest/internal/phase1"
+	"github.com/everest-project/everest/internal/engine"
 	"github.com/everest-project/everest/internal/simclock"
 	"github.com/everest-project/everest/internal/video"
 	"github.com/everest-project/everest/internal/vision"
@@ -12,11 +12,12 @@ import (
 
 // Extend incrementally ingests footage appended to an indexed video: src
 // must be the same camera feed, now longer than when the index was built.
-// The appended tail [indexed frames, src frames) runs the full Phase 1
-// pipeline — its own sampling, labelling, and a tail-specialized CMDN —
-// and the outputs are merged into the index, exactly as the scale-out
-// executor specializes one proxy per shard. Nothing already ingested is
-// recomputed, so a nightly append costs Phase 1 of the new footage only.
+// The appended tail [indexed frames, src frames) runs the engine's full
+// Ingest stage — its own sampling, labelling, and a tail-specialized
+// CMDN — and the resulting artifact is merged into the index's, exactly
+// as the scale-out executor specializes one proxy per shard. Nothing
+// already ingested is recomputed, so a nightly append costs Phase 1 of
+// the new footage only.
 //
 // Per-segment specialization is also the honest answer to model drift:
 // the paper defers drift handling (§3.1), and scoring tonight's frames
@@ -29,33 +30,34 @@ func (ix *Index) Extend(src video.Source, udf vision.UDF, cfg Config) (tailMS fl
 	if src == nil || udf == nil {
 		return 0, errors.New("everest: nil source or UDF")
 	}
-	if src.Name() != ix.dataset {
-		return 0, fmt.Errorf("everest: index was built for %s, not %s", ix.dataset, src.Name())
+	if src.Name() != ix.art.Dataset {
+		return 0, fmt.Errorf("everest: index was built for %s, not %s", ix.art.Dataset, src.Name())
 	}
-	if udf.Name() != ix.udfName {
-		return 0, fmt.Errorf("everest: index was built for UDF %s, not %s", ix.udfName, udf.Name())
+	if udf.Name() != ix.art.UDFName {
+		return 0, fmt.Errorf("everest: index was built for UDF %s, not %s", ix.art.UDFName, udf.Name())
 	}
 	n := src.NumFrames()
-	if n <= ix.totalFrames {
+	if n <= ix.art.TotalFrames {
 		return 0, fmt.Errorf("everest: source has %d frames, index already covers %d — nothing to append",
-			n, ix.totalFrames)
+			n, ix.art.TotalFrames)
 	}
 	cfg = cfg.withDefaults()
 
-	lo := ix.totalFrames
+	lo := ix.art.TotalFrames
 	tail, err := video.Slice(src, lo, n)
 	if err != nil {
 		return 0, err
 	}
 	clock := simclock.NewClock()
-	pool := cfg.queryPool()
+	plan := cfg.plan()
+	pool := plan.WorkerPool()
 	if pool != nil {
 		defer pool.Close()
 	}
 	// cfg.Seed ^ lo: a fresh stream per append.
-	p1opts := cfg.phase1Options(cfg.Seed ^ uint64(lo))
-	p1opts.Pool = pool
-	st, err := phase1.Run(tail, udf, p1opts, clock)
+	opt := cfg.phase1Options(cfg.Seed ^ uint64(lo))
+	opt.Pool = pool
+	tailArt, err := engine.Ingest(tail, udf, opt, clock)
 	if err != nil {
 		return 0, fmt.Errorf("everest: extending index: %w", err)
 	}
@@ -63,27 +65,8 @@ func (ix *Index) Extend(src video.Source, udf vision.UDF, cfg Config) (tailMS fl
 	// Merge in global coordinates. The difference detector never links
 	// across the append boundary; the first tail frame always starts a new
 	// segment, which at worst retains one redundant frame.
-	for _, rep := range st.Diff.RepOf {
-		ix.repOf = append(ix.repOf, int32(lo)+rep)
-	}
-	for _, f := range st.Diff.Retained {
-		g := int32(lo + f)
-		ix.retained = append(ix.retained, g)
-		if s, ok := st.Labeled[f]; ok {
-			ix.exact[g] = s
-		}
-	}
-	inferIDs, mixes := st.InferRetainedMixtures()
-	for k, f := range inferIDs {
-		ix.mixtures[int32(lo+f)] = mixes[k]
-	}
-	clock.Charge(simclock.PhasePopulateD0, float64(len(inferIDs))*cfg.Cost.ProxyMS)
-
-	ix.totalFrames = n
-	ix.info.TotalFrames = n
-	ix.info.TrainSamples += st.Info.TrainSamples
-	ix.info.HoldoutSamples += st.Info.HoldoutSamples
-	ix.info.Retained += st.Info.Retained
+	ix.art.Append(tailArt, lo)
+	ix.info = phase1InfoOf(ix.art.Info)
 	tailMS = clock.TotalMS()
 	ix.ingestMS += tailMS
 	return tailMS, nil

@@ -1,6 +1,7 @@
 package everest
 
 import (
+	"bytes"
 	"encoding/json"
 	"flag"
 	"os"
@@ -188,6 +189,171 @@ func TestGoldenDeterminism(t *testing.T) {
 			wj, _ := json.MarshalIndent(w, "", "  ")
 			t.Fatalf("scenario %s diverged from golden snapshot\ngot:\n%s\nwant:\n%s", name, gj, wj)
 		}
+	}
+}
+
+// TestGoldenCoalescedSession locks the coalescing scheduler's
+// determinism contract end to end: a coalesced batch — one engine run
+// sharing a single label overlay — must return, for every query and at
+// every worker count, bit-identically what serial Session.Query calls
+// in the same submission order return (each serial query seeing its
+// predecessors' published labels). It also locks the point of
+// coalescing: the group spends strictly fewer oracle confirmations
+// than the same queries run independently from cold caches.
+func TestGoldenCoalescedSession(t *testing.T) {
+	spec, err := video.DatasetByName("Archie")
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := spec.Build(3000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	udf := vision.CountUDF{Class: video.ClassCar}
+	mkCfgs := func() []Config {
+		big := goldenCfg(10)
+		strict := goldenCfg(5)
+		strict.Threshold = 0.99
+		win := goldenCfg(5)
+		win.Window = 30
+		return []Config{big, strict, win}
+	}
+	ix, err := BuildIndex(src, udf, goldenCfg(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Serial submission-order reference: a fresh session, one Query at a
+	// time, each publishing before the next snapshots.
+	serialSess, err := NewSession(ix, src, udf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgs := mkCfgs()
+	serial := make([]goldenResult, len(cfgs))
+	independent := 0 // oracle bill of the same queries from cold caches
+	for i, cfg := range cfgs {
+		res, err := serialSess.Query(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		serial[i] = goldenOf(res)
+		alone, err := ix.Query(src, udf, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		independent += alone.EngineStats.Cleaned
+	}
+
+	for _, procs := range goldenProcs {
+		sess, err := NewSession(ix, src, udf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfgs := mkCfgs()
+		coalesced := 0
+		for i := range cfgs {
+			cfgs[i].Procs = procs
+			cfgs[i].Coalesce = true
+		}
+		results, err := sess.QueryBatch(cfgs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, res := range results {
+			g := goldenOf(res)
+			if !reflect.DeepEqual(g, serial[i]) {
+				gj, _ := json.MarshalIndent(g, "", "  ")
+				wj, _ := json.MarshalIndent(serial[i], "", "  ")
+				t.Fatalf("procs=%d coalesced query %d diverged from serial submission order\ngot:\n%s\nwant:\n%s",
+					procs, i, gj, wj)
+			}
+			coalesced += res.EngineStats.Cleaned
+		}
+		if coalesced >= independent {
+			t.Fatalf("procs=%d: coalesced batch cleaned %d frames, independent runs clean %d — coalescing saved nothing",
+				procs, coalesced, independent)
+		}
+	}
+}
+
+// TestGoldenIndexSaveLoadRoundTrip locks index persistence through the
+// unified engine path: an index restored by LoadIndex must answer every
+// query — frame and window, direct and session-coalesced — bit-identically
+// to the in-memory index it was saved from, at every worker count.
+func TestGoldenIndexSaveLoadRoundTrip(t *testing.T) {
+	spec, err := video.DatasetByName("Archie")
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := spec.Build(3000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	udf := vision.CountUDF{Class: video.ClassCar}
+	cfg := goldenCfg(10)
+	wcfg := goldenCfg(5)
+	wcfg.Window = 30
+	ix, err := BuildIndex(src, udf, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := ix.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadIndex(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Dataset() != ix.Dataset() || loaded.UDFName() != ix.UDFName() || loaded.IngestMS() != ix.IngestMS() {
+		t.Fatal("round-trip lost index metadata")
+	}
+	for _, qcfg := range []Config{cfg, wcfg} {
+		ref, err := ix.Query(src, udf, qcfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		refGolden := goldenOf(ref)
+		for _, procs := range goldenProcs {
+			pcfg := qcfg
+			pcfg.Procs = procs
+			res, err := loaded.Query(src, udf, pcfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if g := goldenOf(res); !reflect.DeepEqual(g, refGolden) {
+				gj, _ := json.MarshalIndent(g, "", "  ")
+				wj, _ := json.MarshalIndent(refGolden, "", "  ")
+				t.Fatalf("window=%d procs=%d: loaded index diverged from in-memory\ngot:\n%s\nwant:\n%s",
+					qcfg.Window, procs, gj, wj)
+			}
+		}
+	}
+	// A coalesced session over the loaded index behaves like one over the
+	// original: first caller pays, repeats ride for free.
+	sess, err := NewSession(loaded, src, udf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ccfg := cfg
+	ccfg.Coalesce = true
+	results, err := sess.RunConcurrent(ccfg, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := ix.Query(src, udf, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, res := range results {
+		if !reflect.DeepEqual(res.IDs, ref.IDs) || !reflect.DeepEqual(res.Scores, ref.Scores) {
+			t.Fatalf("coalesced caller %d over the loaded index changed the answer", i)
+		}
+	}
+	if results[1].EngineStats.Cleaned != 0 || results[2].EngineStats.Cleaned != 0 {
+		t.Fatalf("coalesced repeats paid the oracle: %d, %d cleaned",
+			results[1].EngineStats.Cleaned, results[2].EngineStats.Cleaned)
 	}
 }
 

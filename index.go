@@ -6,16 +6,13 @@ import (
 	"fmt"
 	"io"
 
-	"github.com/everest-project/everest/internal/core"
-	"github.com/everest-project/everest/internal/diffdet"
+	"github.com/everest-project/everest/internal/engine"
 	"github.com/everest-project/everest/internal/labelstore"
 	"github.com/everest-project/everest/internal/phase1"
 	"github.com/everest-project/everest/internal/simclock"
 	"github.com/everest-project/everest/internal/uncertain"
 	"github.com/everest-project/everest/internal/video"
 	"github.com/everest-project/everest/internal/vision"
-	"github.com/everest-project/everest/internal/windows"
-	"github.com/everest-project/everest/internal/workpool"
 )
 
 // Index is a precomputed Phase 1 artifact: the difference-detector
@@ -27,25 +24,21 @@ import (
 // Phase 2 only, paying no sampling, training, decoding or proxy-inference
 // cost.
 //
-// An Index is tied to one (video, UDF) pair and can be persisted with
-// Save and restored with LoadIndex.
+// An Index is the public wrapper of the engine's ingest Artifact: every
+// query against it compiles to an engine.Plan and executes on the one
+// shared pipeline. It is tied to one (video, UDF) pair and can be
+// persisted with Save and restored with LoadIndex.
 type Index struct {
-	dataset     string
-	udfName     string
-	totalFrames int
-	retained    []int32
-	repOf       []int32
-	exact       map[int32]float64
-	mixtures    map[int32]uncertain.Mixture
-	info        Phase1Info
-	ingestMS    float64
+	art      *engine.Artifact
+	info     Phase1Info
+	ingestMS float64
 }
 
 // Dataset returns the indexed video's name.
-func (ix *Index) Dataset() string { return ix.dataset }
+func (ix *Index) Dataset() string { return ix.art.Dataset }
 
 // UDFName returns the indexed scoring function's name.
-func (ix *Index) UDFName() string { return ix.udfName }
+func (ix *Index) UDFName() string { return ix.art.UDFName }
 
 // IngestMS returns the simulated one-off ingestion cost (Phase 1).
 func (ix *Index) IngestMS() float64 { return ix.ingestMS }
@@ -53,105 +46,30 @@ func (ix *Index) IngestMS() float64 { return ix.ingestMS }
 // Info returns the Phase 1 statistics captured at ingestion.
 func (ix *Index) Info() Phase1Info { return ix.info }
 
-// BuildIndex runs Phase 1 once and captures its outputs for reuse.
+// BuildIndex runs the engine's Ingest stage once and captures its
+// outputs for reuse.
 func BuildIndex(src video.Source, udf vision.UDF, cfg Config) (*Index, error) {
 	if src == nil || udf == nil {
 		return nil, errors.New("everest: nil source or UDF")
 	}
 	cfg = cfg.withDefaults()
+	plan := cfg.plan()
 	clock := simclock.NewClock()
-	pool := cfg.queryPool()
+	pool := plan.WorkerPool()
 	if pool != nil {
 		defer pool.Close()
 	}
-	p1opts := cfg.phase1Options(cfg.Seed)
-	p1opts.Pool = pool
-	st, err := phase1.Run(src, udf, p1opts, clock)
+	opt := plan.Ingest
+	opt.Pool = pool
+	art, err := engine.Ingest(src, udf, opt, clock)
 	if err != nil {
 		return nil, err
 	}
-	ix := &Index{
-		dataset:     src.Name(),
-		udfName:     udf.Name(),
-		totalFrames: src.NumFrames(),
-		repOf:       append([]int32(nil), st.Diff.RepOf...),
-		exact:       make(map[int32]float64),
-		mixtures:    make(map[int32]uncertain.Mixture),
-		info: Phase1Info{
-			TotalFrames:    st.Info.TotalFrames,
-			TrainSamples:   st.Info.TrainSamples,
-			HoldoutSamples: st.Info.HoldoutSamples,
-			Retained:       st.Info.Retained,
-			Hyper:          st.Info.Hyper,
-			HoldoutNLL:     st.Info.HoldoutNLL,
-		},
-	}
-	for _, f := range st.Diff.Retained {
-		ix.retained = append(ix.retained, int32(f))
-		if s, ok := st.Labeled[f]; ok {
-			ix.exact[int32(f)] = s
-		}
-	}
-	// Proxy inference over the retained set runs on all configured
-	// workers; the captured mixtures are identical to the serial sweep.
-	inferIDs, mixes := st.InferRetainedMixtures()
-	for k, f := range inferIDs {
-		ix.mixtures[int32(f)] = mixes[k]
-	}
-	clock.Charge(simclock.PhasePopulateD0, float64(len(inferIDs))*cfg.Cost.ProxyMS)
-	ix.ingestMS = clock.TotalMS()
-	return ix, nil
-}
-
-// frameRelation rebuilds D0 from the captured mixtures. labels, when
-// non-nil, supplies exact scores confirmed by earlier queries over the
-// same cache (session overlay); those frames enter D0 certain.
-func (ix *Index) frameRelation(qopt uncertain.QuantizeOptions, labels *labelstore.Overlay) (uncertain.Relation, error) {
-	rel := make(uncertain.Relation, 0, len(ix.retained))
-	for _, f := range ix.retained {
-		if s, ok := ix.exact[f]; ok {
-			lvl := phase1.ClampLevel(uncertain.LevelOf(s, qopt.Step), qopt)
-			rel = append(rel, uncertain.XTuple{ID: int(f), Dist: uncertain.Certain(lvl)})
-			continue
-		}
-		if s, ok := labels.Get(int(f)); ok {
-			lvl := phase1.ClampLevel(uncertain.LevelOf(s, qopt.Step), qopt)
-			rel = append(rel, uncertain.XTuple{ID: int(f), Dist: uncertain.Certain(lvl)})
-			continue
-		}
-		mix, ok := ix.mixtures[f]
-		if !ok {
-			return nil, fmt.Errorf("everest: index missing mixture for frame %d", f)
-		}
-		d, err := uncertain.Quantize(mix, qopt)
-		if err != nil {
-			d = uncertain.Certain(phase1.ClampLevel(uncertain.LevelOf(mix.Mean(), qopt.Step), qopt))
-		}
-		rel = append(rel, uncertain.XTuple{ID: int(f), Dist: d})
-	}
-	return rel, nil
-}
-
-// windowRelation rebuilds the window-level D0 (Eq. 9) from the captured
-// mixtures and segment structure. labels, when non-nil, supplies exact
-// scores confirmed by earlier queries over the same cache; it must not
-// be mutated while this runs (the score lookup fans out over the
-// query's workers).
-func (ix *Index) windowRelation(size, stride int, qopt uncertain.QuantizeOptions, labels *labelstore.Overlay, procs int, pool *workpool.Pool) (uncertain.Relation, error) {
-	diff := diffdet.Result{RepOf: ix.repOf}
-	maxLevel := 0
-	if qopt.MaxLevel > 0 && qopt.MaxLevel < int(^uint(0)>>1) {
-		maxLevel = qopt.MaxLevel
-	}
-	return windows.BuildRelation(func(rep int) windows.FrameScore {
-		if s, ok := ix.exact[int32(rep)]; ok {
-			return windows.FrameScore{IsExact: true, Exact: s}
-		}
-		if s, ok := labels.Get(rep); ok {
-			return windows.FrameScore{IsExact: true, Exact: s}
-		}
-		return windows.FrameScore{Mix: ix.mixtures[int32(rep)]}
-	}, diff, windows.Options{Size: size, Stride: stride, Step: qopt.Step, MaxLevel: maxLevel, Procs: procs, Pool: pool})
+	return &Index{
+		art:      art,
+		info:     phase1InfoOf(art.Info),
+		ingestMS: clock.TotalMS(),
+	}, nil
 }
 
 // Query runs Phase 2 against the index. The source and UDF must be the
@@ -162,17 +80,25 @@ func (ix *Index) Query(src video.Source, udf vision.UDF, cfg Config) (*Result, e
 
 // validateFor checks that (src, udf) is what the index was built from.
 func (ix *Index) validateFor(src video.Source, udf vision.UDF) error {
-	if src == nil || udf == nil {
-		return errors.New("everest: nil source or UDF")
+	return ix.art.ValidateFor(src, udf)
+}
+
+// planFor compiles cfg into a validated engine plan plus the binding to
+// this index — the shared front half of every indexed query path
+// (Query, Session.Query, batches, the coalescing scheduler).
+func (ix *Index) planFor(src video.Source, udf vision.UDF, cfg Config) (engine.Plan, engine.Binding, error) {
+	if err := ix.validateFor(src, udf); err != nil {
+		return engine.Plan{}, engine.Binding{}, err
 	}
-	if src.Name() != ix.dataset || src.NumFrames() != ix.totalFrames {
-		return fmt.Errorf("everest: index was built for %s (%d frames), not %s (%d frames)",
-			ix.dataset, ix.totalFrames, src.Name(), src.NumFrames())
+	cfg = cfg.withDefaults()
+	plan, err := engine.NewPlan(cfg.plan())
+	if err != nil {
+		return engine.Plan{}, engine.Binding{}, err
 	}
-	if udf.Name() != ix.udfName {
-		return fmt.Errorf("everest: index was built for UDF %s, not %s", ix.udfName, udf.Name())
+	if err := plan.ValidateFor(ix.art.TotalFrames); err != nil {
+		return engine.Plan{}, engine.Binding{}, err
 	}
-	return nil
+	return plan, engine.Binding{Src: src, UDF: udf, Artifact: ix.art}, nil
 }
 
 // query is the shared Phase 2 path for Index.Query and Session.Query.
@@ -181,135 +107,16 @@ func (ix *Index) validateFor(src video.Source, udf vision.UDF) error {
 // are recorded into its fresh set, and oracle cost is charged only for
 // cache misses.
 func (ix *Index) query(src video.Source, udf vision.UDF, cfg Config, labels *labelstore.Overlay) (*Result, error) {
-	if err := ix.validateFor(src, udf); err != nil {
-		return nil, err
-	}
-	cfg = cfg.withDefaults()
-	if cfg.K <= 0 {
-		return nil, fmt.Errorf("everest: K must be positive, got %d", cfg.K)
-	}
-	if cfg.Window == 0 && cfg.Stride > 0 {
-		return nil, fmt.Errorf("everest: stride %d given without a window", cfg.Stride)
-	}
-
-	clock := simclock.NewClock()
-	// One resident worker pool serves the whole query: window
-	// aggregation and Phase 2's speculative selection blocks reuse the
-	// same goroutines instead of spawning a worker set per block.
-	pool := cfg.queryPool()
-	if pool != nil {
-		defer pool.Close()
-	}
-	qopt := udf.Quantize()
-	// scoreFrames is the frame-level oracle shared by both query kinds:
-	// it consults and feeds the session cache and charges per miss.
-	scoreFrames := func(ids []int) ([]float64, error) {
-		scores := make([]float64, len(ids))
-		var missAt, missIDs []int
-		for i, id := range ids {
-			if s, ok := labels.Get(id); ok {
-				scores[i] = s
-				continue
-			}
-			missAt = append(missAt, i)
-			missIDs = append(missIDs, id)
-		}
-		if len(missIDs) > 0 {
-			fresh := udf.Score(src, missIDs)
-			for j, i := range missAt {
-				scores[i] = fresh[j]
-				labels.Set(missIDs[j], fresh[j])
-			}
-			clock.Charge(simclock.PhaseConfirm, float64(len(missIDs))*udf.OracleCostMS(cfg.Cost))
-		}
-		return scores, nil
-	}
-
-	var rel uncertain.Relation
-	var oracle core.Oracle
-	// The frame-level oracle above charges its own per-frame cost, so the
-	// engine charges only the per-call overhead (and unhidden decode).
-	engineCost := cfg.Cost
-	engineCost.OracleMS = 0
-	var err error
-	if cfg.Window > 0 {
-		rel, err = ix.windowRelation(cfg.Window, cfg.windowStride(), qopt, labels, cfg.Procs, pool)
-		if err != nil {
-			return nil, err
-		}
-		oracle = &windows.Oracle{
-			ScoreFrames: scoreFrames,
-			Size:        cfg.Window,
-			Stride:      cfg.windowStride(),
-			SampleFrac:  cfg.WindowSampleFrac,
-			Step:        qopt.Step,
-			Seed:        cfg.Seed,
-		}
-	} else {
-		rel, err = ix.frameRelation(qopt, labels)
-		if err != nil {
-			return nil, err
-		}
-		oracle = core.OracleFunc(func(ids []int) ([]int, error) {
-			scores, err := scoreFrames(ids)
-			if err != nil {
-				return nil, err
-			}
-			levels := make([]int, len(ids))
-			for i, s := range scores {
-				levels[i] = uncertain.LevelOf(s, qopt.Step)
-			}
-			return levels, nil
-		})
-	}
-	if cfg.K > len(rel) {
-		return nil, fmt.Errorf("everest: K=%d exceeds relation size %d", cfg.K, len(rel))
-	}
-
-	coreCfg := core.Config{
-		K:                cfg.K,
-		Threshold:        cfg.Threshold,
-		BatchSize:        cfg.BatchSize,
-		MaxCleaned:       cfg.MaxCleaned,
-		DisableEarlyStop: cfg.DisableEarlyStop,
-		ResortOnce:       cfg.ResortOnce,
-		Bound:            cfg.boundKind(),
-		Procs:            cfg.Procs,
-		Pool:             pool,
-	}
-	if cfg.DisablePrefetch {
-		coreCfg.UnhiddenDecodeMS = cfg.Cost.DecodeMS
-	}
-	eng, err := core.NewEngine(rel, coreCfg, oracle, clock, engineCost)
+	plan, binding, err := ix.planFor(src, udf, cfg)
 	if err != nil {
 		return nil, err
 	}
-	coreRes, err := eng.Run()
+	binding.Labels = labels
+	out, err := engine.Execute(plan, binding)
 	if err != nil {
 		return nil, err
 	}
-	scores := make([]float64, len(coreRes.Levels))
-	for i, lvl := range coreRes.Levels {
-		scores[i] = uncertain.LevelValue(lvl, qopt.Step)
-	}
-	info := ix.info
-	info.Tuples = len(rel)
-	stride := 0
-	if cfg.Window > 0 {
-		stride = cfg.windowStride()
-	}
-	return &Result{
-		IDs:          coreRes.IDs,
-		Scores:       scores,
-		Confidence:   coreRes.Confidence,
-		Bound:        coreRes.Bound,
-		IsWindow:     cfg.Window > 0,
-		WindowSize:   cfg.Window,
-		WindowStride: stride,
-		Clock:        clock,
-		EngineStats:  coreRes.Stats,
-		Phase1:       info,
-	}, nil
+	return resultOf(out, plan, ix.info), nil
 }
 
 // indexCodec is the gob wire form of an Index.
@@ -332,13 +139,13 @@ const indexVersion = 1
 func (ix *Index) Save(w io.Writer) error {
 	return gob.NewEncoder(w).Encode(indexCodec{
 		Version:     indexVersion,
-		Dataset:     ix.dataset,
-		UDFName:     ix.udfName,
-		TotalFrames: ix.totalFrames,
-		Retained:    ix.retained,
-		RepOf:       ix.repOf,
-		Exact:       ix.exact,
-		Mixtures:    ix.mixtures,
+		Dataset:     ix.art.Dataset,
+		UDFName:     ix.art.UDFName,
+		TotalFrames: ix.art.TotalFrames,
+		Retained:    ix.art.Retained,
+		RepOf:       ix.art.RepOf,
+		Exact:       ix.art.Exact,
+		Mixtures:    ix.art.Mixtures,
 		Info:        ix.info,
 		IngestMS:    ix.ingestMS,
 	})
@@ -354,14 +161,24 @@ func LoadIndex(r io.Reader) (*Index, error) {
 		return nil, fmt.Errorf("everest: index version %d not supported (want %d)", c.Version, indexVersion)
 	}
 	return &Index{
-		dataset:     c.Dataset,
-		udfName:     c.UDFName,
-		totalFrames: c.TotalFrames,
-		retained:    c.Retained,
-		repOf:       c.RepOf,
-		exact:       c.Exact,
-		mixtures:    c.Mixtures,
-		info:        c.Info,
-		ingestMS:    c.IngestMS,
+		art: &engine.Artifact{
+			Dataset:     c.Dataset,
+			UDFName:     c.UDFName,
+			TotalFrames: c.TotalFrames,
+			Retained:    c.Retained,
+			RepOf:       c.RepOf,
+			Exact:       c.Exact,
+			Mixtures:    c.Mixtures,
+			Info: phase1.Info{
+				TotalFrames:    c.Info.TotalFrames,
+				TrainSamples:   c.Info.TrainSamples,
+				HoldoutSamples: c.Info.HoldoutSamples,
+				Retained:       c.Info.Retained,
+				Hyper:          c.Info.Hyper,
+				HoldoutNLL:     c.Info.HoldoutNLL,
+			},
+		},
+		info:     c.Info,
+		ingestMS: c.IngestMS,
 	}, nil
 }

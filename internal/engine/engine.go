@@ -1,0 +1,189 @@
+package engine
+
+import (
+	"fmt"
+
+	"github.com/everest-project/everest/internal/core"
+	"github.com/everest-project/everest/internal/labelstore"
+	"github.com/everest-project/everest/internal/simclock"
+	"github.com/everest-project/everest/internal/uncertain"
+	"github.com/everest-project/everest/internal/video"
+	"github.com/everest-project/everest/internal/vision"
+	"github.com/everest-project/everest/internal/windows"
+	"github.com/everest-project/everest/internal/workpool"
+)
+
+// Binding is what a plan executes against: the artifact plus the live
+// (video, UDF) pair, and the execution context the caller wants shared —
+// a label overlay, a clock that may already carry ingest charges, a
+// resident worker pool.
+type Binding struct {
+	// Src and UDF are the live pair; they must match the artifact
+	// (callers validate via Artifact.ValidateFor).
+	Src video.Source
+	UDF vision.UDF
+	// Artifact is the ingested Phase 1 product.
+	Artifact *Artifact
+	// Labels is the query's private overlay over a label-cache snapshot.
+	// Frames in it enter D0 certain, cleaned frames are recorded into its
+	// fresh set, and oracle cost is charged only for cache misses. nil is
+	// the uncached path: nothing is reused or recorded, and every oracle
+	// confirmation is charged.
+	Labels *labelstore.Overlay
+	// Clock receives the query's simulated charges; nil starts a fresh
+	// clock. Entrypoints that ingest and query in one call (everest.Run)
+	// pass the ingest clock so the Result carries the full breakdown.
+	Clock *simclock.Clock
+	// Pool, when non-nil, is a caller-owned resident worker pool
+	// (ingest-plus-query runs and coalesced groups share one); nil makes
+	// Execute create and close its own when Procs > 1.
+	Pool *workpool.Pool
+}
+
+// Outcome is the engine's answer to one plan.
+type Outcome struct {
+	// IDs are the Top-K frame or window indices in descending score
+	// order; Levels and Scores are their confirmed quantized levels and
+	// level values.
+	IDs    []int
+	Levels []int
+	Scores []float64
+	// Confidence is p̂ ≥ Threshold at termination (a lower bound under
+	// BoundUnion); Bound echoes the computation used.
+	Confidence float64
+	Bound      core.BoundKind
+	// Stats are the Phase 2 counters; Tuples is |D0|.
+	Stats  core.Stats
+	Tuples int
+	// Clock holds the simulated charges (including any the caller had
+	// already accumulated on a provided clock).
+	Clock *simclock.Clock
+}
+
+// Execute runs the RelationBuild and TopKLoop stages of one plan against
+// a binding. The plan must be normalized and validated (NewPlan); the
+// binding's artifact must match its source and UDF.
+//
+// The outcome is a pure function of (plan, artifact, overlay snapshot):
+// Procs and Pool change wall-clock only, and a nil overlay behaves as a
+// frozen empty cache.
+func Execute(p Plan, b Binding) (*Outcome, error) {
+	clock := b.Clock
+	if clock == nil {
+		clock = simclock.NewClock()
+	}
+	pool := b.Pool
+	if pool == nil {
+		// One resident worker pool serves the whole execution: window
+		// aggregation and Phase 2's speculative selection blocks reuse the
+		// same goroutines instead of spawning a worker set per block.
+		if pool = p.WorkerPool(); pool != nil {
+			defer pool.Close()
+		}
+	}
+
+	qopt := b.UDF.Quantize()
+	// scoreFrames is the frame-level oracle shared by both query kinds:
+	// it consults and feeds the label overlay and charges per miss. With
+	// a nil overlay every frame misses, which is exactly the uncached
+	// per-confirmation charge.
+	scoreFrames := func(ids []int) ([]float64, error) {
+		scores := make([]float64, len(ids))
+		var missAt, missIDs []int
+		for i, id := range ids {
+			if s, ok := b.Labels.Get(id); ok {
+				scores[i] = s
+				continue
+			}
+			missAt = append(missAt, i)
+			missIDs = append(missIDs, id)
+		}
+		if len(missIDs) > 0 {
+			fresh := b.UDF.Score(b.Src, missIDs)
+			for j, i := range missAt {
+				scores[i] = fresh[j]
+				b.Labels.Set(missIDs[j], fresh[j])
+			}
+			clock.Charge(simclock.PhaseConfirm, float64(len(missIDs))*b.UDF.OracleCostMS(p.Cost))
+		}
+		return scores, nil
+	}
+
+	var rel uncertain.Relation
+	var oracle core.Oracle
+	// The frame-level oracle above charges its own per-frame cost, so the
+	// engine charges only the per-call overhead (and unhidden decode).
+	engineCost := p.Cost
+	engineCost.OracleMS = 0
+	var err error
+	if p.Window.Enabled() {
+		rel, err = b.Artifact.WindowRelation(p.Window, qopt, b.Labels, p.Procs, pool)
+		if err != nil {
+			return nil, err
+		}
+		oracle = &windows.Oracle{
+			ScoreFrames: scoreFrames,
+			Size:        p.Window.Size,
+			Stride:      p.Window.Stride,
+			SampleFrac:  p.Window.SampleFrac,
+			Step:        qopt.Step,
+			Seed:        p.Seed,
+		}
+	} else {
+		rel, err = b.Artifact.FrameRelation(qopt, b.Labels)
+		if err != nil {
+			return nil, err
+		}
+		oracle = core.OracleFunc(func(ids []int) ([]int, error) {
+			scores, err := scoreFrames(ids)
+			if err != nil {
+				return nil, err
+			}
+			levels := make([]int, len(ids))
+			for i, s := range scores {
+				levels[i] = uncertain.LevelOf(s, qopt.Step)
+			}
+			return levels, nil
+		})
+	}
+	if p.K > len(rel) {
+		return nil, fmt.Errorf("everest: K=%d exceeds relation size %d", p.K, len(rel))
+	}
+
+	coreCfg := core.Config{
+		K:                p.K,
+		Threshold:        p.Threshold,
+		BatchSize:        p.BatchSize,
+		MaxCleaned:       p.MaxCleaned,
+		DisableEarlyStop: p.DisableEarlyStop,
+		ResortOnce:       p.ResortOnce,
+		Bound:            p.Bound(),
+		Procs:            p.Procs,
+		Pool:             pool,
+	}
+	if p.DisablePrefetch {
+		coreCfg.UnhiddenDecodeMS = p.Cost.DecodeMS
+	}
+	eng, err := core.NewEngine(rel, coreCfg, oracle, clock, engineCost)
+	if err != nil {
+		return nil, err
+	}
+	coreRes, err := eng.Run()
+	if err != nil {
+		return nil, err
+	}
+	scores := make([]float64, len(coreRes.Levels))
+	for i, lvl := range coreRes.Levels {
+		scores[i] = uncertain.LevelValue(lvl, qopt.Step)
+	}
+	return &Outcome{
+		IDs:        coreRes.IDs,
+		Levels:     coreRes.Levels,
+		Scores:     scores,
+		Confidence: coreRes.Confidence,
+		Bound:      coreRes.Bound,
+		Stats:      coreRes.Stats,
+		Tuples:     len(rel),
+		Clock:      clock,
+	}, nil
+}

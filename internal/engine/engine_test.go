@@ -1,0 +1,180 @@
+package engine
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"github.com/everest-project/everest/internal/cmdn"
+	"github.com/everest-project/everest/internal/labelstore"
+	"github.com/everest-project/everest/internal/phase1"
+	"github.com/everest-project/everest/internal/simclock"
+	"github.com/everest-project/everest/internal/video"
+	"github.com/everest-project/everest/internal/vision"
+)
+
+// The test fixture ingests one small synthetic video once and shares the
+// artifact across every engine test: the engine contract is that an
+// Artifact is immutable under Execute, so sharing is safe.
+var (
+	fixOnce sync.Once
+	fixSrc  *video.Synthetic
+	fixUDF  vision.UDF
+	fixArt  *Artifact
+	fixErr  error
+)
+
+func testPlan(k int) Plan {
+	return Plan{
+		K:         k,
+		Threshold: 0.9,
+		Seed:      7,
+		Cost:      simclock.Default(),
+		Ingest: phase1.Options{
+			SampleFrac: 0.05,
+			Proxy:      cmdn.Config{Grid: []cmdn.Hyper{{G: 5, H: 30}}, Epochs: 30},
+			Seed:       7,
+			Cost:       simclock.Default(),
+		},
+	}
+}
+
+func fixture(t *testing.T) (*Artifact, video.Source, vision.UDF) {
+	t.Helper()
+	fixOnce.Do(func() {
+		fixSrc, fixErr = video.NewSynthetic(video.Config{
+			Name: "engine-fixture", Kind: video.KindTraffic, Class: video.ClassCar,
+			Frames: 3000, FPS: 30, Seed: 311, MeanPopulation: 3, BurstRate: 3,
+			DailyCycle: true, DistractorPopulation: 1,
+		})
+		if fixErr != nil {
+			return
+		}
+		fixUDF = vision.CountUDF{Class: video.ClassCar}
+		fixArt, fixErr = Ingest(fixSrc, fixUDF, testPlan(5).Ingest, simclock.NewClock())
+	})
+	if fixErr != nil {
+		t.Fatal(fixErr)
+	}
+	return fixArt, fixSrc, fixUDF
+}
+
+// outcomeKey projects an Outcome onto everything a caller observes,
+// including the simulated charges, for bit-equality checks.
+type outcomeKey struct {
+	IDs        []int
+	Scores     []float64
+	Confidence float64
+	Cleaned    int
+	Oracle     int
+	Examined   int
+	TotalMS    float64
+}
+
+func keyOf(o *Outcome) outcomeKey {
+	return outcomeKey{
+		IDs:        o.IDs,
+		Scores:     o.Scores,
+		Confidence: o.Confidence,
+		Cleaned:    o.Stats.Cleaned,
+		Oracle:     o.Stats.OracleCalls,
+		Examined:   o.Stats.Examined,
+		TotalMS:    o.Clock.TotalMS(),
+	}
+}
+
+func TestExecuteBitIdenticalAcrossProcs(t *testing.T) {
+	art, src, udf := fixture(t)
+	for _, window := range []int{0, 30} {
+		plan, err := NewPlan(func() Plan {
+			p := testPlan(5)
+			p.Window = WindowSpec{Size: window, SampleFrac: 0.1}
+			return p
+		}())
+		if err != nil {
+			t.Fatal(err)
+		}
+		var ref *Outcome
+		for _, procs := range []int{1, 2, 8} {
+			p := plan
+			p.Procs = procs
+			out, err := Execute(p, Binding{Src: src, UDF: udf, Artifact: art})
+			if err != nil {
+				t.Fatalf("window=%d procs=%d: %v", window, procs, err)
+			}
+			if ref == nil {
+				ref = out
+				continue
+			}
+			if !reflect.DeepEqual(keyOf(out), keyOf(ref)) {
+				t.Fatalf("window=%d procs=%d diverged:\n%+v\nvs\n%+v", window, procs, keyOf(out), keyOf(ref))
+			}
+		}
+	}
+}
+
+func TestExecuteOverlayMakesRepeatOracleFree(t *testing.T) {
+	art, src, udf := fixture(t)
+	plan, err := NewPlan(testPlan(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	overlay := labelstore.NewOverlay(labelstore.Map{})
+	first, err := Execute(plan, Binding{Src: src, UDF: udf, Artifact: art, Labels: overlay})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Stats.Cleaned == 0 {
+		t.Fatal("first execution cleaned nothing; the reuse assertion would be vacuous")
+	}
+	if got := len(overlay.Fresh()); got != first.Stats.Cleaned {
+		t.Fatalf("overlay recorded %d fresh labels, engine cleaned %d", got, first.Stats.Cleaned)
+	}
+	// A second execution over the same overlay sees every confirmed frame
+	// as certain: no oracle work, same answer.
+	second, err := Execute(plan, Binding{Src: src, UDF: udf, Artifact: art, Labels: overlay})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.Stats.Cleaned != 0 || second.Stats.OracleCalls != 0 {
+		t.Fatalf("repeat over a warm overlay cleaned %d in %d calls, want 0 in 0",
+			second.Stats.Cleaned, second.Stats.OracleCalls)
+	}
+	if !reflect.DeepEqual(second.IDs, first.IDs) || !reflect.DeepEqual(second.Scores, first.Scores) {
+		t.Fatal("warm-overlay repeat changed the answer")
+	}
+}
+
+func TestExecuteRejectsOversizedK(t *testing.T) {
+	art, src, udf := fixture(t)
+	plan, err := NewPlan(testPlan(len(art.Retained) + 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Execute(plan, Binding{Src: src, UDF: udf, Artifact: art}); err == nil {
+		t.Fatal("K larger than the relation must be rejected")
+	}
+}
+
+func TestArtifactValidateFor(t *testing.T) {
+	art, src, udf := fixture(t)
+	if err := art.ValidateFor(src, udf); err != nil {
+		t.Fatal(err)
+	}
+	if err := art.ValidateFor(src, vision.CountUDF{Class: video.ClassBus}); err == nil {
+		t.Fatal("wrong UDF accepted")
+	}
+	other, err := video.NewSynthetic(video.Config{
+		Name: "other", Kind: video.KindTraffic, Class: video.ClassCar,
+		Frames: 3000, FPS: 30, Seed: 5, MeanPopulation: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := art.ValidateFor(other, udf); err == nil {
+		t.Fatal("wrong video accepted")
+	}
+	if err := art.ValidateFor(nil, udf); err == nil {
+		t.Fatal("nil source accepted")
+	}
+}

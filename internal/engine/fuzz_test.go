@@ -1,0 +1,53 @@
+package engine
+
+import (
+	"reflect"
+	"testing"
+
+	"github.com/everest-project/everest/internal/core"
+)
+
+// FuzzPlanNormalize fuzzes the plan compiler's contract: whatever shape
+// the raw config takes, NewPlan either rejects it or returns a plan
+// that is normalized (idempotently), self-consistently validated, and
+// carries a sound bound kind — overlapping windows can never slip
+// through with the independent bound.
+func FuzzPlanNormalize(f *testing.F) {
+	f.Add(5, 0.9, 0, 0, false)
+	f.Add(10, 0.99, 30, 0, false)
+	f.Add(3, 0.5, 300, 30, true)
+	f.Add(0, 0.0, -1, -5, false)
+	f.Add(1, 1.0, 1, 1, true)
+	f.Fuzz(func(t *testing.T, k int, thres float64, window, stride int, union bool) {
+		p, err := NewPlan(Plan{
+			K:               k,
+			Threshold:       thres,
+			Window:          WindowSpec{Size: window, Stride: stride},
+			ForceUnionBound: union,
+		})
+		if err != nil {
+			return
+		}
+		if again := p.Normalize(); !reflect.DeepEqual(again, p) {
+			t.Fatalf("Normalize not idempotent: %+v vs %+v", again, p)
+		}
+		if err := p.Validate(); err != nil {
+			t.Fatalf("NewPlan returned an invalid plan: %v", err)
+		}
+		if p.Window.Enabled() && p.Window.Stride <= 0 {
+			t.Fatalf("windowed plan kept an unset stride: %+v", p.Window)
+		}
+		if !p.Window.Enabled() && p.Window.Stride != 0 {
+			t.Fatalf("frame plan kept a stride: %+v", p.Window)
+		}
+		if p.Window.Overlapping() && p.Bound() != core.BoundUnion {
+			t.Fatalf("overlapping windows with bound %v", p.Bound())
+		}
+		if union && p.Bound() != core.BoundUnion {
+			t.Fatal("ForceUnionBound dropped")
+		}
+		if !Compatible(p, p) {
+			t.Fatal("a plan must be compatible with itself")
+		}
+	})
+}

@@ -1,0 +1,115 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/everest-project/everest/internal/phase1"
+	"github.com/everest-project/everest/internal/simclock"
+	"github.com/everest-project/everest/internal/uncertain"
+	"github.com/everest-project/everest/internal/video"
+	"github.com/everest-project/everest/internal/vision"
+)
+
+// Artifact is the captured product of the Ingest stage: everything Phase
+// 2 needs from Phase 1, detached from the live pipeline. Per retained
+// frame it holds either the exact oracle label (a Phase 1 sample) or the
+// CMDN's score mixture, plus the difference-detector segment structure.
+// One Artifact serves any number of plans — different K, thres, window
+// shape — and is the in-memory body of a persisted everest.Index.
+type Artifact struct {
+	// Dataset, UDFName and TotalFrames identify the (video, UDF) pair the
+	// artifact was ingested from; ValidateFor enforces the binding.
+	Dataset     string
+	UDFName     string
+	TotalFrames int
+	// Retained lists the frames surviving the difference detector, in
+	// ascending order; RepOf maps every frame to its segment
+	// representative.
+	Retained []int32
+	RepOf    []int32
+	// Exact holds Phase 1 oracle labels; Mixtures the proxy's score
+	// mixtures for the remaining retained frames.
+	Exact    map[int32]float64
+	Mixtures map[int32]uncertain.Mixture
+	// Info is the Phase 1 statistics summary.
+	Info phase1.Info
+}
+
+// Ingest runs Phase 1 over src and captures its outputs. Proxy inference
+// for unlabeled retained frames runs on the configured workers and is
+// charged to clock (PhasePopulateD0), exactly like the lazy relation
+// build it replaces. opt.Pool should carry the caller's resident pool.
+func Ingest(src video.Source, udf vision.UDF, opt phase1.Options, clock *simclock.Clock) (*Artifact, error) {
+	if src == nil || udf == nil {
+		return nil, errors.New("everest: nil source or UDF")
+	}
+	if opt.Cost == (simclock.CostModel{}) {
+		opt.Cost = simclock.Default()
+	}
+	st, err := phase1.Run(src, udf, opt, clock)
+	if err != nil {
+		return nil, err
+	}
+	a := &Artifact{
+		Dataset:     src.Name(),
+		UDFName:     udf.Name(),
+		TotalFrames: src.NumFrames(),
+		RepOf:       append([]int32(nil), st.Diff.RepOf...),
+		Exact:       make(map[int32]float64),
+		Mixtures:    make(map[int32]uncertain.Mixture),
+		Info:        st.Info,
+	}
+	for _, f := range st.Diff.Retained {
+		a.Retained = append(a.Retained, int32(f))
+		if s, ok := st.Labeled[f]; ok {
+			a.Exact[int32(f)] = s
+		}
+	}
+	inferIDs, mixes := st.InferRetainedMixtures()
+	for k, f := range inferIDs {
+		a.Mixtures[int32(f)] = mixes[k]
+	}
+	clock.Charge(simclock.PhasePopulateD0, float64(len(inferIDs))*opt.Cost.ProxyMS)
+	return a, nil
+}
+
+// ValidateFor checks that (src, udf) is what the artifact was ingested
+// from.
+func (a *Artifact) ValidateFor(src video.Source, udf vision.UDF) error {
+	if src == nil || udf == nil {
+		return errors.New("everest: nil source or UDF")
+	}
+	if src.Name() != a.Dataset || src.NumFrames() != a.TotalFrames {
+		return fmt.Errorf("everest: index was built for %s (%d frames), not %s (%d frames)",
+			a.Dataset, a.TotalFrames, src.Name(), src.NumFrames())
+	}
+	if udf.Name() != a.UDFName {
+		return fmt.Errorf("everest: index was built for UDF %s, not %s", a.UDFName, udf.Name())
+	}
+	return nil
+}
+
+// Append merges the artifact of an ingested tail into a, shifting the
+// tail's frame coordinates by lo (the frame count a covered before the
+// append). The difference detector never links across the append
+// boundary, so the merge is a pure coordinate translation.
+func (a *Artifact) Append(tail *Artifact, lo int) {
+	for _, rep := range tail.RepOf {
+		a.RepOf = append(a.RepOf, int32(lo)+rep)
+	}
+	for _, f := range tail.Retained {
+		a.Retained = append(a.Retained, int32(lo)+f)
+	}
+	for f, s := range tail.Exact {
+		a.Exact[int32(lo)+f] = s
+	}
+	for f, m := range tail.Mixtures {
+		a.Mixtures[int32(lo)+f] = m
+	}
+	a.TotalFrames = lo + tail.TotalFrames
+	a.Info.TotalFrames = a.TotalFrames
+	a.Info.TrainSamples += tail.Info.TrainSamples
+	a.Info.HoldoutSamples += tail.Info.HoldoutSamples
+	a.Info.Retained += tail.Info.Retained
+}

@@ -1,0 +1,192 @@
+// Package engine owns the unified Everest query pipeline. Every public
+// entrypoint — everest.Run, Index.Query, Index.Extend, Session.Query and
+// its batch/coalesced variants — compiles the user-facing Config down to
+// an explicit Plan and submits it here, so the pipeline exists exactly
+// once and each stage is individually testable:
+//
+//	Plan          a validated, normalized query description (result size,
+//	              guarantee, window spec, bound kind, ingest options)
+//	Ingest        Phase 1 — sample, label, train the CMDN, run the
+//	              difference detector — captured as an Artifact that any
+//	              number of later plans execute against
+//	RelationBuild the uncertain relation D0 (frame- or window-level) over
+//	              the Artifact plus a labelstore.Overlay of already-known
+//	              exact scores
+//	TopKLoop      Phase 2 — oracle-in-the-loop uncertain Top-K cleaning
+//	              (internal/core) fed by an overlay-aware frame oracle
+//
+// On top of the single pipeline, Scheduler coalesces compatible plans
+// from different callers into one engine run (see scheduler.go).
+//
+// Determinism: an Outcome is a pure function of (Plan, Artifact, overlay
+// snapshot). Procs and Pool trade wall-clock only; simulated charges and
+// results are bit-identical for every worker count, the property the
+// golden suite locks.
+package engine
+
+import (
+	"fmt"
+
+	"github.com/everest-project/everest/internal/core"
+	"github.com/everest-project/everest/internal/phase1"
+	"github.com/everest-project/everest/internal/simclock"
+	"github.com/everest-project/everest/internal/windows"
+	"github.com/everest-project/everest/internal/workpool"
+)
+
+// WindowSpec describes the window shape of a plan. The zero value is a
+// frame query.
+type WindowSpec struct {
+	// Size is the window length in frames; zero means a frame query.
+	Size int
+	// Stride is the offset between window starts. Normalize sets it to
+	// Size (tumbling) when the plan is windowed and the stride is unset.
+	Stride int
+	// SampleFrac is the fraction of a window's frames the oracle scores
+	// when confirming it.
+	SampleFrac float64
+}
+
+// Enabled reports whether the plan is a window query.
+func (w WindowSpec) Enabled() bool { return w.Size > 0 }
+
+// Overlapping reports whether consecutive windows share frames, which
+// correlates their scores and forces the union bound.
+func (w WindowSpec) Overlapping() bool { return w.Enabled() && w.Stride < w.Size }
+
+// Plan is one validated, normalized Top-K query: everything the engine
+// needs to execute, with defaults resolved and the bound kind fixed.
+// Plans are plain values; two plans over the same artifact can execute
+// concurrently or be coalesced by a Scheduler.
+type Plan struct {
+	// K is the result size.
+	K int
+	// Threshold is the probabilistic guarantee thres ∈ (0,1].
+	Threshold float64
+	// Window is the window spec; zero Size means a frame query.
+	Window WindowSpec
+	// BatchSize is the Phase 2 cleaning batch b.
+	BatchSize int
+	// MaxCleaned caps Phase 2 oracle invocations (0 = none).
+	MaxCleaned int
+	// DisableEarlyStop, ResortOnce and DisablePrefetch are the §4.3
+	// ablation knobs, forwarded to the Phase 2 loop.
+	DisableEarlyStop bool
+	ResortOnce       bool
+	DisablePrefetch  bool
+	// ForceUnionBound requests the Bonferroni bound even for independent
+	// tuples (ablation A7). Overlapping windows use it regardless.
+	ForceUnionBound bool
+	// Procs bounds the real CPU workers; ≤ 0 means GOMAXPROCS. Never
+	// affects results.
+	Procs int
+	// Seed drives window-confirmation sampling (and, through Ingest, all
+	// Phase 1 randomness).
+	Seed uint64
+	// Cost is the simulated cost model.
+	Cost simclock.CostModel
+	// AdmissionLimit caps concurrent oracle-heavy units on one label
+	// cache; scheduling only, never results. A coalesced group applies
+	// the strictest positive limit of its members.
+	AdmissionLimit int
+	// Ingest parameterizes the Phase 1 stage for entrypoints that run it
+	// (Run, BuildIndex, Extend); plans executed against an existing
+	// Artifact ignore it.
+	Ingest phase1.Options
+}
+
+// Normalize resolves derived fields: a windowed plan with an unset
+// (zero or negative) stride becomes tumbling, and a frame plan's
+// negative "unset" stride is cleared so equal plans compare equal.
+// Idempotent.
+func (p Plan) Normalize() Plan {
+	if p.Window.Enabled() {
+		if p.Window.Stride <= 0 {
+			p.Window.Stride = p.Window.Size
+		}
+	} else if p.Window.Stride < 0 {
+		p.Window.Stride = 0
+	}
+	return p
+}
+
+// Bound selects the Phase 2 confidence computation: the paper's exact
+// independent product unless the tuples are correlated (overlapping
+// windows) or the caller forces the conservative bound.
+func (p Plan) Bound() core.BoundKind {
+	if p.ForceUnionBound || p.Window.Overlapping() {
+		return core.BoundUnion
+	}
+	return core.BoundIndependent
+}
+
+// Validate checks the source-independent plan shape. Error messages keep
+// the public "everest:" prefix — they surface verbatim through the
+// adapters.
+func (p Plan) Validate() error {
+	if p.K <= 0 {
+		return fmt.Errorf("everest: K must be positive, got %d", p.K)
+	}
+	if p.Threshold <= 0 || p.Threshold > 1 {
+		return fmt.Errorf("everest: threshold must be in (0,1], got %v", p.Threshold)
+	}
+	if p.Window.Size < 0 {
+		return fmt.Errorf("everest: negative window %d", p.Window.Size)
+	}
+	if !p.Window.Enabled() && p.Window.Stride > 0 {
+		return fmt.Errorf("everest: stride %d given without a window", p.Window.Stride)
+	}
+	return nil
+}
+
+// ValidateFor checks the plan against a video of n frames.
+func (p Plan) ValidateFor(n int) error {
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	if n == 0 {
+		return fmt.Errorf("everest: empty video")
+	}
+	if p.Window.Enabled() {
+		if nw := windows.NumSlidingWindows(n, p.Window.Size, p.Window.Stride); nw < p.K {
+			return fmt.Errorf("everest: only %d windows of %d frames (stride %d) but K=%d",
+				nw, p.Window.Size, p.Window.Stride, p.K)
+		}
+	}
+	return nil
+}
+
+// NewPlan normalizes and validates a plan in one step.
+func NewPlan(p Plan) (Plan, error) {
+	p = p.Normalize()
+	if err := p.Validate(); err != nil {
+		return Plan{}, err
+	}
+	return p, nil
+}
+
+// Compatible reports whether two plans may be coalesced into one engine
+// run. Any two valid plans over the same (video, frame count, UDF)
+// identity — the identity a Scheduler is keyed by — are compatible:
+// K, threshold, window shape, seeds and ablation knobs may all differ,
+// because each plan keeps its own Phase 2 loop and clock inside the
+// coalesced run and shares only the exact frame scores, which are
+// query-independent. The one thing that must match is the simulated
+// cost model: a shared oracle confirmation is charged at the cost of
+// the plan that triggered it, so mixing cost models inside one group
+// would make a plan's bill depend on its co-runners' configuration.
+func Compatible(a, b Plan) bool {
+	return a.Cost == b.Cost
+}
+
+// WorkerPool returns a resident worker pool for one plan execution or
+// ingestion run (nil when the effective worker count is 1, where
+// transient serial paths are exact already). The caller owns it: pass
+// it down via the Pool options and Close it when the operation
+// finishes.
+func (p Plan) WorkerPool() *workpool.Pool {
+	if workpool.Procs(p.Procs) == 1 {
+		return nil
+	}
+	return workpool.NewPool(p.Procs)
+}

@@ -1,0 +1,125 @@
+package engine
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"github.com/everest-project/everest/internal/core"
+)
+
+func validPlan() Plan {
+	return Plan{K: 5, Threshold: 0.9}
+}
+
+func TestPlanValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*Plan)
+		want string // substring of the error; empty means valid
+	}{
+		{"valid frame", func(p *Plan) {}, ""},
+		{"valid tumbling", func(p *Plan) { p.Window.Size = 30 }, ""},
+		{"valid sliding", func(p *Plan) { p.Window = WindowSpec{Size: 30, Stride: 10} }, ""},
+		{"zero K", func(p *Plan) { p.K = 0 }, "K must be positive"},
+		{"negative K", func(p *Plan) { p.K = -3 }, "K must be positive"},
+		{"zero threshold", func(p *Plan) { p.Threshold = 0 }, "threshold must be in (0,1]"},
+		{"threshold above one", func(p *Plan) { p.Threshold = 1.5 }, "threshold must be in (0,1]"},
+		{"negative window", func(p *Plan) { p.Window.Size = -1 }, "negative window"},
+		{"stride without window", func(p *Plan) { p.Window.Stride = 10 }, "stride 10 given without a window"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			p := validPlan()
+			c.mut(&p)
+			_, err := NewPlan(p)
+			if c.want == "" {
+				if err != nil {
+					t.Fatalf("unexpected error: %v", err)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("plan %+v accepted, want error containing %q", p, c.want)
+			}
+			if !strings.Contains(err.Error(), c.want) {
+				t.Fatalf("error %q does not contain %q", err, c.want)
+			}
+			if !strings.HasPrefix(err.Error(), "everest:") {
+				t.Fatalf("error %q lost the public everest: prefix", err)
+			}
+		})
+	}
+}
+
+func TestPlanNormalizeTumblingAndIdempotence(t *testing.T) {
+	p := validPlan()
+	p.Window.Size = 30
+	n := p.Normalize()
+	if n.Window.Stride != 30 {
+		t.Fatalf("tumbling stride not normalized: %d", n.Window.Stride)
+	}
+	if again := n.Normalize(); !reflect.DeepEqual(again, n) {
+		t.Fatalf("Normalize not idempotent: %+v vs %+v", again, n)
+	}
+	// Frame plans stay untouched.
+	f := validPlan().Normalize()
+	if f.Window.Stride != 0 || f.Window.Size != 0 {
+		t.Fatalf("frame plan grew a window: %+v", f.Window)
+	}
+}
+
+func TestPlanBoundKind(t *testing.T) {
+	p := validPlan()
+	if p.Bound() != core.BoundIndependent {
+		t.Fatal("frame plan must use the independent bound")
+	}
+	p.Window = WindowSpec{Size: 30, Stride: 30}
+	if p.Bound() != core.BoundIndependent {
+		t.Fatal("tumbling windows are independent")
+	}
+	p.Window.Stride = 10
+	if p.Bound() != core.BoundUnion {
+		t.Fatal("overlapping windows must force the union bound")
+	}
+	p = validPlan()
+	p.ForceUnionBound = true
+	if p.Bound() != core.BoundUnion {
+		t.Fatal("ForceUnionBound ignored")
+	}
+}
+
+func TestPlanValidateFor(t *testing.T) {
+	p := validPlan()
+	if err := p.ValidateFor(0); err == nil || !strings.Contains(err.Error(), "empty video") {
+		t.Fatalf("empty video accepted: %v", err)
+	}
+	w, err := NewPlan(Plan{K: 50, Threshold: 0.9, Window: WindowSpec{Size: 100}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 1000 frames / 100-frame tumbling windows = 10 windows < K = 50.
+	if err := w.ValidateFor(1000); err == nil || !strings.Contains(err.Error(), "only 10 windows") {
+		t.Fatalf("window-starved plan accepted: %v", err)
+	}
+	if err := w.ValidateFor(10000); err != nil {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}
+
+func TestPlanCompatible(t *testing.T) {
+	a := validPlan().Normalize()
+	b := a
+	b.K = 20
+	b.Threshold = 0.99
+	b.Window = WindowSpec{Size: 30, Stride: 30}
+	b.Seed = 99
+	if !Compatible(a, b) {
+		t.Fatal("plans differing only in K/threshold/window/seed must coalesce")
+	}
+	c := a
+	c.Cost.OracleMS = a.Cost.OracleMS + 1
+	if Compatible(a, c) {
+		t.Fatal("plans with different cost models must not coalesce")
+	}
+}

@@ -1,0 +1,65 @@
+package engine
+
+import (
+	"fmt"
+
+	"github.com/everest-project/everest/internal/diffdet"
+	"github.com/everest-project/everest/internal/labelstore"
+	"github.com/everest-project/everest/internal/phase1"
+	"github.com/everest-project/everest/internal/uncertain"
+	"github.com/everest-project/everest/internal/windows"
+	"github.com/everest-project/everest/internal/workpool"
+)
+
+// FrameRelation builds the frame-level D0 from the artifact's captured
+// mixtures. labels, when non-nil, supplies exact scores confirmed by
+// earlier queries over the same cache (session overlay, or the running
+// overlay of a coalesced group); those frames enter D0 certain. A nil
+// overlay is the uncached path: every uncertain frame keeps its mixture.
+func (a *Artifact) FrameRelation(qopt uncertain.QuantizeOptions, labels *labelstore.Overlay) (uncertain.Relation, error) {
+	rel := make(uncertain.Relation, 0, len(a.Retained))
+	for _, f := range a.Retained {
+		if s, ok := a.Exact[f]; ok {
+			lvl := phase1.ClampLevel(uncertain.LevelOf(s, qopt.Step), qopt)
+			rel = append(rel, uncertain.XTuple{ID: int(f), Dist: uncertain.Certain(lvl)})
+			continue
+		}
+		if s, ok := labels.Get(int(f)); ok {
+			lvl := phase1.ClampLevel(uncertain.LevelOf(s, qopt.Step), qopt)
+			rel = append(rel, uncertain.XTuple{ID: int(f), Dist: uncertain.Certain(lvl)})
+			continue
+		}
+		mix, ok := a.Mixtures[f]
+		if !ok {
+			return nil, fmt.Errorf("everest: index missing mixture for frame %d", f)
+		}
+		d, err := uncertain.Quantize(mix, qopt)
+		if err != nil {
+			d = uncertain.Certain(phase1.ClampLevel(uncertain.LevelOf(mix.Mean(), qopt.Step), qopt))
+		}
+		rel = append(rel, uncertain.XTuple{ID: int(f), Dist: d})
+	}
+	return rel, nil
+}
+
+// WindowRelation builds the window-level D0 (Eq. 9) from the captured
+// mixtures and segment structure. labels, when non-nil, supplies exact
+// scores confirmed by earlier queries over the same cache; it must not
+// be mutated while this runs (the score lookup fans out over the
+// query's workers).
+func (a *Artifact) WindowRelation(w WindowSpec, qopt uncertain.QuantizeOptions, labels *labelstore.Overlay, procs int, pool *workpool.Pool) (uncertain.Relation, error) {
+	diff := diffdet.Result{RepOf: a.RepOf}
+	maxLevel := 0
+	if qopt.MaxLevel > 0 && qopt.MaxLevel < int(^uint(0)>>1) {
+		maxLevel = qopt.MaxLevel
+	}
+	return windows.BuildRelation(func(rep int) windows.FrameScore {
+		if s, ok := a.Exact[int32(rep)]; ok {
+			return windows.FrameScore{IsExact: true, Exact: s}
+		}
+		if s, ok := labels.Get(rep); ok {
+			return windows.FrameScore{IsExact: true, Exact: s}
+		}
+		return windows.FrameScore{Mix: a.Mixtures[int32(rep)]}
+	}, diff, windows.Options{Size: w.Size, Stride: w.Stride, Step: qopt.Step, MaxLevel: maxLevel, Procs: procs, Pool: pool})
+}

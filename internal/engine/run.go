@@ -1,0 +1,40 @@
+package engine
+
+import (
+	"github.com/everest-project/everest/internal/simclock"
+	"github.com/everest-project/everest/internal/video"
+	"github.com/everest-project/everest/internal/vision"
+)
+
+// Run is the one-shot entrypoint: Ingest then Execute, sharing one
+// clock (so the outcome carries the full Phase 1 + Phase 2 cost
+// breakdown) and one resident worker pool across both stages. The
+// returned artifact is the ingest product; callers that want to reuse
+// it for further plans may keep it.
+func Run(src video.Source, udf vision.UDF, p Plan) (*Artifact, *Outcome, error) {
+	clock := simclock.NewClock()
+	// One resident worker pool serves the whole query: Phase 1 fan-outs,
+	// window aggregation and Phase 2's speculative selection blocks all
+	// reuse the same goroutines.
+	pool := p.WorkerPool()
+	if pool != nil {
+		defer pool.Close()
+	}
+	opt := p.Ingest
+	opt.Pool = pool
+	art, err := Ingest(src, udf, opt, clock)
+	if err != nil {
+		return nil, nil, err
+	}
+	out, err := Execute(p, Binding{
+		Src:      src,
+		UDF:      udf,
+		Artifact: art,
+		Clock:    clock,
+		Pool:     pool,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return art, out, nil
+}

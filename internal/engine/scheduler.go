@@ -1,0 +1,244 @@
+package engine
+
+import (
+	"fmt"
+	"sync"
+
+	"github.com/everest-project/everest/internal/labelstore"
+	"github.com/everest-project/everest/internal/workpool"
+)
+
+// Scheduler coalesces compatible plans submitted by different callers
+// into one engine run, so N overlapping queries pay the oracle roughly
+// once: the group shares a single label overlay (a frame one plan's
+// cleaning confirmed is already certain in every later plan's D0, and is
+// charged once), a single resident worker pool, and one merged
+// oracle-selection pass in submission order.
+//
+// Scheduling is group-commit, not time-windowed: the first submitter
+// becomes the leader and executes whatever is queued; submissions
+// arriving while a run is in flight queue up and are coalesced into the
+// next run, so coalescing width adapts to load with no added latency
+// when idle.
+//
+// Determinism contract (locked by the coalesced golden test): a group's
+// outcomes are bit-identical to executing the same plans serially in
+// submission order, each over the label state left by its predecessors —
+// i.e. coalescing changes who waits and who pays, never what anyone
+// gets. Which plans end up in one group depends on arrival timing (like
+// the snapshot a free-running Session.Query pins); SubmitGroup submits a
+// pre-formed group atomically when the caller needs the grouping itself
+// to be deterministic.
+//
+// One Scheduler serves one (video, frame count, UDF) identity — the
+// sessions of one label cache. Incompatible neighbours in the queue
+// (see Compatible) split the run: each maximal compatible prefix
+// executes as its own group, still in submission order.
+type Scheduler struct {
+	// snapshot opens the group's shared overlay over the current label
+	// cache state; publish folds the overlay's fresh labels back when
+	// the group finishes; admit gates the group as one oracle-heavy unit
+	// (the strictest positive AdmissionLimit of its members).
+	snapshot func() *labelstore.Overlay
+	publish  func(fresh map[int]float64)
+	admit    func(limit int) (release func())
+
+	mu    sync.Mutex
+	busy  bool
+	queue []*submission
+}
+
+// NewScheduler wires a scheduler to one label cache. snapshot and
+// publish must not be nil; admit may be nil when the cache has no
+// admission gate.
+func NewScheduler(snapshot func() *labelstore.Overlay, publish func(fresh map[int]float64), admit func(limit int) (release func())) *Scheduler {
+	if admit == nil {
+		admit = func(int) func() { return func() {} }
+	}
+	return &Scheduler{snapshot: snapshot, publish: publish, admit: admit}
+}
+
+// submission is one queued plan with its delivery channel.
+type submission struct {
+	plan Plan
+	bind Binding
+	out  *Outcome
+	err  error
+	done chan struct{}
+}
+
+func (s *submission) deliver() {
+	select {
+	case <-s.done:
+	default:
+		close(s.done)
+	}
+}
+
+// Submit queues one plan and blocks until its coalesced run completes.
+// The binding's Labels, Clock and Pool must be nil: the scheduler
+// supplies the group's shared overlay and pool, and every plan gets its
+// own fresh clock (per-plan charges stay separable).
+func (s *Scheduler) Submit(p Plan, b Binding) (*Outcome, error) {
+	subs := s.enqueue([]*submission{{plan: p, bind: b, done: make(chan struct{})}})
+	<-subs[0].done
+	return subs[0].out, subs[0].err
+}
+
+// SubmitGroup queues plans as one atomic block — no foreign submission
+// interleaves them — and blocks until all complete. Outcomes and errors
+// are in input order; the first non-nil error is returned alongside the
+// outcomes.
+func (s *Scheduler) SubmitGroup(ps []Plan, bs []Binding) ([]*Outcome, error) {
+	if len(ps) != len(bs) {
+		return nil, fmt.Errorf("everest: scheduler group has %d plans but %d bindings", len(ps), len(bs))
+	}
+	if len(ps) == 0 {
+		return nil, nil
+	}
+	subs := make([]*submission, len(ps))
+	for i := range ps {
+		subs[i] = &submission{plan: ps[i], bind: bs[i], done: make(chan struct{})}
+	}
+	s.enqueue(subs)
+	outs := make([]*Outcome, len(subs))
+	var firstErr error
+	for i, sub := range subs {
+		<-sub.done
+		outs[i] = sub.out
+		if sub.err != nil && firstErr == nil {
+			firstErr = sub.err
+			// A group of one is a lone query: surface its error verbatim
+			// so the Coalesce flag never changes an error message.
+			if len(subs) > 1 {
+				firstErr = fmt.Errorf("everest: coalesced query %d: %w", i, sub.err)
+			}
+		}
+	}
+	return outs, firstErr
+}
+
+// enqueue appends subs to the queue and, if no leader is running, makes
+// the calling goroutine the leader. Followers return immediately and
+// wait on their done channels.
+func (s *Scheduler) enqueue(subs []*submission) []*submission {
+	s.mu.Lock()
+	s.queue = append(s.queue, subs...)
+	if s.busy {
+		s.mu.Unlock()
+		return subs
+	}
+	s.busy = true
+	s.mu.Unlock()
+	s.lead(subs)
+	return subs
+}
+
+// lead drains the queue: each iteration takes the longest compatible
+// prefix as one group and executes it. New submissions keep queueing
+// while a group runs and are picked up by the next iteration.
+//
+// A submitter-leader (mine non-nil) leads only until its own
+// submissions are served: once they are, any remaining work is handed
+// to a detached leader goroutine (mine nil, which drains to empty), so
+// under sustained coalesced traffic a caller's latency is bounded by
+// its own group plus whatever was already queued ahead of it — it
+// never ends up serving other callers' queries indefinitely.
+//
+// The leadership release is atomic with the empty-queue check — busy
+// is cleared under the same lock hold that observed the queue empty,
+// so a submitter can never enqueue behind a leader that has already
+// decided to stop. (runGroup recovers every panic, so lead cannot
+// unwind with busy still set.)
+func (s *Scheduler) lead(mine []*submission) {
+	for {
+		s.mu.Lock()
+		if len(s.queue) == 0 {
+			s.busy = false
+			s.mu.Unlock()
+			return
+		}
+		if len(mine) > 0 && allDelivered(mine) {
+			s.mu.Unlock()
+			go s.lead(nil)
+			return
+		}
+		n := 1
+		for n < len(s.queue) && Compatible(s.queue[0].plan, s.queue[n].plan) {
+			n++
+		}
+		group := s.queue[:n:n]
+		s.queue = append([]*submission(nil), s.queue[n:]...)
+		s.mu.Unlock()
+		s.runGroup(group)
+	}
+}
+
+// allDelivered reports whether every submission has been delivered.
+func allDelivered(subs []*submission) bool {
+	for _, sub := range subs {
+		select {
+		case <-sub.done:
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// runGroup executes one compatible group: admit as one unit, open the
+// shared overlay, execute plans in submission order over it, publish
+// once. The deferred block publishes before delivering — even on panic
+// — so completed members' paid-for labels always reach the cache and a
+// submitter that immediately queries again snapshots its own labels;
+// a panic becomes the unserved members' error rather than deadlocking
+// followers.
+func (s *Scheduler) runGroup(group []*submission) {
+	var overlay *labelstore.Overlay
+	defer func() {
+		r := recover()
+		if r != nil {
+			for _, sub := range group {
+				if sub.out == nil && sub.err == nil {
+					sub.err = fmt.Errorf("everest: coalesced engine run panicked: %v", r)
+				}
+			}
+		}
+		// Failed plans abort before cleaning (validation), so the overlay
+		// holds confirmed oracle labels only. A nil overlay (snapshot
+		// itself failed) publishes nothing.
+		s.publish(overlay.Fresh())
+		for _, sub := range group {
+			sub.deliver()
+		}
+	}()
+
+	limit := 0
+	for _, sub := range group {
+		if l := sub.plan.AdmissionLimit; l > 0 && (limit == 0 || l < limit) {
+			limit = l
+		}
+	}
+	release := s.admit(limit)
+	defer release()
+
+	overlay = s.snapshot()
+	procs := 1
+	for _, sub := range group {
+		if p := workpool.Procs(sub.plan.Procs); p > procs {
+			procs = p
+		}
+	}
+	var pool *workpool.Pool
+	if procs > 1 {
+		pool = workpool.NewPool(procs)
+		defer pool.Close()
+	}
+	for _, sub := range group {
+		b := sub.bind
+		b.Labels = overlay
+		b.Clock = nil
+		b.Pool = pool
+		sub.out, sub.err = Execute(sub.plan, b)
+	}
+}

@@ -1,0 +1,197 @@
+package engine
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"github.com/everest-project/everest/internal/labelstore"
+)
+
+func schedulerOver(cache *labelstore.SharedCache) *Scheduler {
+	return NewScheduler(
+		func() *labelstore.Overlay {
+			snap, _ := cache.Snapshot()
+			return labelstore.NewOverlay(snap)
+		},
+		func(fresh map[int]float64) { cache.Publish(fresh) },
+		cache.Admit,
+	)
+}
+
+// TestSchedulerGroupMatchesSerial is the scheduler's determinism
+// contract at the engine level: a coalesced group's outcomes are
+// bit-identical — IDs, scores, confidence, counters and simulated
+// charges — to executing the same plans serially in submission order,
+// each over the label state its predecessors left behind.
+func TestSchedulerGroupMatchesSerial(t *testing.T) {
+	art, src, udf := fixture(t)
+	mkPlans := func() []Plan {
+		ks := []int{10, 5, 3}
+		ths := []float64{0.9, 0.99, 0.9}
+		plans := make([]Plan, len(ks))
+		for i := range ks {
+			p := testPlan(ks[i])
+			p.Threshold = ths[i]
+			var err error
+			plans[i], err = NewPlan(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		return plans
+	}
+	bind := Binding{Src: src, UDF: udf, Artifact: art}
+
+	// Serial reference: each plan runs alone over the cache state left by
+	// its predecessors (snapshot → execute → publish).
+	serialCache := labelstore.NewSharedCache()
+	plans := mkPlans()
+	serial := make([]*Outcome, len(plans))
+	for i, p := range plans {
+		snap, _ := serialCache.Snapshot()
+		overlay := labelstore.NewOverlay(snap)
+		b := bind
+		b.Labels = overlay
+		out, err := Execute(p, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		serialCache.Publish(overlay.Fresh())
+		serial[i] = out
+	}
+
+	coalescedCache := labelstore.NewSharedCache()
+	outs, err := schedulerOver(coalescedCache).SubmitGroup(mkPlans(), []Binding{bind, bind, bind})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range outs {
+		if !reflect.DeepEqual(keyOf(outs[i]), keyOf(serial[i])) {
+			t.Fatalf("coalesced plan %d diverged from serial submission order:\n%+v\nvs\n%+v",
+				i, keyOf(outs[i]), keyOf(serial[i]))
+		}
+	}
+	// The coalesced run shared labels: later plans rode the first plan's
+	// confirmations, so only the group's first member paid the oracle
+	// for overlapping frames.
+	if outs[0].Stats.Cleaned == 0 {
+		t.Fatal("first plan cleaned nothing; coalescing assertions are vacuous")
+	}
+	if outs[2].Stats.Cleaned != 0 {
+		t.Fatalf("plan 2 (K=3 after K=10) cleaned %d frames, want 0 — labels did not flow through the group",
+			outs[2].Stats.Cleaned)
+	}
+	// Both modes end with the same cache content.
+	if a, b := serialCache.Len(), coalescedCache.Len(); a != b {
+		t.Fatalf("cache contents diverged: serial %d labels, coalesced %d", a, b)
+	}
+}
+
+// TestSchedulerCoalescesConcurrentSubmitters drives concurrent Submit
+// callers (the race-gate workload) and checks group-commit batching:
+// everyone gets the right answer, and the total oracle bill is at most
+// what the first caller alone paid — coalescing plus the shared cache
+// make every repeat free, whatever the interleaving.
+func TestSchedulerCoalescesConcurrentSubmitters(t *testing.T) {
+	art, src, udf := fixture(t)
+	cache := labelstore.NewSharedCache()
+	sched := schedulerOver(cache)
+	plan, err := NewPlan(testPlan(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bind := Binding{Src: src, UDF: udf, Artifact: art}
+
+	lone, err := Execute(plan, Binding{Src: src, UDF: udf, Artifact: art,
+		Labels: labelstore.NewOverlay(labelstore.Map{})})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const n = 8
+	outs := make([]*Outcome, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			outs[i], errs[i] = sched.Submit(plan, bind)
+		}(i)
+	}
+	wg.Wait()
+	total := 0
+	for i := 0; i < n; i++ {
+		if errs[i] != nil {
+			t.Fatalf("submitter %d: %v", i, errs[i])
+		}
+		if !reflect.DeepEqual(outs[i].IDs, lone.IDs) || !reflect.DeepEqual(outs[i].Scores, lone.Scores) {
+			t.Fatalf("submitter %d got a different answer", i)
+		}
+		total += outs[i].Stats.Cleaned
+	}
+	if total > lone.Stats.Cleaned {
+		t.Fatalf("%d coalesced submitters cleaned %d frames total; one lone query cleans %d",
+			n, total, lone.Stats.Cleaned)
+	}
+}
+
+// TestSchedulerSplitsIncompatibleRuns checks that an incompatible
+// neighbour (different cost model) splits the queue rather than
+// poisoning the group: both halves still execute and answer.
+func TestSchedulerSplitsIncompatibleRuns(t *testing.T) {
+	art, src, udf := fixture(t)
+	cache := labelstore.NewSharedCache()
+	sched := schedulerOver(cache)
+	a, err := NewPlan(testPlan(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := a
+	b.Cost.OracleMS *= 2
+	bind := Binding{Src: src, UDF: udf, Artifact: art}
+	outs, err := sched.SubmitGroup([]Plan{a, b}, []Binding{bind, bind})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(outs) != 2 || outs[0] == nil || outs[1] == nil {
+		t.Fatalf("incompatible pair not fully executed: %v", outs)
+	}
+	if !reflect.DeepEqual(outs[0].IDs, outs[1].IDs) {
+		t.Fatal("split runs over one cache disagreed on the answer")
+	}
+	// The second run still rides the first's published labels — splitting
+	// loses in-flight sharing, not cache sharing.
+	if outs[1].Stats.Cleaned != 0 {
+		t.Fatalf("second (split) run cleaned %d frames, want 0 via the published cache", outs[1].Stats.Cleaned)
+	}
+}
+
+// TestSchedulerValidationErrorDelivered checks that a plan rejected by
+// the engine surfaces to its submitter without wedging the scheduler.
+func TestSchedulerValidationErrorDelivered(t *testing.T) {
+	art, src, udf := fixture(t)
+	cache := labelstore.NewSharedCache()
+	sched := schedulerOver(cache)
+	bad := testPlan(len(art.Retained) + 1).Normalize() // K exceeds the relation
+	good, err := NewPlan(testPlan(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bind := Binding{Src: src, UDF: udf, Artifact: art}
+	outs, err := sched.SubmitGroup([]Plan{bad, good}, []Binding{bind, bind})
+	if err == nil {
+		t.Fatal("oversized K must surface an error")
+	}
+	if outs[0] != nil {
+		t.Fatal("failed plan produced an outcome")
+	}
+	if outs[1] == nil {
+		t.Fatal("healthy plan was starved by its failed neighbour")
+	}
+	// The scheduler stays usable.
+	if _, err := sched.Submit(good, bind); err != nil {
+		t.Fatalf("scheduler wedged after a failed group: %v", err)
+	}
+}

@@ -139,6 +139,49 @@ func setAt(n *node, depth, f int, v float64) (*node, bool) {
 	return c, added
 }
 
+// Delete returns a map holding every entry of m except f. m itself —
+// and every snapshot taken from it — is unchanged; the delete
+// path-copies O(log₃₂ n) nodes like Set. Deleting an absent key
+// returns m unchanged without copying.
+func (m Map) Delete(f int) Map {
+	if m.root == nil || f < 0 || f >= capacity(m.depth) {
+		return m
+	}
+	root, removed := deleteAt(m.root, m.depth, f)
+	if removed {
+		m.root = root
+		m.count--
+	}
+	return m
+}
+
+// deleteAt path-copies n to drop f; empty leaves are kept in place (the
+// occupancy bitmap already marks them absent, and frame indices are
+// dense so the slot will likely refill).
+func deleteAt(n *node, depth, f int) (*node, bool) {
+	if n == nil {
+		return n, false
+	}
+	if depth == 0 {
+		i := f & levelMask
+		if n.bits&(1<<i) == 0 {
+			return n, false
+		}
+		c := n.clone()
+		c.bits &^= 1 << i
+		c.vals[i] = 0
+		return c, true
+	}
+	i := (f >> (bitsPerLevel * depth)) & levelMask
+	kid, removed := deleteAt(n.kids[i], depth-1, f)
+	if !removed {
+		return n, false
+	}
+	c := n.clone()
+	c.kids[i] = kid
+	return c, true
+}
+
 // Range calls fn for every entry in ascending frame order and stops
 // early when fn returns false. Ascending order makes iteration
 // deterministic, unlike a Go map.

@@ -3,6 +3,7 @@ package labelstore
 import (
 	"sort"
 	"sync"
+	"time"
 )
 
 // SharedCache is a versioned label store many sessions read and
@@ -28,6 +29,62 @@ type SharedCache struct {
 	// admit blocks while inflight ≥ the caller's limit.
 	cond     *sync.Cond
 	inflight int
+
+	// Eviction policy state: pubs logs publish batches (kept only while
+	// a policy is active, so the unbounded-cache fast path records
+	// nothing), lastPub maps a frame to the sequence number of the
+	// newest publish that contained it, and now is the injectable clock
+	// for TTL tests.
+	policy  Policy
+	pubs    []publishRecord
+	lastPub map[int]uint64
+	pubSeq  uint64
+	now     func() time.Time
+
+	// attachment is the serving layer's per-cache singleton slot (the
+	// coalescing scheduler); tying it to the cache gives it exactly the
+	// cache's lifetime — when a registry drops the cache, whatever was
+	// attached goes with it.
+	attachment any
+}
+
+// Attachment returns the cache's singleton attachment, creating it
+// with mk on first use. mk must not call back into the cache.
+func (c *SharedCache) Attachment(mk func() any) any {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.attachment == nil {
+		c.attachment = mk()
+	}
+	return c.attachment
+}
+
+// Policy bounds a long-lived cache. The zero value keeps every label
+// forever (the default). Eviction runs at publish and snapshot time,
+// oldest publish batch first (the newest batch is exempt from the size
+// cap, so the publishing query can always reuse its own labels), and
+// each eviction pass bumps the cache version — queries pinned to
+// earlier snapshots hold immutable maps and are unaffected; an evicted
+// frame is simply re-charged by the next query that needs it. The
+// policy governs labels published after it is set: batches published
+// before any policy was active carry no history, are never evicted,
+// and do not count toward MaxLabels.
+type Policy struct {
+	// TTL, when positive, evicts publish batches older than this.
+	TTL time.Duration
+	// MaxLabels, when positive, evicts oldest batches until the cache
+	// holds at most this many policy-governed labels.
+	MaxLabels int
+}
+
+// active reports whether the policy bounds anything.
+func (p Policy) active() bool { return p.TTL > 0 || p.MaxLabels > 0 }
+
+// publishRecord remembers one publish batch for eviction.
+type publishRecord struct {
+	seq  uint64
+	at   time.Time
+	keys []int
 }
 
 // NewSharedCache returns an empty cache. Sessions with a private label
@@ -41,17 +98,26 @@ func NewSharedCache() *SharedCache {
 
 // Snapshot returns the current label map and the version it
 // represents. The map is immutable; the caller can read it — and layer
-// an Overlay over it — without further coordination.
+// an Overlay over it — without further coordination. When a TTL policy
+// is active, expired batches are evicted first, so a warm cache whose
+// queries all hit (and therefore never publish) still ages labels out
+// on the snapshot path rather than serving them stale forever.
 func (c *SharedCache) Snapshot() (Map, uint64) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if c.policy.active() && len(c.pubs) > 0 {
+		c.evictLocked()
+	}
 	return c.labels, c.version
 }
 
 // Publish folds fresh labels into the cache and returns the new
 // version. Empty publishes do not bump the version. Keys are folded in
 // ascending order so the trie's internal shape — not just its content
-// — is independent of Go map iteration order.
+// — is independent of Go map iteration order. When an eviction policy
+// is active, the batch is logged and over-budget or expired batches are
+// evicted before returning (each eviction pass bumps the version once
+// more).
 func (c *SharedCache) Publish(fresh map[int]float64) uint64 {
 	if len(fresh) == 0 {
 		c.mu.Lock()
@@ -71,7 +137,93 @@ func (c *SharedCache) Publish(fresh map[int]float64) uint64 {
 	}
 	c.labels = m
 	c.version++
+	if c.policy.active() {
+		c.pubSeq++
+		c.pubs = append(c.pubs, publishRecord{seq: c.pubSeq, at: c.clock()(), keys: keys})
+		if c.lastPub == nil {
+			c.lastPub = make(map[int]uint64)
+		}
+		for _, f := range keys {
+			c.lastPub[f] = c.pubSeq
+		}
+		c.evictLocked()
+	} else if c.lastPub != nil {
+		// With the policy off, this publish is unlogged — the label is
+		// now permanent, so it must no longer be attributed to an older
+		// logged batch (re-enabling a policy later must not evict it).
+		for _, f := range keys {
+			delete(c.lastPub, f)
+		}
+	}
 	return c.version
+}
+
+// SetPolicy installs (or replaces) the cache's eviction policy and
+// immediately applies it to the logged batches. Concurrent callers are
+// last-writer-wins; the zero Policy disables eviction (already-logged
+// batches are kept but stop being evicted).
+func (c *SharedCache) SetPolicy(p Policy) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.policy = p
+	if p.active() {
+		c.evictLocked()
+	}
+}
+
+// SetClockForTest replaces the TTL clock (nil restores time.Now).
+// Tests only.
+func (c *SharedCache) SetClockForTest(now func() time.Time) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.now = now
+}
+
+func (c *SharedCache) clock() func() time.Time {
+	if c.now != nil {
+		return c.now
+	}
+	return time.Now
+}
+
+// evictLocked drops publish batches, oldest first, while the policy is
+// violated: the cache exceeds MaxLabels, or the oldest batch is older
+// than TTL. A frame is removed only if the batch being dropped is the
+// newest one that contained it — re-published frames survive their
+// original batch's eviction. Bumps the version once if anything was
+// evicted. Caller holds c.mu.
+func (c *SharedCache) evictLocked() {
+	now := c.clock()()
+	evicted := false
+	for len(c.pubs) > 0 {
+		// The newest batch is never size-evicted: the query that just
+		// published it (and anyone coalesced behind it) must be able to
+		// reuse its own labels, so a cap smaller than one batch degrades
+		// to keeping the latest batch only. TTL eviction has no such
+		// exemption — a genuinely expired batch goes even if it is the
+		// last one. The cap is measured over the labels the policy
+		// governs (logged, un-evicted ones — len(lastPub)), not the
+		// whole map: pre-policy labels are permanent, and counting them
+		// would make an unreachable cap evict every new batch forever.
+		over := c.policy.MaxLabels > 0 && len(c.lastPub) > c.policy.MaxLabels && len(c.pubs) > 1
+		expired := c.policy.TTL > 0 && now.Sub(c.pubs[0].at) > c.policy.TTL
+		if !over && !expired {
+			break
+		}
+		pub := c.pubs[0]
+		c.pubs = c.pubs[1:]
+		for _, f := range pub.keys {
+			if c.lastPub[f] != pub.seq {
+				continue
+			}
+			c.labels = c.labels.Delete(f)
+			delete(c.lastPub, f)
+			evicted = true
+		}
+	}
+	if evicted {
+		c.version++
+	}
 }
 
 // Len returns the number of labels currently stored.

@@ -55,9 +55,11 @@ func RunParallel(src video.Source, udf vision.UDF, cfg Config, workers int) (*Pa
 	for i, lvl := range rep.Core.Levels {
 		scores[i] = uncertain.LevelValue(lvl, qopt.Step)
 	}
+	// The normalized plan resolves the effective stride (tumbling when
+	// unset); scale-out reuses the same normalization as the engine path.
 	stride := 0
-	if cfg.Window > 0 {
-		stride = cfg.windowStride()
+	if w := cfg.plan().Window; w.Enabled() {
+		stride = w.Stride
 	}
 	info := Phase1Info{TotalFrames: src.NumFrames(), Tuples: rep.Tuples}
 	for _, sh := range rep.Shards {

@@ -5,6 +5,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"github.com/everest-project/everest/internal/engine"
 	"github.com/everest-project/everest/internal/labelstore"
 	"github.com/everest-project/everest/internal/video"
 	"github.com/everest-project/everest/internal/vision"
@@ -33,9 +34,17 @@ import (
 // and merges in query order; see DESIGN.md's shared-label-cache
 // contract.
 //
+// Every query compiles to an engine.Plan executed by the one engine
+// pipeline (internal/engine). With Config.Coalesce, queries additionally
+// route through the cache's cross-query scheduler, which batches
+// compatible in-flight plans into one engine run — overlapping frames
+// are labeled once and charged once (see DESIGN.md "Engine pipeline &
+// scheduler").
+//
 // NewSession gives the session a private cache; NewSharedSession joins
 // the process-wide cache for the (video, UDF) pair, so separate user
-// sessions over the same pair reuse each other's oracle labels.
+// sessions over the same pair reuse each other's oracle labels (and,
+// when coalescing, one scheduler).
 type Session struct {
 	ix  *Index
 	src video.Source
@@ -65,7 +74,9 @@ func NewSession(ix *Index, src video.Source, udf vision.UDF) (*Session, error) {
 // one store, so a frame any user's query confirmed is free for all
 // later queries, whoever issues them. Results remain deterministic per
 // query: each pins an immutable cache version when it starts (see
-// DESIGN.md's serving-layer contract).
+// DESIGN.md's serving-layer contract). Shared sessions also share the
+// pair's coalescing scheduler, so Coalesce batches queries across
+// users, not just within one session.
 func NewSharedSession(ix *Index, src video.Source, udf vision.UDF) (*Session, error) {
 	if err := ix.validateFor(src, udf); err != nil {
 		return nil, err
@@ -82,7 +93,45 @@ func NewSharedSession(ix *Index, src video.Source, udf vision.UDF) (*Session, er
 // and same scoring function. Frame count is included because label
 // frame indices are only meaningful against one fixed timeline.
 func sharedCacheKey(ix *Index) string {
-	return fmt.Sprintf("%s\x00%d\x00%s", ix.dataset, ix.totalFrames, ix.udfName)
+	return fmt.Sprintf("%s\x00%d\x00%s", ix.art.Dataset, ix.art.TotalFrames, ix.art.UDFName)
+}
+
+// newSchedulerFor wires a coalescing scheduler to a label cache: groups
+// snapshot one overlay from the cache, publish once when they finish,
+// and count as one unit against the cache's admission gate.
+func newSchedulerFor(cache *labelstore.SharedCache) *engine.Scheduler {
+	return engine.NewScheduler(
+		func() *labelstore.Overlay {
+			snap, _ := cache.Snapshot()
+			return labelstore.NewOverlay(snap)
+		},
+		func(fresh map[int]float64) { cache.Publish(fresh) },
+		cache.Admit,
+	)
+}
+
+// scheduler returns the coalescing scheduler of the session's label
+// cache. The scheduler lives on the cache itself (one per cache, the
+// cache's lifetime), so every shared session on one (video, UDF) pair
+// submits to one process-wide queue, while a private session gets a
+// private one.
+func (s *Session) scheduler() *engine.Scheduler {
+	return s.cache.Attachment(func() any {
+		return newSchedulerFor(s.cache)
+	}).(*engine.Scheduler)
+}
+
+// applyCachePolicy forwards the Config's cache-eviction knobs to the
+// label cache (last writer wins; see labelstore.Policy): positive
+// knobs install a policy, a negative knob clears any installed policy
+// (restoring the unbounded default), and all-zero knobs leave the
+// current policy untouched.
+func (s *Session) applyCachePolicy(cfg Config) {
+	if cfg.CacheTTL > 0 || cfg.CacheMaxLabels > 0 {
+		s.cache.SetPolicy(labelstore.Policy{TTL: max(cfg.CacheTTL, 0), MaxLabels: max(cfg.CacheMaxLabels, 0)})
+	} else if cfg.CacheTTL < 0 || cfg.CacheMaxLabels < 0 {
+		s.cache.SetPolicy(labelstore.Policy{})
+	}
 }
 
 // Query runs one Top-K (or Top-K-window) query, reusing every oracle
@@ -91,8 +140,18 @@ func sharedCacheKey(ix *Index) string {
 // charged to the result's clock. Query is safe for concurrent use; each
 // call's result is the deterministic function of the cache version it
 // pins at start. Config.AdmissionLimit, when set, gates the call behind
-// the cache's admission control.
+// the cache's admission control; Config.Coalesce routes it through the
+// cache's cross-query scheduler instead, which batches it with other
+// in-flight coalesced queries into one engine run.
 func (s *Session) Query(cfg Config) (*Result, error) {
+	s.applyCachePolicy(cfg)
+	if cfg.Coalesce {
+		results, err := s.queryCoalesced([]Config{cfg})
+		if err != nil {
+			return nil, err
+		}
+		return results[0], nil
+	}
 	release := s.cache.Admit(cfg.AdmissionLimit)
 	defer release()
 	snap, _ := s.cache.Snapshot()
@@ -106,25 +165,43 @@ func (s *Session) Query(cfg Config) (*Result, error) {
 	return res, nil
 }
 
-// QueryBatch runs the given queries concurrently over one shared cache
-// snapshot and returns their results in input order. Because every query
-// of the batch sees the same snapshot and the overlays merge in query
-// order after all complete, the results — and the labels published —
-// are bit-identical for every interleaving and worker count, unlike
-// free-running concurrent Query calls (whose snapshots depend on arrival
-// order).
+// QueryBatch runs the given queries over one shared cache snapshot and
+// returns their results in input order.
 //
-// Each query's worker budget (Config.Procs) is divided by the batch
-// width, mirroring the scale-out shard convention, so a wide batch does
-// not oversubscribe the cores; Procs never affects results. The whole
-// batch counts as one unit against the cache's admission control (the
-// strictest AdmissionLimit in the batch applies). On failure the first
-// failing query's error (lowest index) is returned; the successful
-// queries' confirmed labels are still published, so their oracle work is
-// not lost.
+// By default the queries run concurrently, each over its own private
+// overlay of the snapshot: every query of the batch sees the same
+// snapshot and the overlays merge in query order after all complete, so
+// the results — and the labels published — are bit-identical for every
+// interleaving and worker count, unlike free-running concurrent Query
+// calls (whose snapshots depend on arrival order). Each query's worker
+// budget (Config.Procs) is divided by the batch width, mirroring the
+// scale-out shard convention, so a wide batch does not oversubscribe
+// the cores; Procs never affects results.
+//
+// When any member sets Config.Coalesce, the whole batch instead runs as
+// one pre-formed coalesced group on the cache's scheduler: the queries
+// execute in input order over a single shared overlay, so overlapping
+// frames are labeled once and charged once. Results are then
+// bit-identical to calling Query serially in input order — each query
+// sees its predecessors' labels — which spends strictly fewer oracle
+// calls than the independent-overlay mode whenever the queries overlap.
+//
+// The batch counts as one unit against the cache's admission control
+// (the strictest positive AdmissionLimit in the batch applies). On
+// failure the first failing query's error (lowest index) is returned;
+// the successful queries' confirmed labels are still published, so
+// their oracle work is not lost.
 func (s *Session) QueryBatch(cfgs []Config) ([]*Result, error) {
 	if len(cfgs) == 0 {
 		return nil, nil
+	}
+	coalesce := false
+	for _, cfg := range cfgs {
+		s.applyCachePolicy(cfg)
+		coalesce = coalesce || cfg.Coalesce
+	}
+	if coalesce {
+		return s.queryCoalesced(cfgs)
 	}
 	release := s.cache.Admit(batchAdmissionLimit(cfgs))
 	defer release()
@@ -161,8 +238,42 @@ func (s *Session) QueryBatch(cfgs []Config) ([]*Result, error) {
 	return results, nil
 }
 
+// queryCoalesced submits the queries to the cache's scheduler as one
+// atomic group: plans execute in input order over one shared overlay.
+// It is the single coalesced entry sequence — a lone Coalesce Query is
+// a group of one.
+func (s *Session) queryCoalesced(cfgs []Config) ([]*Result, error) {
+	plans := make([]engine.Plan, len(cfgs))
+	binds := make([]engine.Binding, len(cfgs))
+	for i, cfg := range cfgs {
+		var err error
+		plans[i], binds[i], err = s.ix.planFor(s.src, s.udf, cfg)
+		if err != nil {
+			if len(cfgs) > 1 {
+				err = fmt.Errorf("everest: batch query %d: %w", i, err)
+			}
+			return nil, err
+		}
+	}
+	outs, err := s.scheduler().SubmitGroup(plans, binds)
+	if err != nil {
+		return nil, err
+	}
+	results := make([]*Result, len(outs))
+	for i, out := range outs {
+		results[i] = resultOf(out, plans[i], s.ix.info)
+		s.queries.Add(1)
+	}
+	return results, nil
+}
+
 // batchAdmissionLimit resolves a batch's admission cap: the strictest
-// positive limit any member requests (0 = no cap).
+// positive limit any member requests. Zero and negative limits mean
+// "uncapped" for that member and are ignored — a batch whose members
+// all leave the knob unset (or explicitly disable it) is admitted
+// without queueing, and one capped member is enough to gate the whole
+// batch (it runs as a single oracle-heavy unit, so the strictest
+// member's budget must hold for all of it). An empty batch is uncapped.
 func batchAdmissionLimit(cfgs []Config) int {
 	limit := 0
 	for _, cfg := range cfgs {
@@ -176,7 +287,9 @@ func batchAdmissionLimit(cfgs []Config) int {
 // RunConcurrent runs n copies of the same query concurrently via
 // QueryBatch — the N-concurrent-callers serving scenario. All n results
 // are bit-identical to each other and to a single Query from the same
-// cache state.
+// cache state. (With cfg.Coalesce the copies instead run as one
+// coalesced group: the first pays the oracle, the repeats ride its
+// labels — results still bit-identical to serial repeats.)
 func (s *Session) RunConcurrent(cfg Config, n int) ([]*Result, error) {
 	if n <= 0 {
 		return nil, fmt.Errorf("everest: concurrent query count must be positive, got %d", n)
@@ -197,7 +310,7 @@ func (s *Session) CachedLabels() int {
 
 // CacheVersion returns the cache's current publish version: it advances
 // by one for every query (from any session on a shared cache) that
-// confirmed at least one new frame.
+// confirmed at least one new frame, and by one for every eviction pass.
 func (s *Session) CacheVersion() uint64 {
 	return s.cache.Version()
 }

@@ -191,6 +191,65 @@ func TestSessionWindowQuerySeedsFrameCache(t *testing.T) {
 	}
 }
 
+func TestBatchAdmissionLimit(t *testing.T) {
+	lim := func(ls ...int) []Config {
+		cfgs := make([]Config, len(ls))
+		for i, l := range ls {
+			cfgs[i] = Config{AdmissionLimit: l}
+		}
+		return cfgs
+	}
+	cases := []struct {
+		name string
+		cfgs []Config
+		want int
+	}{
+		{"empty batch", nil, 0},
+		{"single unset", lim(0), 0},
+		{"single positive", lim(3), 3},
+		{"single negative", lim(-2), 0},
+		{"all unset", lim(0, 0, 0), 0},
+		{"all negative", lim(-1, -5, -2), 0},
+		{"heterogeneous positives pick strictest", lim(5, 2, 9), 2},
+		{"zero does not override a positive", lim(0, 4, 0), 4},
+		{"negative does not override a positive", lim(-1, 4, -7), 4},
+		{"positive then stricter", lim(3, 1), 1},
+		{"stricter then looser", lim(1, 3), 1},
+		{"mixed everything", lim(0, -3, 7, 2, 0, 11), 2},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if got := batchAdmissionLimit(c.cfgs); got != c.want {
+				t.Fatalf("batchAdmissionLimit(%v) = %d, want %d", c.cfgs, got, c.want)
+			}
+		})
+	}
+}
+
+func TestQueryBatchNegativeAdmissionLimitRuns(t *testing.T) {
+	// A batch whose members explicitly disable admission (negative
+	// limits) must run uncapped rather than deadlock or misbehave.
+	src := testSource(t, 6000, 87)
+	udf := vision.CountUDF{Class: video.ClassCar}
+	ix, err := BuildIndex(src, udf, smallCfg(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := NewSession(ix, src, udf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := smallCfg(5)
+	cfg.AdmissionLimit = -1
+	results, err := sess.QueryBatch([]Config{cfg, cfg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 || results[0].Confidence < 0.9 {
+		t.Fatalf("negative-limit batch misbehaved: %v", results)
+	}
+}
+
 func TestSessionValidation(t *testing.T) {
 	src := testSource(t, 6000, 83)
 	other := testSource(t, 5000, 84) // different length: not the indexed video
