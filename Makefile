@@ -16,14 +16,16 @@ test:
 # Race-check the concurrency packages and the engine determinism tests;
 # the full suite under -race is too slow for a quick gate.
 race:
-	$(GO) test -race ./internal/workpool/ ./internal/labelstore/ ./internal/engine/ ./internal/cmdn/ ./internal/phase1/ ./internal/nn/ ./internal/diffdet/ ./internal/windows/ ./internal/core/
-	$(GO) test -race -run 'ProcsBitIdentical|GoldenConcurrent|GoldenCoalesced|SessionConcurrent|QueryBatch|SharedSession|AdmissionLimit|Coalesced' .
+	$(GO) test -race ./internal/workpool/ ./internal/labelstore/ ./internal/engine/ ./internal/oraclemux/ ./internal/cmdn/ ./internal/phase1/ ./internal/nn/ ./internal/diffdet/ ./internal/windows/ ./internal/core/
+	$(GO) test -race -run 'ProcsBitIdentical|GoldenConcurrent|GoldenCoalesced|SessionConcurrent|QueryBatch|SharedSession|AdmissionLimit|Coalesced|CoalesceWait|OracleMux' .
 
-# Short-budget fuzz of the workpool determinism contract and the engine
-# plan compiler's normalize/validate invariants.
+# Short-budget fuzz of the workpool determinism contract, the engine
+# plan compiler's normalize/validate invariants and the oracle mux's
+# batch-consolidation splitter.
 fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzMapOrdering -fuzztime 30s ./internal/workpool/
 	$(GO) test -run '^$$' -fuzz FuzzPlanNormalize -fuzztime 30s ./internal/engine/
+	$(GO) test -run '^$$' -fuzz FuzzConsolidate -fuzztime 30s ./internal/oraclemux/
 
 # Capture the engine benchmark suite into BENCH_engine.json so future
 # changes have a perf trajectory to compare against.
@@ -39,7 +41,7 @@ bench-diff:
 # but explode allocations (also the CI benchmark smoke job, which
 # additionally runs bench-diff against the committed baseline).
 bench-smoke:
-	$(GO) test -run '^$$' -bench 'SessionConcurrent|SessionSharedCache|SessionCoalesced' -benchtime 1x -benchmem .
+	$(GO) test -run '^$$' -bench 'SessionConcurrent|SessionSharedCache|SessionCoalesced|OracleMux' -benchtime 1x -benchmem .
 
 experiments:
 	$(GO) run ./cmd/experiments

@@ -11,12 +11,15 @@
 package everest_test
 
 import (
+	"sync"
 	"testing"
+	"time"
 
 	everest "github.com/everest-project/everest"
 	"github.com/everest-project/everest/internal/cmdn"
 	"github.com/everest-project/everest/internal/harness"
 	"github.com/everest-project/everest/internal/labelstore"
+	"github.com/everest-project/everest/internal/oraclemux"
 	"github.com/everest-project/everest/internal/video"
 	"github.com/everest-project/everest/internal/vision"
 )
@@ -445,6 +448,123 @@ func BenchmarkSessionCoalesced(b *testing.B) {
 	if coalCalls >= indepCalls || coalCleaned >= indepCleaned {
 		b.Fatalf("coalesced group paid %d calls / %d cleaned, independent runs %d / %d — coalescing saved nothing",
 			coalCalls, coalCleaned, indepCalls, indepCleaned)
+	}
+}
+
+// latencyUDF delegates scoring to its inner UDF after a real wall-clock
+// pause per invocation — the host-visible latency of one device launch.
+// The pause is what gives concurrent queries something to overlap with:
+// while one launch is in flight the other in-flight runs reach their
+// own confirmation calls and queue on the mux, exactly as they would
+// against a real GPU-resident oracle (synthetic scoring alone completes
+// in microseconds, so on a small machine no queue would ever form).
+// Scores are bit-identical to the inner UDF's.
+type latencyUDF struct {
+	vision.UDF
+	launch time.Duration
+}
+
+func (u latencyUDF) Score(src video.Source, ids []int) []float64 {
+	time.Sleep(u.launch)
+	return u.UDF.Score(src, ids)
+}
+
+// BenchmarkOracleMux measures the process-wide oracle multiplexer in
+// the M×N cross-video serving scenario: 3 indexed videos × 4 queries
+// each, all in flight together with UseMux, funnel every Phase 2
+// confirmation batch through one GPU-style dispatch queue (whose
+// launches carry a simulated 200µs host latency — see latencyUDF).
+// Without the mux each plan-level batch is its own device launch, so
+// the request count IS the independent launch count; the metrics
+// report how many consolidated launches the same traffic actually
+// dispatched and the simulated launch overhead that saved. Results and
+// per-query charges are bit-identical either way
+// (TestOracleMuxCrossVideoBitIdentical, TestGoldenOracleMux); this
+// benchmark prices the device side.
+func BenchmarkOracleMux(b *testing.B) {
+	type target struct {
+		src *video.Synthetic
+		ix  *everest.Index
+	}
+	base := everest.Config{
+		K: 10, Threshold: 0.9, Seed: 1,
+		Proxy:      cmdn.Config{Grid: []cmdn.Hyper{{G: 5, H: 30}}, Epochs: 30},
+		SampleFrac: 0.05,
+	}
+	// Indexes are built with the raw UDF (no launch latency in Phase 1
+	// setup); the served queries score through the latency wrapper.
+	udf := latencyUDF{UDF: vision.CountUDF{Class: video.ClassCar}, launch: 200 * time.Microsecond}
+	var targets []target
+	for _, seed := range []uint64{61, 62, 63} {
+		src, err := video.NewSynthetic(video.Config{
+			Name: "mux-bench", Kind: video.KindTraffic, Class: video.ClassCar,
+			Frames: 3000, FPS: 30, Seed: seed, MeanPopulation: 3, BurstRate: 3,
+			DailyCycle: true, DistractorPopulation: 1,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		ix, err := everest.BuildIndex(src, udf.UDF, base)
+		if err != nil {
+			b.Fatal(err)
+		}
+		targets = append(targets, target{src: src, ix: ix})
+	}
+	mkCfgs := func() []everest.Config {
+		ks := []int{10, 5, 3, 8}
+		ths := []float64{0.9, 0.99, 0.9, 0.95}
+		cfgs := make([]everest.Config, len(ks))
+		for i := range ks {
+			cfgs[i] = base
+			cfgs[i].K = ks[i]
+			cfgs[i].Threshold = ths[i]
+			cfgs[i].UseMux = true
+		}
+		return cfgs
+	}
+
+	b.ResetTimer()
+	var requests, launches, frames int
+	var savedMS float64
+	for i := 0; i < b.N; i++ {
+		before := oraclemux.Shared().Stats()
+		var wg sync.WaitGroup
+		var mu sync.Mutex
+		var firstErr error
+		for _, tg := range targets {
+			for _, cfg := range mkCfgs() {
+				wg.Add(1)
+				go func(tg target, cfg everest.Config) {
+					defer wg.Done()
+					if _, err := tg.ix.Query(tg.src, udf, cfg); err != nil {
+						mu.Lock()
+						if firstErr == nil {
+							firstErr = err
+						}
+						mu.Unlock()
+					}
+				}(tg, cfg)
+			}
+		}
+		wg.Wait()
+		if firstErr != nil {
+			b.Fatal(firstErr)
+		}
+		after := oraclemux.Shared().Stats()
+		requests += after.Requests - before.Requests
+		launches += after.Launches - before.Launches
+		frames += after.Frames - before.Frames
+		savedMS += after.SavedMS - before.SavedMS
+	}
+	b.StopTimer()
+	perIter := float64(b.N)
+	b.ReportMetric(float64(requests)/perIter, "dispatches-independent")
+	b.ReportMetric(float64(launches)/perIter, "launches-consolidated")
+	b.ReportMetric(float64(requests)/float64(launches), "consolidation-x")
+	b.ReportMetric(float64(frames)/perIter, "oracle-frames")
+	b.ReportMetric(savedMS/perIter, "saved-launch-ms")
+	if launches >= requests {
+		b.Fatalf("mux dispatched %d launches for %d requests — consolidation saved nothing", launches, requests)
 	}
 }
 

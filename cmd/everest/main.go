@@ -10,6 +10,8 @@
 //	everest -dataset Archie -k 50 -parallel 4              # scale-out
 //	everest -dataset Archie -k 10 -concurrent 8            # concurrent serving from one session
 //	everest -dataset Archie -k 10 -concurrent 8 -coalesce  # one coalesced engine run for all 8
+//	everest -dataset Archie -k 10 -concurrent 8 -coalesce -coalesce-wait 50ms  # hold groups open for late arrivals
+//	everest -dataset Archie -k 10 -concurrent 8 -shared -mux  # one oracle dispatch queue across sessions
 //	everest -dataset Dashcam-California -udf tailgate -k 50
 //	everest -query 'SELECT TOP 10 WINDOWS OF 300 EVERY 30 FROM Archie RANK BY count(car)' [-explain]
 //	everest -repl
@@ -24,6 +26,7 @@ import (
 
 	everest "github.com/everest-project/everest"
 	"github.com/everest-project/everest/internal/eql"
+	"github.com/everest-project/everest/internal/oraclemux"
 	"github.com/everest-project/everest/internal/repl"
 	"github.com/everest-project/everest/internal/video"
 	"github.com/everest-project/everest/internal/vision"
@@ -31,26 +34,28 @@ import (
 
 func main() {
 	var (
-		dataset  = flag.String("dataset", "Archie", "dataset name (see -list)")
-		k        = flag.Int("k", 50, "result size K")
-		thres    = flag.Float64("thres", 0.9, "probabilistic guarantee threshold")
-		window   = flag.Int("window", 0, "window size in frames (0 = frame query)")
-		stride   = flag.Int("stride", 0, "window stride in frames (0 = tumbling; < window slides with the union bound)")
-		workers  = flag.Int("parallel", 1, "scale-out worker count")
-		frames   = flag.Int("frames", 0, "override frame count (0 = dataset default)")
-		udfName  = flag.String("udf", "count", "scoring UDF: count | tailgate | sentiment")
-		seed     = flag.Uint64("seed", 1, "random seed")
-		procs    = flag.Int("procs", 0, "CPU workers for the execution engine (0 = all cores; results are identical for any value)")
-		conc     = flag.Int("concurrent", 0, "serve the query N times concurrently from one shared session (builds or loads an index first)")
-		shared   = flag.Bool("shared", false, "with -concurrent: serve from N distinct sessions joined to the process-wide (video, UDF) label cache instead of one private session")
-		admit    = flag.Int("admit", 0, "admission control: cap on concurrent oracle-heavy query batches per label cache (0 = no cap)")
-		coalesce = flag.Bool("coalesce", false, "with -concurrent: route queries through the cross-query coalescing scheduler (one engine run per compatible group; overlapping frames labeled and charged once)")
-		list     = flag.Bool("list", false, "list datasets and exit")
-		query    = flag.String("query", "", `EQL statement, e.g. 'SELECT TOP 50 FRAMES FROM "Taipei-bus" RANK BY count(car) THRESHOLD 0.9'`)
-		explain  = flag.Bool("explain", false, "describe the EQL query's plan without running it")
-		shell    = flag.Bool("repl", false, "interactive EQL shell (ingest-once, session-shared queries)")
-		saveIx   = flag.String("saveindex", "", "run Phase 1 only and save an ingestion index to this file")
-		useIx    = flag.String("useindex", "", "answer from a saved ingestion index (Phase 2 only)")
+		dataset      = flag.String("dataset", "Archie", "dataset name (see -list)")
+		k            = flag.Int("k", 50, "result size K")
+		thres        = flag.Float64("thres", 0.9, "probabilistic guarantee threshold")
+		window       = flag.Int("window", 0, "window size in frames (0 = frame query)")
+		stride       = flag.Int("stride", 0, "window stride in frames (0 = tumbling; < window slides with the union bound)")
+		workers      = flag.Int("parallel", 1, "scale-out worker count")
+		frames       = flag.Int("frames", 0, "override frame count (0 = dataset default)")
+		udfName      = flag.String("udf", "count", "scoring UDF: count | tailgate | sentiment")
+		seed         = flag.Uint64("seed", 1, "random seed")
+		procs        = flag.Int("procs", 0, "CPU workers for the execution engine (0 = all cores; results are identical for any value)")
+		conc         = flag.Int("concurrent", 0, "serve the query N times concurrently from one shared session (builds or loads an index first)")
+		shared       = flag.Bool("shared", false, "with -concurrent: serve from N distinct sessions joined to the process-wide (video, UDF) label cache instead of one private session")
+		admit        = flag.Int("admit", 0, "admission control: cap on concurrent oracle-heavy query batches per label cache (0 = no cap)")
+		coalesce     = flag.Bool("coalesce", false, "with -concurrent: route queries through the cross-query coalescing scheduler (one engine run per compatible group; overlapping frames labeled and charged once)")
+		coalesceWait = flag.Duration("coalesce-wait", 0, "with -coalesce: latency budget for the group close — the leader holds a group open up to this long so compatible arrivals join one engine run (0 = commit immediately; results never change)")
+		mux          = flag.Bool("mux", false, "route Phase 2 oracle confirmation batches through the process-wide oracle multiplexer: in-flight batches from all runs consolidate into device batches (fewer simulated launches; results and per-query charges unchanged)")
+		list         = flag.Bool("list", false, "list datasets and exit")
+		query        = flag.String("query", "", `EQL statement, e.g. 'SELECT TOP 50 FRAMES FROM "Taipei-bus" RANK BY count(car) THRESHOLD 0.9'`)
+		explain      = flag.Bool("explain", false, "describe the EQL query's plan without running it")
+		shell        = flag.Bool("repl", false, "interactive EQL shell (ingest-once, session-shared queries)")
+		saveIx       = flag.String("saveindex", "", "run Phase 1 only and save an ingestion index to this file")
+		useIx        = flag.String("useindex", "", "answer from a saved ingestion index (Phase 2 only)")
 	)
 	flag.Parse()
 
@@ -116,6 +121,8 @@ func main() {
 		Procs:          *procs,
 		AdmissionLimit: *admit,
 		Coalesce:       *coalesce,
+		CoalesceWait:   *coalesceWait,
+		UseMux:         *mux,
 	}
 
 	if *saveIx != "" {
@@ -147,6 +154,7 @@ func main() {
 		if err := runConcurrent(src, udf, cfg, *useIx, *conc, *shared); err != nil {
 			fatal(err)
 		}
+		maybePrintMuxStats(*mux)
 		return
 	}
 
@@ -183,6 +191,25 @@ func main() {
 	}
 
 	printResult(res, src.FPS(), "")
+	maybePrintMuxStats(*mux)
+}
+
+// maybePrintMuxStats reports the process-wide oracle multiplexer's
+// device-side consolidation after a -mux run. Per-query results and
+// simulated charges are unaffected by the mux; this is the device
+// accounting — how many plan-level confirmation batches shared a
+// launch.
+func maybePrintMuxStats(enabled bool) {
+	if !enabled {
+		return
+	}
+	st := oraclemux.Shared().Stats()
+	if st.Launches == 0 {
+		fmt.Println("\noracle mux: no confirmation batches dispatched")
+		return
+	}
+	fmt.Printf("\noracle mux: %d confirmation batches in %d device launches (%.2fx consolidation), %d frames scored, %.0f sim-ms launch overhead saved\n",
+		st.Requests, st.Launches, float64(st.Requests)/float64(st.Launches), st.Frames, st.SavedMS)
 }
 
 // runConcurrent answers the same query n times at once: from one

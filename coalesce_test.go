@@ -1,6 +1,7 @@
 package everest
 
 import (
+	"reflect"
 	"sync"
 	"testing"
 	"time"
@@ -64,6 +65,180 @@ func TestCoalescedSharedSessionsShareOneScheduler(t *testing.T) {
 	if total > lone.EngineStats.Cleaned {
 		t.Fatalf("%d coalesced users cleaned %d frames total, a lone query cleans %d",
 			users, total, lone.EngineStats.Cleaned)
+	}
+}
+
+// TestQueryBatchPartialFailureKeepsResults is the regression lock for
+// the partly-failed batch contract, in both batch modes and at both
+// failure stages: whether a member fails mid-engine (a K larger than
+// the relation passes plan validation but fails at execution) or at
+// plan compilation (an out-of-range threshold), the successful
+// members' Results must come back — a slice of len(cfgs) with nil at
+// the failed slot — alongside the indexed error, matching their
+// baselines, and their paid-for labels must reach the cache, so a
+// follow-up query rides them oracle-free. Before the fix the
+// coalesced path returned nil (or short) results on the first error,
+// vanishing every paid-for member's answer.
+func TestQueryBatchPartialFailureKeepsResults(t *testing.T) {
+	src := testSource(t, 9000, 99)
+	udf := vision.CountUDF{Class: video.ClassCar}
+	ix, err := BuildIndex(src, udf, smallCfg(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	badExec := smallCfg(5)
+	badExec.K = src.NumFrames() + 1 // valid plan shape, no relation that large
+	badCompile := smallCfg(5)
+	badCompile.Threshold = 2.0 // rejected by plan validation
+
+	// Per-mode baselines for the surviving members: the independent mode
+	// runs each member over a private overlay of the (empty) snapshot, so
+	// cold solo queries are the reference; the coalesced mode runs them in
+	// submission order over one shared overlay, so the reference is serial
+	// session order (the failed member confirms nothing and drops out).
+	solo := make([]*Result, 2)
+	serial := make([]*Result, 2)
+	serialSess, err := NewSession(ix, src, udf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for bi, cfg := range []Config{smallCfg(5), smallCfg(3)} {
+		if solo[bi], err = ix.Query(src, udf, cfg); err != nil {
+			t.Fatal(err)
+		}
+		if serial[bi], err = serialSess.Query(cfg); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	for _, tc := range []struct {
+		stage string
+		bad   Config
+	}{
+		{"execute-fail", badExec},
+		{"compile-fail", badCompile},
+	} {
+		for _, coalesce := range []bool{false, true} {
+			mode := tc.stage + "/independent"
+			baselines := solo
+			if coalesce {
+				mode = tc.stage + "/coalesced"
+				baselines = serial
+			}
+			sess, err := NewSession(ix, src, udf)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfgs := []Config{smallCfg(5), tc.bad, smallCfg(3)}
+			for i := range cfgs {
+				cfgs[i].Coalesce = coalesce
+			}
+			results, err := sess.QueryBatch(cfgs)
+			if err == nil {
+				t.Fatalf("%s: bad member must surface an error", mode)
+			}
+			if len(results) != len(cfgs) {
+				t.Fatalf("%s: got %d results for %d queries", mode, len(results), len(cfgs))
+			}
+			if results[1] != nil {
+				t.Fatalf("%s: failed member produced a result", mode)
+			}
+			for bi, i := range []int{0, 2} {
+				if results[i] == nil {
+					t.Fatalf("%s: successful member %d's result vanished with its neighbour's error", mode, i)
+				}
+				want := baselines[bi]
+				if !reflect.DeepEqual(results[i].IDs, want.IDs) || !reflect.DeepEqual(results[i].Scores, want.Scores) {
+					t.Fatalf("%s: surviving member %d's answer diverged from its baseline", mode, i)
+				}
+			}
+			// The survivors' labels were published: a repeat of member 0's
+			// query is oracle-free.
+			repeat, err := sess.Query(cfgs[0])
+			if err != nil {
+				t.Fatal(err)
+			}
+			if repeat.EngineStats.Cleaned != 0 {
+				t.Fatalf("%s: survivors' labels were not published — repeat cleaned %d frames", mode, repeat.EngineStats.Cleaned)
+			}
+		}
+	}
+}
+
+// TestSharedSessionsConflictingPolicies locks the strictest-wins
+// policy contract on a shared cache: sibling sessions installing
+// conflicting eviction knobs resolve to the pairwise minimum — the
+// most recent session can neither loosen a sibling's bound with a
+// bigger value nor erase it by leaving the knob zero (the
+// last-writer-wins overwrite this is a regression test for).
+func TestSharedSessionsConflictingPolicies(t *testing.T) {
+	labelstore.ResetForTest()
+	defer labelstore.ResetForTest()
+	src := testSource(t, 9000, 101)
+	udf := vision.CountUDF{Class: video.ClassCar}
+	ix, err := BuildIndex(src, udf, smallCfg(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := NewSharedSession(ix, src, udf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewSharedSession(ix, src, udf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Session A asks for a TTL and a generous label cap; session B asks
+	// for a tight cap and no TTL.
+	acfg := smallCfg(5)
+	acfg.CacheTTL = time.Hour
+	acfg.CacheMaxLabels = 1000
+	if _, err := a.Query(acfg); err != nil {
+		t.Fatal(err)
+	}
+	bcfg := smallCfg(5)
+	bcfg.Threshold = 0.99
+	bcfg.CacheMaxLabels = 1
+	if _, err := b.Query(bcfg); err != nil {
+		t.Fatal(err)
+	}
+	// Effective policy is the pairwise strictest: B's cap of 1 holds, and
+	// A's TTL survived B's zero-TTL install. (TightenPolicy with a zero
+	// policy is a read — it merges nothing.)
+	got := a.cache.TightenPolicy(labelstore.Policy{})
+	want := labelstore.Policy{TTL: time.Hour, MaxLabels: 1}
+	if got != want {
+		t.Fatalf("conflicting installs resolved to %+v, want strictest-wins %+v", got, want)
+	}
+	// And the strict cap is live: the cache kept only the newest batch.
+	third := smallCfg(3)
+	third.Threshold = 0.95
+	res, err := a.Query(third)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.EngineStats.Cleaned > 0 && a.CachedLabels() > res.EngineStats.Cleaned {
+		t.Fatalf("cache holds %d labels under a cap of 1 batch (newest cleaned %d) — the sibling's cap was lost",
+			a.CachedLabels(), res.EngineStats.Cleaned)
+	}
+	// A re-install with looser knobs does not loosen.
+	if _, err := a.Query(acfg); err != nil {
+		t.Fatal(err)
+	}
+	if got := a.cache.TightenPolicy(labelstore.Policy{}); got != want {
+		t.Fatalf("a later generous install loosened the policy to %+v, want %+v kept", got, want)
+	}
+	// The explicit escape hatch: a negative knob clears the whole policy
+	// first, and a positive knob in the same Config installs into the
+	// cleared state — the one way to loosen a shared bound.
+	loosen := smallCfg(5)
+	loosen.CacheTTL = -1
+	loosen.CacheMaxLabels = 400
+	if _, err := b.Query(loosen); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := a.cache.TightenPolicy(labelstore.Policy{}), (labelstore.Policy{MaxLabels: 400}); got != want {
+		t.Fatalf("reset-and-reinstall yielded %+v, want %+v (TTL cleared, fresh cap installed)", got, want)
 	}
 }
 

@@ -135,6 +135,24 @@ type Config struct {
 	// scheduler"). A coalesced QueryBatch runs its queries as one
 	// pre-formed group in input order.
 	Coalesce bool
+	// CoalesceWait is the latency budget a coalesced query grants the
+	// scheduler: the group leader holds the group open up to the longest
+	// wait its queued queries request, so compatible near-simultaneous
+	// arrivals land in one engine run instead of the group committing on
+	// first-submitter timing. Zero (the default) commits immediately.
+	// Trades bounded added latency for wider groups under load;
+	// scheduling only — results and per-query charges never change.
+	// Ignored without Coalesce.
+	CoalesceWait time.Duration
+	// UseMux routes the query's Phase 2 oracle confirmation batches
+	// through the process-wide oracle multiplexer (internal/oraclemux),
+	// which consolidates in-flight confirmation batches from all runs —
+	// across sessions, caches and videos — into device batches, the way
+	// a serving deployment funnels every query's oracle work through one
+	// GPU-resident model. Device-side accounting only: results and the
+	// query's own simulated charges are bit-identical to direct
+	// dispatch.
+	UseMux bool
 	// CacheTTL, when positive, bounds how long a published label batch
 	// stays in the session's label cache: on each publish or snapshot,
 	// batches older than the TTL are evicted (the eviction bumps the
@@ -148,7 +166,13 @@ type Config struct {
 	// labels the cache holds: after a publish pushes it past the cap,
 	// the oldest publish batches are evicted until it fits. Zero leaves
 	// the current policy untouched (unbounded by default); negative
-	// clears it. Policies are per cache, last writer wins.
+	// clears it. Policies are per cache and install strictest-wins: on
+	// a shared cache, conflicting sessions resolve to the tightest
+	// bound per knob, and a zero knob never erases a bound a sibling
+	// session set. A negative knob is the explicit reset — it clears
+	// the whole policy for every session on the cache first; a
+	// positive knob alongside it then installs into the cleared state
+	// (the one way to loosen a shared bound).
 	CacheMaxLabels int
 
 	// DisableDiff skips the difference detector (ablation A4).
@@ -236,6 +260,8 @@ func (c Config) plan() engine.Plan {
 		Seed:             c.Seed,
 		Cost:             c.Cost,
 		AdmissionLimit:   c.AdmissionLimit,
+		CoalesceWait:     c.CoalesceWait,
+		UseMux:           c.UseMux,
 		Ingest:           c.phase1Options(c.Seed),
 	}.Normalize()
 }

@@ -192,6 +192,53 @@ func TestGoldenDeterminism(t *testing.T) {
 	}
 }
 
+// TestGoldenOracleMux locks the oracle multiplexer against the
+// committed golden: the fig4 scenario re-run with UseMux — every
+// Phase 2 confirmation batch routed through the process-wide dispatch
+// queue — must reproduce the committed mux-off snapshot byte for byte
+// at every worker count: IDs, scores, confidence, counters and every
+// simulated per-plan charge. Consolidation is device-side accounting
+// only; the committed golden is the proof.
+func TestGoldenOracleMux(t *testing.T) {
+	data, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("reading golden snapshot (run with -update-golden to create): %v", err)
+	}
+	var want map[string]goldenResult
+	if err := json.Unmarshal(data, &want); err != nil {
+		t.Fatal(err)
+	}
+	const scenario = "fig4-archie-topk"
+	w, ok := want[scenario]
+	if !ok {
+		t.Fatalf("scenario %s missing from golden snapshot", scenario)
+	}
+	spec, err := video.DatasetByName("Archie")
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := spec.Build(3000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	udf := vision.CountUDF{Class: video.ClassCar}
+	for _, procs := range goldenProcs {
+		cfg := goldenCfg(10)
+		cfg.Procs = procs
+		cfg.UseMux = true
+		res, err := Run(src, udf, cfg)
+		if err != nil {
+			t.Fatalf("procs=%d: %v", procs, err)
+		}
+		if g := goldenOf(res); !reflect.DeepEqual(g, w) {
+			gj, _ := json.MarshalIndent(g, "", "  ")
+			wj, _ := json.MarshalIndent(w, "", "  ")
+			t.Fatalf("procs=%d: mux-on run diverged from the committed mux-off golden\ngot:\n%s\nwant:\n%s",
+				procs, gj, wj)
+		}
+	}
+}
+
 // TestGoldenCoalescedSession locks the coalescing scheduler's
 // determinism contract end to end: a coalesced batch — one engine run
 // sharing a single label overlay — must return, for every query and at

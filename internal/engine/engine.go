@@ -5,6 +5,7 @@ import (
 
 	"github.com/everest-project/everest/internal/core"
 	"github.com/everest-project/everest/internal/labelstore"
+	"github.com/everest-project/everest/internal/oraclemux"
 	"github.com/everest-project/everest/internal/simclock"
 	"github.com/everest-project/everest/internal/uncertain"
 	"github.com/everest-project/everest/internal/video"
@@ -38,6 +39,12 @@ type Binding struct {
 	// (ingest-plus-query runs and coalesced groups share one); nil makes
 	// Execute create and close its own when Procs > 1.
 	Pool *workpool.Pool
+	// Dispatch, when non-nil, routes the plan's oracle confirmation
+	// batches through this multiplexer instead of invoking the UDF
+	// directly — device-level consolidation across in-flight runs. nil
+	// with Plan.UseMux set falls back to the process-wide mux. Never
+	// affects results or the plan's own charges.
+	Dispatch *oraclemux.Mux
 }
 
 // Outcome is the engine's answer to one plan.
@@ -82,6 +89,15 @@ func Execute(p Plan, b Binding) (*Outcome, error) {
 		}
 	}
 
+	// dispatch resolves the oracle transport: a caller-injected mux, the
+	// process-wide one when the plan asks for it, or direct UDF calls.
+	// The transport changes which device launch carries a confirmation
+	// batch, never its scores or this plan's charges.
+	dispatch := b.Dispatch
+	if dispatch == nil && p.UseMux {
+		dispatch = oraclemux.Shared()
+	}
+
 	qopt := b.UDF.Quantize()
 	// scoreFrames is the frame-level oracle shared by both query kinds:
 	// it consults and feeds the label overlay and charges per miss. With
@@ -99,7 +115,12 @@ func Execute(p Plan, b Binding) (*Outcome, error) {
 			missIDs = append(missIDs, id)
 		}
 		if len(missIDs) > 0 {
-			fresh := b.UDF.Score(b.Src, missIDs)
+			var fresh []float64
+			if dispatch != nil {
+				fresh = dispatch.Score(b.Src, b.UDF, missIDs, p.Cost)
+			} else {
+				fresh = b.UDF.Score(b.Src, missIDs)
+			}
 			for j, i := range missAt {
 				scores[i] = fresh[j]
 				b.Labels.Set(missIDs[j], fresh[j])

@@ -3,6 +3,7 @@ package engine
 import (
 	"reflect"
 	"testing"
+	"time"
 
 	"github.com/everest-project/everest/internal/core"
 )
@@ -11,19 +12,21 @@ import (
 // the raw config takes, NewPlan either rejects it or returns a plan
 // that is normalized (idempotently), self-consistently validated, and
 // carries a sound bound kind — overlapping windows can never slip
-// through with the independent bound.
+// through with the independent bound, and a scheduling wait budget can
+// never go negative.
 func FuzzPlanNormalize(f *testing.F) {
-	f.Add(5, 0.9, 0, 0, false)
-	f.Add(10, 0.99, 30, 0, false)
-	f.Add(3, 0.5, 300, 30, true)
-	f.Add(0, 0.0, -1, -5, false)
-	f.Add(1, 1.0, 1, 1, true)
-	f.Fuzz(func(t *testing.T, k int, thres float64, window, stride int, union bool) {
+	f.Add(5, 0.9, 0, 0, false, int64(0))
+	f.Add(10, 0.99, 30, 0, false, int64(time.Millisecond))
+	f.Add(3, 0.5, 300, 30, true, int64(-1))
+	f.Add(0, 0.0, -1, -5, false, int64(-time.Hour))
+	f.Add(1, 1.0, 1, 1, true, int64(time.Second))
+	f.Fuzz(func(t *testing.T, k int, thres float64, window, stride int, union bool, waitNS int64) {
 		p, err := NewPlan(Plan{
 			K:               k,
 			Threshold:       thres,
 			Window:          WindowSpec{Size: window, Stride: stride},
 			ForceUnionBound: union,
+			CoalesceWait:    time.Duration(waitNS),
 		})
 		if err != nil {
 			return
@@ -39,6 +42,9 @@ func FuzzPlanNormalize(f *testing.F) {
 		}
 		if !p.Window.Enabled() && p.Window.Stride != 0 {
 			t.Fatalf("frame plan kept a stride: %+v", p.Window)
+		}
+		if p.CoalesceWait < 0 {
+			t.Fatalf("negative coalesce wait survived normalization: %v", p.CoalesceWait)
 		}
 		if p.Window.Overlapping() && p.Bound() != core.BoundUnion {
 			t.Fatalf("overlapping windows with bound %v", p.Bound())

@@ -1,0 +1,166 @@
+package engine
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"github.com/everest-project/everest/internal/labelstore"
+	"github.com/everest-project/everest/internal/oraclemux"
+	"github.com/everest-project/everest/internal/simclock"
+)
+
+// TestExecuteMuxBitIdenticalWithDeviceAccounting is the oracle
+// multiplexer's engine-level contract, in three locks:
+//
+//  1. Transport neutrality: plans executed concurrently through one
+//     mux return bit-identically — results AND full per-plan clock
+//     breakdowns — what the same plans return serially with direct
+//     UDF dispatch. The mux changes which device launch carries a
+//     confirmation batch, never what any plan gets or is billed.
+//  2. Device-side accounting golden: the mux's simulated device time
+//     is exactly one launch overhead per consolidated batch plus the
+//     per-frame inference cost of every frame scored, and the saving
+//     it reports is exactly the launch overheads consolidation
+//     removed.
+//  3. Scale-out cost-model invariants (§3.5): folding the per-plan
+//     clocks into a parent via ChargeParallelMax yields the same
+//     BSP wall-clock and the same summed bill with the mux on or off.
+func TestExecuteMuxBitIdenticalWithDeviceAccounting(t *testing.T) {
+	art, src, udf := fixture(t)
+	mkPlans := func() []Plan {
+		ks := []int{10, 5, 3}
+		plans := make([]Plan, 0, len(ks)+1)
+		for _, k := range ks {
+			p, err := NewPlan(testPlan(k))
+			if err != nil {
+				t.Fatal(err)
+			}
+			plans = append(plans, p)
+		}
+		w := testPlan(4)
+		w.Window = WindowSpec{Size: 30, SampleFrac: 0.1}
+		p, err := NewPlan(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return append(plans, p)
+	}
+
+	// Direct baseline: serial, each plan over its own private overlay of
+	// an empty cache — fully independent executions.
+	plans := mkPlans()
+	direct := make([]*Outcome, len(plans))
+	for i, p := range plans {
+		out, err := Execute(p, Binding{Src: src, UDF: udf, Artifact: art,
+			Labels: labelstore.NewOverlay(labelstore.Map{})})
+		if err != nil {
+			t.Fatal(err)
+		}
+		direct[i] = out
+	}
+
+	// Muxed: the same independent plans, concurrently, all dispatching
+	// through one private mux (injected via the binding, the test hook
+	// Plan.UseMux's process-wide fallback shares).
+	mux := oraclemux.New(0)
+	muxed := make([]*Outcome, len(plans))
+	errs := make([]error, len(plans))
+	var wg sync.WaitGroup
+	for i, p := range mkPlans() {
+		wg.Add(1)
+		go func(i int, p Plan) {
+			defer wg.Done()
+			muxed[i], errs[i] = Execute(p, Binding{Src: src, UDF: udf, Artifact: art,
+				Labels:   labelstore.NewOverlay(labelstore.Map{}),
+				Dispatch: mux})
+		}(i, p)
+	}
+	wg.Wait()
+
+	for i := range plans {
+		if errs[i] != nil {
+			t.Fatalf("muxed plan %d: %v", i, errs[i])
+		}
+		if !reflect.DeepEqual(keyOf(muxed[i]), keyOf(direct[i])) {
+			t.Fatalf("muxed plan %d diverged from direct dispatch:\n%+v\nvs\n%+v",
+				i, keyOf(muxed[i]), keyOf(direct[i]))
+		}
+		if !reflect.DeepEqual(muxed[i].Clock.Breakdown(), direct[i].Clock.Breakdown()) {
+			t.Fatalf("muxed plan %d's charge breakdown diverged:\n%v\nvs\n%v",
+				i, muxed[i].Clock.Breakdown(), direct[i].Clock.Breakdown())
+		}
+	}
+
+	// Device-side accounting golden.
+	cost := plans[0].Cost
+	rate := udf.OracleCostMS(cost)
+	st := mux.Stats()
+	if st.Requests == 0 {
+		t.Fatal("no confirmation batch reached the mux; the accounting assertions are vacuous")
+	}
+	if st.Launches < 1 || st.Launches > st.Requests {
+		t.Fatalf("launch count %d out of range [1, %d]", st.Launches, st.Requests)
+	}
+	wantDevice := float64(st.Launches)*cost.OracleCallMS + float64(st.Frames)*rate
+	if st.DeviceMS != wantDevice {
+		t.Fatalf("device clock %v ms, want %v (one launch overhead per consolidated batch, %d launches × %v + %d frames × %v)",
+			st.DeviceMS, wantDevice, st.Launches, cost.OracleCallMS, st.Frames, rate)
+	}
+	if want := float64(st.Requests-st.Launches) * cost.OracleCallMS; st.SavedMS != want {
+		t.Fatalf("reported saving %v ms, want %v (%d requests consolidated into %d launches)",
+			st.SavedMS, want, st.Requests, st.Launches)
+	}
+
+	// ChargeParallelMax invariants: the BSP fold of the per-plan clocks
+	// — per-phase max (wall-clock) and total sum (the paid bill) — is
+	// identical with the mux on and off.
+	clocksOf := func(outs []*Outcome) []*simclock.Clock {
+		cs := make([]*simclock.Clock, len(outs))
+		for i, o := range outs {
+			cs[i] = o.Clock
+		}
+		return cs
+	}
+	parentDirect, parentMux := simclock.NewClock(), simclock.NewClock()
+	sumDirect := parentDirect.ChargeParallelMax(clocksOf(direct))
+	sumMux := parentMux.ChargeParallelMax(clocksOf(muxed))
+	if sumMux != sumDirect {
+		t.Fatalf("summed per-plan bill changed under the mux: %v vs %v", sumMux, sumDirect)
+	}
+	if !reflect.DeepEqual(parentMux.Breakdown(), parentDirect.Breakdown()) {
+		t.Fatalf("BSP wall-clock fold changed under the mux:\n%v\nvs\n%v",
+			parentMux.Breakdown(), parentDirect.Breakdown())
+	}
+}
+
+// TestExecuteUseMuxFallsBackToSharedMux pins the Plan.UseMux wiring:
+// with no injected dispatch, a UseMux plan routes through the
+// process-wide mux (visible in its stats) and still returns exactly
+// the direct-dispatch outcome.
+func TestExecuteUseMuxFallsBackToSharedMux(t *testing.T) {
+	art, src, udf := fixture(t)
+	plan, err := NewPlan(testPlan(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := Execute(plan, Binding{Src: src, UDF: udf, Artifact: art,
+		Labels: labelstore.NewOverlay(labelstore.Map{})})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan.UseMux = true
+	before := oraclemux.Shared().Stats()
+	muxed, err := Execute(plan, Binding{Src: src, UDF: udf, Artifact: art,
+		Labels: labelstore.NewOverlay(labelstore.Map{})})
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := oraclemux.Shared().Stats()
+	if after.Requests <= before.Requests {
+		t.Fatal("UseMux plan did not dispatch through the process-wide mux")
+	}
+	if !reflect.DeepEqual(keyOf(muxed), keyOf(direct)) {
+		t.Fatalf("UseMux outcome diverged from direct dispatch:\n%+v\nvs\n%+v", keyOf(muxed), keyOf(direct))
+	}
+}

@@ -26,6 +26,7 @@ package engine
 
 import (
 	"fmt"
+	"time"
 
 	"github.com/everest-project/everest/internal/core"
 	"github.com/everest-project/everest/internal/phase1"
@@ -89,6 +90,20 @@ type Plan struct {
 	// cache; scheduling only, never results. A coalesced group applies
 	// the strictest positive limit of its members.
 	AdmissionLimit int
+	// CoalesceWait is the latency budget this plan grants a coalescing
+	// scheduler: a group leader may hold the group open up to the
+	// longest wait requested by its queued plans, letting compatible
+	// arrivals join instead of committing on first-submitter timing.
+	// Zero (the default) commits immediately — pure group-commit.
+	// Scheduling only, never results; Normalize clamps negatives to 0.
+	CoalesceWait time.Duration
+	// UseMux routes this plan's Phase 2 confirmation batches through
+	// the process-wide oracle multiplexer (internal/oraclemux), which
+	// consolidates in-flight batches from all runs into device batches.
+	// Device-side accounting only: results and this plan's simulated
+	// charges are bit-identical to direct dispatch. Binding.Dispatch,
+	// when set, takes precedence (tests inject private muxes there).
+	UseMux bool
 	// Ingest parameterizes the Phase 1 stage for entrypoints that run it
 	// (Run, BuildIndex, Extend); plans executed against an existing
 	// Artifact ignore it.
@@ -96,8 +111,9 @@ type Plan struct {
 }
 
 // Normalize resolves derived fields: a windowed plan with an unset
-// (zero or negative) stride becomes tumbling, and a frame plan's
-// negative "unset" stride is cleared so equal plans compare equal.
+// (zero or negative) stride becomes tumbling, a frame plan's negative
+// "unset" stride is cleared so equal plans compare equal, and a
+// negative coalesce wait (meaning "no budget") becomes zero.
 // Idempotent.
 func (p Plan) Normalize() Plan {
 	if p.Window.Enabled() {
@@ -106,6 +122,9 @@ func (p Plan) Normalize() Plan {
 		}
 	} else if p.Window.Stride < 0 {
 		p.Window.Stride = 0
+	}
+	if p.CoalesceWait < 0 {
+		p.CoalesceWait = 0
 	}
 	return p
 }

@@ -3,6 +3,7 @@ package engine
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"github.com/everest-project/everest/internal/labelstore"
 	"github.com/everest-project/everest/internal/workpool"
@@ -15,11 +16,17 @@ import (
 // charged once), a single resident worker pool, and one merged
 // oracle-selection pass in submission order.
 //
-// Scheduling is group-commit, not time-windowed: the first submitter
-// becomes the leader and executes whatever is queued; submissions
-// arriving while a run is in flight queue up and are coalesced into the
-// next run, so coalescing width adapts to load with no added latency
-// when idle.
+// Scheduling is group-commit by default: the first submitter becomes
+// the leader and executes whatever is queued; submissions arriving
+// while a run is in flight queue up and are coalesced into the next
+// run, so coalescing width adapts to load with no added latency when
+// idle. Plans may additionally grant a latency budget
+// (Plan.CoalesceWait): before committing a group, the leader holds it
+// open for the longest wait any queued compatible plan requests, so
+// near-simultaneous arrivals land in one run even when they would have
+// missed the first submitter's commit. The wait clock is injectable
+// (SetWaitClockForTest) so tests make the grouping itself
+// deterministic.
 //
 // Determinism contract (locked by the coalesced golden test): a group's
 // outcomes are bit-identical to executing the same plans serially in
@@ -43,6 +50,10 @@ type Scheduler struct {
 	publish  func(fresh map[int]float64)
 	admit    func(limit int) (release func())
 
+	// wait sleeps the leader for a group's latency budget; time.Sleep
+	// in production, injectable for deterministic grouping in tests.
+	wait func(time.Duration)
+
 	mu    sync.Mutex
 	busy  bool
 	queue []*submission
@@ -55,7 +66,30 @@ func NewScheduler(snapshot func() *labelstore.Overlay, publish func(fresh map[in
 	if admit == nil {
 		admit = func(int) func() { return func() {} }
 	}
-	return &Scheduler{snapshot: snapshot, publish: publish, admit: admit}
+	return &Scheduler{snapshot: snapshot, publish: publish, admit: admit, wait: time.Sleep}
+}
+
+// SetWaitClockForTest replaces the leader's wait clock (nil restores
+// time.Sleep) — the labelstore.SetClockForTest pattern. Tests inject a
+// clock that blocks until the submissions they launched are queued, so
+// group membership stops depending on goroutine scheduling. Tests
+// only; call before any submission is in flight.
+func (s *Scheduler) SetWaitClockForTest(wait func(time.Duration)) {
+	if wait == nil {
+		wait = time.Sleep
+	}
+	s.mu.Lock()
+	s.wait = wait
+	s.mu.Unlock()
+}
+
+// QueuedForTest reports how many submissions are queued and not yet
+// taken into a group — what an injected wait clock polls to decide the
+// group is complete. Tests only.
+func (s *Scheduler) QueuedForTest() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.queue)
 }
 
 // submission is one queued plan with its delivery channel.
@@ -138,6 +172,15 @@ func (s *Scheduler) enqueue(subs []*submission) []*submission {
 // prefix as one group and executes it. New submissions keep queueing
 // while a group runs and are picked up by the next iteration.
 //
+// Latency-bounded close: when any plan of the compatible prefix grants
+// a CoalesceWait budget, the leader sleeps the largest such budget
+// before committing, so compatible arrivals during the wait join the
+// group (the prefix is re-computed after the wait). One wait per
+// group: arrivals cannot extend a wait already under way, which keeps
+// every plan's added latency bounded by the largest budget in its
+// group. Waiting changes group membership only — results are
+// bit-identical to serial submission order regardless of grouping.
+//
 // A submitter-leader (mine non-nil) leads only until its own
 // submissions are served: once they are, any remaining work is handed
 // to a detached leader goroutine (mine nil, which drains to empty), so
@@ -163,6 +206,12 @@ func (s *Scheduler) lead(mine []*submission) {
 			go s.lead(nil)
 			return
 		}
+		if w := maxCoalesceWait(s.queue); w > 0 {
+			wait := s.wait
+			s.mu.Unlock()
+			wait(w)
+			s.mu.Lock()
+		}
 		n := 1
 		for n < len(s.queue) && Compatible(s.queue[0].plan, s.queue[n].plan) {
 			n++
@@ -172,6 +221,23 @@ func (s *Scheduler) lead(mine []*submission) {
 		s.mu.Unlock()
 		s.runGroup(group)
 	}
+}
+
+// maxCoalesceWait returns the largest latency budget among the queue's
+// leading compatible run — the plans that would form the next group.
+// Incompatible neighbours further back never stretch a group they
+// cannot join. Caller holds s.mu.
+func maxCoalesceWait(queue []*submission) time.Duration {
+	var w time.Duration
+	for i, sub := range queue {
+		if i > 0 && !Compatible(queue[0].plan, sub.plan) {
+			break
+		}
+		if sub.plan.CoalesceWait > w {
+			w = sub.plan.CoalesceWait
+		}
+	}
+	return w
 }
 
 // allDelivered reports whether every submission has been delivered.
@@ -238,7 +304,16 @@ func (s *Scheduler) runGroup(group []*submission) {
 		b := sub.bind
 		b.Labels = overlay
 		b.Clock = nil
-		b.Pool = pool
+		// The group pool is sized for the widest member; a plan that
+		// requested serial execution (effective Procs 1) runs serially —
+		// exactly as it would alone — rather than inheriting its
+		// neighbours' workers. (Results are worker-count-independent
+		// either way; this keeps each member's execution mode the one
+		// its plan asked for.)
+		b.Pool = nil
+		if workpool.Procs(sub.plan.Procs) > 1 {
+			b.Pool = pool
+		}
 		sub.out, sub.err = Execute(sub.plan, b)
 	}
 }

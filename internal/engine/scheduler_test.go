@@ -3,20 +3,32 @@ package engine
 import (
 	"reflect"
 	"sync"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"github.com/everest-project/everest/internal/labelstore"
 )
 
 func schedulerOver(cache *labelstore.SharedCache) *Scheduler {
+	s, _ := countingSchedulerOver(cache)
+	return s
+}
+
+// countingSchedulerOver wires a scheduler to cache and counts groups:
+// the scheduler snapshots exactly once per group, so the counter is
+// the number of engine runs the queue was split into.
+func countingSchedulerOver(cache *labelstore.SharedCache) (*Scheduler, *atomic.Int64) {
+	groups := new(atomic.Int64)
 	return NewScheduler(
 		func() *labelstore.Overlay {
+			groups.Add(1)
 			snap, _ := cache.Snapshot()
 			return labelstore.NewOverlay(snap)
 		},
 		func(fresh map[int]float64) { cache.Publish(fresh) },
 		cache.Admit,
-	)
+	), groups
 }
 
 // TestSchedulerGroupMatchesSerial is the scheduler's determinism
@@ -165,6 +177,196 @@ func TestSchedulerSplitsIncompatibleRuns(t *testing.T) {
 	// loses in-flight sharing, not cache sharing.
 	if outs[1].Stats.Cleaned != 0 {
 		t.Fatalf("second (split) run cleaned %d frames, want 0 via the published cache", outs[1].Stats.Cleaned)
+	}
+}
+
+// TestSchedulerMixedProcsMatchesSerial locks the mixed-worker-count
+// binding rule: a group whose members request different Procs — here
+// serial, wide and narrow — hands the group pool only to members that
+// asked for parallel execution, and every member's outcome (results
+// AND simulated charges) is bit-identical to its own serial baseline,
+// i.e. the plan executed alone with its own Procs over the label state
+// its predecessors left behind. Runs under the race gate: a Procs-1
+// member sharing its neighbours' pool is exactly the kind of bug the
+// detector would catch here.
+func TestSchedulerMixedProcsMatchesSerial(t *testing.T) {
+	art, src, udf := fixture(t)
+	procsOf := []int{1, 8, 2, 1}
+	mkPlans := func() []Plan {
+		ks := []int{10, 5, 3, 8}
+		plans := make([]Plan, len(ks))
+		for i := range ks {
+			p := testPlan(ks[i])
+			p.Procs = procsOf[i]
+			var err error
+			plans[i], err = NewPlan(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		return plans
+	}
+	bind := Binding{Src: src, UDF: udf, Artifact: art}
+
+	// Serial baselines: each plan alone, at its own Procs, over its
+	// predecessors' published labels.
+	serialCache := labelstore.NewSharedCache()
+	plans := mkPlans()
+	serial := make([]*Outcome, len(plans))
+	for i, p := range plans {
+		snap, _ := serialCache.Snapshot()
+		overlay := labelstore.NewOverlay(snap)
+		b := bind
+		b.Labels = overlay
+		out, err := Execute(p, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		serialCache.Publish(overlay.Fresh())
+		serial[i] = out
+	}
+
+	cache := labelstore.NewSharedCache()
+	sched, groups := countingSchedulerOver(cache)
+	binds := make([]Binding, len(plans))
+	for i := range binds {
+		binds[i] = bind
+	}
+	outs, err := sched.SubmitGroup(mkPlans(), binds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g := groups.Load(); g != 1 {
+		t.Fatalf("mixed-Procs plans split into %d groups, want 1 (Procs never affects compatibility)", g)
+	}
+	for i := range outs {
+		if !reflect.DeepEqual(keyOf(outs[i]), keyOf(serial[i])) {
+			t.Fatalf("mixed-Procs member %d (Procs=%d) diverged from its serial baseline:\n%+v\nvs\n%+v",
+				i, procsOf[i], keyOf(outs[i]), keyOf(serial[i]))
+		}
+	}
+}
+
+// TestSchedulerCoalesceWaitGroupsArrivals is the latency-bounded
+// group-close contract under a deterministic clock: the leader of a
+// group whose plans grant a CoalesceWait budget holds the group open —
+// blocked in the injected wait — while later compatible submissions
+// arrive, then commits them all as ONE group. Without the wait the
+// first submitter would have committed alone. Grouping changes who
+// shares a run, never what anyone gets: every outcome still matches
+// serial submission order.
+func TestSchedulerCoalesceWaitGroupsArrivals(t *testing.T) {
+	art, src, udf := fixture(t)
+	mkPlan := func(k int) Plan {
+		p := testPlan(k)
+		p.CoalesceWait = 50 * time.Millisecond
+		plan, err := NewPlan(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return plan
+	}
+	plans := []Plan{mkPlan(10), mkPlan(5), mkPlan(3)}
+	bind := Binding{Src: src, UDF: udf, Artifact: art}
+
+	// Serial reference for the submission order the test enforces.
+	serialCache := labelstore.NewSharedCache()
+	serial := make([]*Outcome, len(plans))
+	for i, p := range plans {
+		snap, _ := serialCache.Snapshot()
+		overlay := labelstore.NewOverlay(snap)
+		b := bind
+		b.Labels = overlay
+		out, err := Execute(p, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		serialCache.Publish(overlay.Fresh())
+		serial[i] = out
+	}
+
+	cache := labelstore.NewSharedCache()
+	sched, groups := countingSchedulerOver(cache)
+	// The injected clock blocks the leader until every submission the
+	// test launches is queued — grouping no longer depends on goroutine
+	// scheduling. Later wait calls (none expected) return immediately.
+	release := make(chan struct{})
+	sched.SetWaitClockForTest(func(time.Duration) { <-release })
+
+	outs := make([]*Outcome, len(plans))
+	errs := make([]error, len(plans))
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		outs[0], errs[0] = sched.Submit(plans[0], bind)
+	}()
+	// The first submitter becomes leader and blocks in the wait with its
+	// own submission still queued.
+	waitFor(t, func() bool { return sched.QueuedForTest() == 1 })
+	for i := 1; i < len(plans); i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			outs[i], errs[i] = sched.Submit(plans[i], bind)
+		}(i)
+	}
+	waitFor(t, func() bool { return sched.QueuedForTest() == len(plans) })
+	close(release) // budget elapses; the leader re-reads the queue
+	wg.Wait()
+
+	if g := groups.Load(); g != 1 {
+		t.Fatalf("latency-bounded close formed %d groups, want 1 — arrivals during the wait did not join", g)
+	}
+	for i := range outs {
+		if errs[i] != nil {
+			t.Fatalf("plan %d: %v", i, errs[i])
+		}
+		if !reflect.DeepEqual(keyOf(outs[i]), keyOf(serial[i])) {
+			t.Fatalf("waited group member %d diverged from serial submission order:\n%+v\nvs\n%+v",
+				i, keyOf(outs[i]), keyOf(serial[i]))
+		}
+	}
+	// The whole group shared one overlay: only the first member paid for
+	// the overlapping frames.
+	if outs[0].Stats.Cleaned == 0 {
+		t.Fatal("leader cleaned nothing; grouping assertions are vacuous")
+	}
+	if outs[2].Stats.Cleaned != 0 {
+		t.Fatalf("member 2 cleaned %d frames inside a single group, want 0", outs[2].Stats.Cleaned)
+	}
+}
+
+// TestSchedulerNoWaitWithoutBudget pins the default: plans with a zero
+// CoalesceWait never invoke the wait clock — pure group-commit, no
+// added latency when idle.
+func TestSchedulerNoWaitWithoutBudget(t *testing.T) {
+	art, src, udf := fixture(t)
+	cache := labelstore.NewSharedCache()
+	sched := schedulerOver(cache)
+	var waits atomic.Int64
+	sched.SetWaitClockForTest(func(time.Duration) { waits.Add(1) })
+	plan, err := NewPlan(testPlan(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sched.Submit(plan, Binding{Src: src, UDF: udf, Artifact: art}); err != nil {
+		t.Fatal(err)
+	}
+	if w := waits.Load(); w != 0 {
+		t.Fatalf("zero-budget submission slept %d times, want 0", w)
+	}
+}
+
+// waitFor polls cond until it holds or the test deadline approaches.
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition not reached in time")
+		}
+		time.Sleep(time.Millisecond)
 	}
 }
 

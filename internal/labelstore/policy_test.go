@@ -1,0 +1,67 @@
+package labelstore
+
+import (
+	"testing"
+	"time"
+)
+
+// TestTightenPolicyStrictestWins pins the merge algebra TightenPolicy
+// gives a shared cache: positive knobs only ever tighten, zero knobs
+// never touch a sibling's bound, and the merge commutes — any arrival
+// order of conflicting installs lands on the pairwise minimum.
+func TestTightenPolicyStrictestWins(t *testing.T) {
+	steps := []struct {
+		install Policy
+		want    Policy
+	}{
+		// First writer installs both bounds.
+		{Policy{TTL: time.Hour, MaxLabels: 100}, Policy{TTL: time.Hour, MaxLabels: 100}},
+		// A zero-TTL install must not erase the TTL; its tighter cap wins.
+		{Policy{MaxLabels: 5}, Policy{TTL: time.Hour, MaxLabels: 5}},
+		// Looser values change nothing.
+		{Policy{TTL: 2 * time.Hour, MaxLabels: 500}, Policy{TTL: time.Hour, MaxLabels: 5}},
+		// A tighter TTL still gets through.
+		{Policy{TTL: time.Minute}, Policy{TTL: time.Minute, MaxLabels: 5}},
+		// The zero policy is a pure read.
+		{Policy{}, Policy{TTL: time.Minute, MaxLabels: 5}},
+	}
+	c := NewSharedCache()
+	for i, s := range steps {
+		if got := c.TightenPolicy(s.install); got != s.want {
+			t.Fatalf("step %d: installing %+v yielded %+v, want %+v", i, s.install, got, s.want)
+		}
+	}
+
+	// Commutativity: the reverse install order converges on the same
+	// effective policy.
+	r := NewSharedCache()
+	for i := len(steps) - 1; i >= 0; i-- {
+		r.TightenPolicy(steps[i].install)
+	}
+	if got, want := r.TightenPolicy(Policy{}), steps[len(steps)-1].want; got != want {
+		t.Fatalf("reverse install order yielded %+v, want %+v", got, want)
+	}
+
+	// SetPolicy remains the explicit whole-policy reset.
+	c.SetPolicy(Policy{})
+	if got := c.TightenPolicy(Policy{}); got != (Policy{}) {
+		t.Fatalf("SetPolicy reset left %+v installed", got)
+	}
+}
+
+// TestTightenPolicyEvicts checks that tightening applies immediately:
+// a cap installed below the cache's logged label count evicts the
+// oldest batches right away, exactly like SetPolicy.
+func TestTightenPolicyEvicts(t *testing.T) {
+	c := NewSharedCache()
+	c.SetPolicy(Policy{MaxLabels: 100}) // start logging batches
+	c.Publish(map[int]float64{1: 1, 2: 2})
+	c.Publish(map[int]float64{3: 3, 4: 4})
+	if c.Len() != 4 {
+		t.Fatalf("setup: cache holds %d labels, want 4", c.Len())
+	}
+	c.TightenPolicy(Policy{MaxLabels: 2})
+	if c.Len() != 2 {
+		t.Fatalf("tightening to 2 left %d labels", c.Len())
+	}
+}

@@ -159,9 +159,13 @@ func (c *SharedCache) Publish(fresh map[int]float64) uint64 {
 }
 
 // SetPolicy installs (or replaces) the cache's eviction policy and
-// immediately applies it to the logged batches. Concurrent callers are
-// last-writer-wins; the zero Policy disables eviction (already-logged
-// batches are kept but stop being evicted).
+// immediately applies it to the logged batches. It is a whole-policy
+// overwrite — last writer wins, including clearing fields the previous
+// writer set — so it belongs to single-owner caches and explicit
+// administrative resets; sessions funneling per-query knobs into a
+// cache shared with siblings use TightenPolicy instead. The zero
+// Policy disables eviction (already-logged batches are kept but stop
+// being evicted).
 func (c *SharedCache) SetPolicy(p Policy) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -169,6 +173,31 @@ func (c *SharedCache) SetPolicy(p Policy) {
 	if p.active() {
 		c.evictLocked()
 	}
+}
+
+// TightenPolicy merges p into the cache's policy strictest-wins and
+// returns the effective result: a positive TTL or MaxLabels in p takes
+// effect only where the cache has no bound yet or p's bound is
+// tighter, and p's zero fields never touch what another writer
+// installed. This is the sound resolution for a cache shared by
+// sessions with conflicting knobs — any limit a user was promised
+// still holds, because concurrent tightenings commute to the pairwise
+// minimum regardless of arrival order (unlike SetPolicy, where the
+// last writer silently erases its siblings' bounds). Loosening a
+// shared cache requires the explicit SetPolicy reset.
+func (c *SharedCache) TightenPolicy(p Policy) Policy {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if p.TTL > 0 && (c.policy.TTL == 0 || p.TTL < c.policy.TTL) {
+		c.policy.TTL = p.TTL
+	}
+	if p.MaxLabels > 0 && (c.policy.MaxLabels == 0 || p.MaxLabels < c.policy.MaxLabels) {
+		c.policy.MaxLabels = p.MaxLabels
+	}
+	if c.policy.active() {
+		c.evictLocked()
+	}
+	return c.policy
 }
 
 // SetClockForTest replaces the TTL clock (nil restores time.Now).

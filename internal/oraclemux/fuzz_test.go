@@ -1,0 +1,85 @@
+package oraclemux
+
+import (
+	"testing"
+)
+
+// FuzzConsolidate fuzzes the batch-consolidation splitter against its
+// partition invariants: every request appears in exactly one batch, in
+// arrival order; a batch holds one key only; a batch never exceeds the
+// frame bound unless it is a single oversized request; batches are
+// ordered by their first request's arrival; and the partition is a pure
+// function of its inputs (the determinism the mux's accounting golden
+// relies on).
+//
+// keys encodes one request per byte: the low 2 bits are the batch key
+// (4 distinct oracle models), the high bits plus one are the request's
+// frame count (1..64).
+func FuzzConsolidate(f *testing.F) {
+	f.Add([]byte{}, 0)
+	f.Add([]byte{0x00, 0x01, 0x02, 0x03}, 0)
+	f.Add([]byte{0x04, 0x04, 0x04}, 2)
+	f.Add([]byte{0xff, 0x00, 0xff, 0x00}, 8)
+	f.Add([]byte{0x13, 0x21, 0x13, 0x45, 0x21}, 5)
+	f.Fuzz(func(t *testing.T, keys []byte, maxFrames int) {
+		if len(keys) > 1<<12 {
+			keys = keys[:1<<12]
+		}
+		if maxFrames < -8 || maxFrames > 1<<10 {
+			return
+		}
+		key := func(i int) byte { return keys[i] & 0x3 }
+		size := func(i int) int { return int(keys[i]>>2) + 1 }
+
+		batches := consolidateBy(len(keys), key, size, maxFrames)
+
+		// Partition: every index exactly once, ascending within a batch.
+		seen := make([]bool, len(keys))
+		n := 0
+		for b, batch := range batches {
+			if len(batch) == 0 {
+				t.Fatalf("batch %d is empty", b)
+			}
+			frames := 0
+			for j, i := range batch {
+				if i < 0 || i >= len(keys) || seen[i] {
+					t.Fatalf("batch %d holds out-of-range or duplicate index %d", b, i)
+				}
+				seen[i] = true
+				n++
+				if j > 0 && batch[j] <= batch[j-1] {
+					t.Fatalf("batch %d not in arrival order: %v", b, batch)
+				}
+				if key(i) != key(batch[0]) {
+					t.Fatalf("batch %d mixes keys %v and %v", b, key(batch[0]), key(i))
+				}
+				frames += size(i)
+			}
+			if maxFrames > 0 && frames > maxFrames && len(batch) > 1 {
+				t.Fatalf("batch %d holds %d frames over the %d bound", b, frames, maxFrames)
+			}
+			if b > 0 && batch[0] <= batches[b-1][0] {
+				t.Fatalf("batches out of first-arrival order at %d", b)
+			}
+		}
+		if n != len(keys) {
+			t.Fatalf("partition covered %d of %d requests", n, len(keys))
+		}
+
+		// Pure function: a second run over the same inputs is identical.
+		again := consolidateBy(len(keys), key, size, maxFrames)
+		if len(again) != len(batches) {
+			t.Fatalf("re-split produced %d batches, first run %d", len(again), len(batches))
+		}
+		for b := range batches {
+			if len(again[b]) != len(batches[b]) {
+				t.Fatalf("re-split batch %d sized %d, first run %d", b, len(again[b]), len(batches[b]))
+			}
+			for j := range batches[b] {
+				if again[b][j] != batches[b][j] {
+					t.Fatalf("re-split diverged at batch %d index %d", b, j)
+				}
+			}
+		}
+	})
+}

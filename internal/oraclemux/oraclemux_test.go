@@ -1,0 +1,316 @@
+package oraclemux
+
+import (
+	"math/rand"
+	"reflect"
+	"runtime"
+	"sync"
+	"testing"
+
+	"github.com/everest-project/everest/internal/simclock"
+	"github.com/everest-project/everest/internal/video"
+	"github.com/everest-project/everest/internal/vision"
+)
+
+func testSource(t testing.TB, seed uint64) *video.Synthetic {
+	t.Helper()
+	src, err := video.NewSynthetic(video.Config{
+		Name: "mux-fixture", Kind: video.KindTraffic, Class: video.ClassCar,
+		Frames: 600, FPS: 30, Seed: seed, MeanPopulation: 3, BurstRate: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return src
+}
+
+// gateUDF wraps a UDF and blocks its FIRST Score call until released,
+// so a test can deterministically queue more requests behind an
+// in-flight launch before letting the dispatcher proceed.
+type gateUDF struct {
+	vision.UDF
+	once    sync.Once
+	started chan struct{}
+	release chan struct{}
+}
+
+func (g *gateUDF) Score(src video.Source, ids []int) []float64 {
+	g.once.Do(func() {
+		close(g.started)
+		<-g.release
+	})
+	return g.UDF.Score(src, ids)
+}
+
+// TestMuxConsolidatesQueuedRequests is the deterministic consolidation
+// test: while the first request's launch is held open, four more
+// requests queue up; when the launch completes, the dispatcher must
+// consolidate all four into ONE device batch — five requests, two
+// launches — and the device clock must carry exactly one launch
+// overhead per consolidated batch.
+func TestMuxConsolidatesQueuedRequests(t *testing.T) {
+	src := testSource(t, 11)
+	inner := vision.CountUDF{Class: video.ClassCar}
+	gate := &gateUDF{UDF: inner, started: make(chan struct{}), release: make(chan struct{})}
+	cost := simclock.Default()
+	m := New(0)
+
+	idsOf := func(i int) []int { return []int{i * 10, i*10 + 1, i*10 + 2} }
+	var wg sync.WaitGroup
+	scores := make([][]float64, 5)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		scores[0] = m.Score(src, gate, idsOf(0), cost)
+	}()
+	<-gate.started // request 0 is mid-launch; the dispatcher is busy
+	for i := 1; i < 5; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			scores[i] = m.Score(src, gate, idsOf(i), cost)
+		}(i)
+	}
+	for m.pending() < 4 {
+		runtime.Gosched()
+	}
+	close(gate.release) // launch 0 completes; the 4 queued consolidate
+	wg.Wait()
+
+	for i := range scores {
+		want := inner.Score(src, idsOf(i))
+		if !reflect.DeepEqual(scores[i], want) {
+			t.Fatalf("request %d scores diverged from a direct oracle call: %v vs %v", i, scores[i], want)
+		}
+	}
+	st := m.Stats()
+	if st.Requests != 5 || st.Launches != 2 {
+		t.Fatalf("want 5 requests in 2 consolidated launches, got %d in %d", st.Requests, st.Launches)
+	}
+	if st.Frames != 15 {
+		t.Fatalf("want 15 frames scored, got %d", st.Frames)
+	}
+	// Accounting golden: one launch overhead per consolidated batch,
+	// plus per-frame inference — accumulated in the same order launch()
+	// charges, so the equality is exact.
+	rate := inner.OracleCostMS(cost)
+	wantMS := 0.0
+	for _, frames := range []int{3, 12} {
+		wantMS += cost.OracleCallMS + float64(frames)*rate
+	}
+	if st.DeviceMS != wantMS {
+		t.Fatalf("device clock %v ms, want %v (one launch overhead per consolidated batch)", st.DeviceMS, wantMS)
+	}
+	if want := 3 * cost.OracleCallMS; st.SavedMS != want {
+		t.Fatalf("consolidation saved %v ms of launch overhead, want %v", st.SavedMS, want)
+	}
+}
+
+// TestMuxSplitsIncompatibleModels checks the splitter at the dispatch
+// level: requests for different oracle models (or cost models) held in
+// one queue drain must launch separately — a device batch serves one
+// resident model.
+func TestMuxSplitsIncompatibleModels(t *testing.T) {
+	src := testSource(t, 13)
+	carInner := vision.CountUDF{Class: video.ClassCar}
+	busInner := vision.CountUDF{Class: video.ClassBus}
+	gate := &gateUDF{UDF: carInner, started: make(chan struct{}), release: make(chan struct{})}
+	cost := simclock.Default()
+	costlier := cost
+	costlier.OracleMS *= 2
+	m := New(0)
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		m.Score(src, gate, []int{0, 1}, cost)
+	}()
+	<-gate.started
+	// Queue two compatible car requests, one bus request, and one car
+	// request under a different cost model: 2 + 1 + 1 = 3 launches.
+	for _, sub := range []struct {
+		udf  vision.UDF
+		ids  []int
+		cost simclock.CostModel
+	}{
+		{carInner, []int{10, 11}, cost},
+		{busInner, []int{20}, cost},
+		{carInner, []int{30, 31}, cost},
+		{carInner, []int{40}, costlier},
+	} {
+		wg.Add(1)
+		go func(udf vision.UDF, ids []int, c simclock.CostModel) {
+			defer wg.Done()
+			m.Score(src, udf, ids, c)
+		}(sub.udf, sub.ids, sub.cost)
+	}
+	for m.pending() < 4 {
+		runtime.Gosched()
+	}
+	close(gate.release)
+	wg.Wait()
+
+	st := m.Stats()
+	if st.Requests != 5 || st.Launches != 4 {
+		t.Fatalf("want 5 requests in 4 launches (gated car, car+car, bus, costlier car), got %d in %d",
+			st.Requests, st.Launches)
+	}
+}
+
+// TestMuxMaxFramesBound checks that a bounded mux closes a consolidated
+// batch rather than exceed the device's batch capacity.
+func TestMuxMaxFramesBound(t *testing.T) {
+	src := testSource(t, 17)
+	inner := vision.CountUDF{Class: video.ClassCar}
+	gate := &gateUDF{UDF: inner, started: make(chan struct{}), release: make(chan struct{})}
+	m := New(4)
+	cost := simclock.Default()
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		m.Score(src, gate, []int{0}, cost)
+	}()
+	<-gate.started
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			m.Score(src, gate, []int{10 * (i + 1), 10*(i+1) + 1}, cost)
+		}(i)
+	}
+	for m.pending() < 3 {
+		runtime.Gosched()
+	}
+	close(gate.release)
+	wg.Wait()
+
+	// 3 queued requests of 2 frames each under a 4-frame cap: the third
+	// does not fit the open batch and starts a new one.
+	st := m.Stats()
+	if st.Requests != 4 || st.Launches != 3 {
+		t.Fatalf("want 4 requests in 3 launches under the 4-frame cap, got %d in %d", st.Requests, st.Launches)
+	}
+}
+
+// TestMuxConcurrentSubmitters hammers the mux from many goroutines (the
+// race-gate workload): every caller must get exactly what a direct
+// oracle call returns, and the request/launch/frame accounting must
+// balance.
+func TestMuxConcurrentSubmitters(t *testing.T) {
+	src := testSource(t, 19)
+	udf := vision.CountUDF{Class: video.ClassCar}
+	cost := simclock.Default()
+	m := New(64)
+
+	const callers = 16
+	const rounds = 8
+	var wg sync.WaitGroup
+	errs := make(chan string, callers*rounds)
+	totalFrames := 0
+	var framesMu sync.Mutex
+	for c := 0; c < callers; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(c)))
+			for r := 0; r < rounds; r++ {
+				n := 1 + rng.Intn(5)
+				ids := make([]int, n)
+				for i := range ids {
+					ids[i] = rng.Intn(src.NumFrames())
+				}
+				got := m.Score(src, udf, ids, cost)
+				if want := udf.Score(src, ids); !reflect.DeepEqual(got, want) {
+					errs <- "muxed scores diverged from direct oracle call"
+					return
+				}
+				framesMu.Lock()
+				totalFrames += n
+				framesMu.Unlock()
+			}
+		}(c)
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Fatal(e)
+	}
+	st := m.Stats()
+	if st.Requests != callers*rounds {
+		t.Fatalf("want %d requests, got %d", callers*rounds, st.Requests)
+	}
+	if st.Launches < 1 || st.Launches > st.Requests {
+		t.Fatalf("launch count %d out of range [1, %d]", st.Launches, st.Requests)
+	}
+	if st.Frames != totalFrames {
+		t.Fatalf("frame accounting drifted: %d scored, %d submitted", st.Frames, totalFrames)
+	}
+}
+
+// TestMuxEmptyRequest checks the trivial edge: no frames, no dispatch.
+func TestMuxEmptyRequest(t *testing.T) {
+	m := New(0)
+	if got := m.Score(testSource(t, 23), vision.CountUDF{Class: video.ClassCar}, nil, simclock.Default()); got != nil {
+		t.Fatalf("empty request returned %v", got)
+	}
+	if st := m.Stats(); st.Requests != 0 || st.Launches != 0 {
+		t.Fatalf("empty request reached the queue: %+v", st)
+	}
+}
+
+// panicUDF fails scoring one designated frame.
+type panicUDF struct {
+	vision.UDF
+	bad int
+}
+
+func (p panicUDF) Score(src video.Source, ids []int) []float64 {
+	for _, id := range ids {
+		if id == p.bad {
+			panic("oracle fault")
+		}
+	}
+	return p.UDF.Score(src, ids)
+}
+
+// TestMuxPanicIsolatedToItsRequest checks fault isolation: a panicking
+// oracle fails its own submitter (re-panicking in that goroutine, as a
+// direct call would) while the rest of the batch is served, and the mux
+// stays usable.
+func TestMuxPanicIsolatedToItsRequest(t *testing.T) {
+	src := testSource(t, 29)
+	inner := vision.CountUDF{Class: video.ClassCar}
+	bad := panicUDF{UDF: inner, bad: 7}
+	cost := simclock.Default()
+	m := New(0)
+
+	var wg sync.WaitGroup
+	var recovered any
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer func() { recovered = recover() }()
+		m.Score(src, bad, []int{7}, cost)
+	}()
+	wg.Wait()
+	if recovered != "oracle fault" {
+		t.Fatalf("submitter recovered %v, want the oracle's panic", recovered)
+	}
+	// The mux still serves.
+	got := m.Score(src, inner, []int{1, 2}, cost)
+	if want := inner.Score(src, []int{1, 2}); !reflect.DeepEqual(got, want) {
+		t.Fatalf("mux wedged after a panicking launch: %v vs %v", got, want)
+	}
+	// The failed request's frame is not accounted as scored or charged —
+	// only the follow-up's 2 frames are, plus both launches' overheads.
+	st := m.Stats()
+	if st.Frames != 2 {
+		t.Fatalf("frame accounting counted the panicked request: %d frames, want 2", st.Frames)
+	}
+	if want := 2*cost.OracleCallMS + 2*inner.OracleCostMS(cost); st.DeviceMS != want {
+		t.Fatalf("device clock %v ms charged for unscored frames, want %v", st.DeviceMS, want)
+	}
+}

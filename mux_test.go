@@ -1,0 +1,175 @@
+package everest
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/everest-project/everest/internal/oraclemux"
+	"github.com/everest-project/everest/internal/video"
+	"github.com/everest-project/everest/internal/vision"
+)
+
+// TestOracleMuxCrossVideoBitIdentical is the M×N serving scenario the
+// mux exists for, as a determinism lock: M videos × N queries each,
+// all in flight together with UseMux, share one process-wide oracle
+// dispatch queue — across indexes and videos — and every query must
+// return bit-identically (results AND simulated per-plan charges) what
+// its mux-off serial baseline returns. Consolidation is measured by
+// BenchmarkOracleMux; this test locks that it is free of semantic
+// effect.
+func TestOracleMuxCrossVideoBitIdentical(t *testing.T) {
+	type target struct {
+		src *video.Synthetic
+		ix  *Index
+	}
+	udf := vision.CountUDF{Class: video.ClassCar}
+	mkCfgs := func() []Config {
+		frame := smallCfg(5)
+		win := smallCfg(3)
+		win.Window = 30
+		return []Config{frame, win}
+	}
+	var targets []target
+	for _, seed := range []uint64{41, 43} {
+		src := testSource(t, 3000, seed)
+		ix, err := BuildIndex(src, udf, smallCfg(5))
+		if err != nil {
+			t.Fatal(err)
+		}
+		targets = append(targets, target{src: src, ix: ix})
+	}
+
+	// Mux-off serial baselines, one per (video, query).
+	baseline := make([][]goldenResult, len(targets))
+	for ti, tg := range targets {
+		baseline[ti] = make([]goldenResult, len(mkCfgs()))
+		for qi, cfg := range mkCfgs() {
+			res, err := tg.ix.Query(tg.src, udf, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			baseline[ti][qi] = goldenOf(res)
+		}
+	}
+
+	// Mux-on: all M×N queries concurrently through the process-wide
+	// dispatch queue.
+	before := oraclemux.Shared().Stats()
+	results := make([][]*Result, len(targets))
+	errs := make([][]error, len(targets))
+	var wg sync.WaitGroup
+	for ti, tg := range targets {
+		cfgs := mkCfgs()
+		results[ti] = make([]*Result, len(cfgs))
+		errs[ti] = make([]error, len(cfgs))
+		for qi, cfg := range cfgs {
+			cfg.UseMux = true
+			wg.Add(1)
+			go func(ti, qi int, tg target, cfg Config) {
+				defer wg.Done()
+				results[ti][qi], errs[ti][qi] = tg.ix.Query(tg.src, udf, cfg)
+			}(ti, qi, tg, cfg)
+		}
+	}
+	wg.Wait()
+	after := oraclemux.Shared().Stats()
+	if after.Requests <= before.Requests {
+		t.Fatal("no confirmation batch reached the process-wide mux; the lock is vacuous")
+	}
+	for ti := range targets {
+		for qi := range results[ti] {
+			if errs[ti][qi] != nil {
+				t.Fatalf("video %d query %d: %v", ti, qi, errs[ti][qi])
+			}
+			if g := goldenOf(results[ti][qi]); !reflect.DeepEqual(g, baseline[ti][qi]) {
+				t.Fatalf("video %d query %d: muxed result diverged from its mux-off serial baseline\ngot %+v\nwant %+v",
+					ti, qi, g, baseline[ti][qi])
+			}
+		}
+	}
+}
+
+// TestSessionCoalesceWaitDeterministicGrouping drives the
+// latency-bounded group close through the public serving path under an
+// injected wait clock: the leader of a Coalesce+CoalesceWait query
+// holds the group open while the remaining callers arrive, so all N
+// land in ONE engine run — observed as exactly one cache publish and a
+// single oracle payer — with every answer bit-identical to the lone
+// indexed query.
+func TestSessionCoalesceWaitDeterministicGrouping(t *testing.T) {
+	src := testSource(t, 3000, 47)
+	udf := vision.CountUDF{Class: video.ClassCar}
+	ix, err := BuildIndex(src, udf, smallCfg(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lone, err := ix.Query(src, udf, smallCfg(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := NewSession(ix, src, udf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched := sess.scheduler()
+	release := make(chan struct{})
+	sched.SetWaitClockForTest(func(time.Duration) { <-release })
+
+	cfg := smallCfg(5)
+	cfg.Coalesce = true
+	cfg.CoalesceWait = 50 * time.Millisecond
+	const callers = 4
+	results := make([]*Result, callers)
+	errs := make([]error, callers)
+	var wg sync.WaitGroup
+	launch := func(i int) {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			results[i], errs[i] = sess.Query(cfg)
+		}()
+	}
+	versionBefore := sess.CacheVersion()
+	launch(0)
+	waitUntil(t, func() bool { return sched.QueuedForTest() == 1 })
+	for i := 1; i < callers; i++ {
+		launch(i)
+	}
+	waitUntil(t, func() bool { return sched.QueuedForTest() == callers })
+	close(release)
+	wg.Wait()
+
+	paid := 0
+	for i := 0; i < callers; i++ {
+		if errs[i] != nil {
+			t.Fatalf("caller %d: %v", i, errs[i])
+		}
+		if !reflect.DeepEqual(results[i].IDs, lone.IDs) || !reflect.DeepEqual(results[i].Scores, lone.Scores) {
+			t.Fatalf("caller %d got a different answer", i)
+		}
+		if results[i].EngineStats.Cleaned > 0 {
+			paid++
+		}
+	}
+	if paid != 1 {
+		t.Fatalf("%d callers paid the oracle, want exactly 1 — the wait did not close all %d into one group",
+			paid, callers)
+	}
+	if got := sess.CacheVersion() - versionBefore; got != 1 {
+		t.Fatalf("cache published %d times, want 1 — the group did not run as one engine run", got)
+	}
+}
+
+// waitUntil polls cond until it holds or the deadline passes.
+func waitUntil(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition not reached in time")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

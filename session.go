@@ -122,15 +122,24 @@ func (s *Session) scheduler() *engine.Scheduler {
 }
 
 // applyCachePolicy forwards the Config's cache-eviction knobs to the
-// label cache (last writer wins; see labelstore.Policy): positive
-// knobs install a policy, a negative knob clears any installed policy
-// (restoring the unbounded default), and all-zero knobs leave the
-// current policy untouched.
+// label cache. Installation is strictest-wins
+// (labelstore.TightenPolicy): a positive knob takes effect only where
+// it is tighter than what is already installed, so on a shared cache
+// the most recent session can never silently loosen — or, by leaving
+// a knob zero, erase — a bound a sibling session was promised;
+// conflicting knobs resolve to the pairwise minimum in any arrival
+// order. All-zero knobs leave the current policy untouched. A
+// negative knob is the explicit administrative reset: it clears the
+// whole installed policy first (on a shared cache, for every
+// session), and any positive knob in the same Config then installs
+// into the cleared state — the one way to loosen a shared bound. See
+// DESIGN.md's serving-layer contract.
 func (s *Session) applyCachePolicy(cfg Config) {
-	if cfg.CacheTTL > 0 || cfg.CacheMaxLabels > 0 {
-		s.cache.SetPolicy(labelstore.Policy{TTL: max(cfg.CacheTTL, 0), MaxLabels: max(cfg.CacheMaxLabels, 0)})
-	} else if cfg.CacheTTL < 0 || cfg.CacheMaxLabels < 0 {
+	if cfg.CacheTTL < 0 || cfg.CacheMaxLabels < 0 {
 		s.cache.SetPolicy(labelstore.Policy{})
+	}
+	if cfg.CacheTTL > 0 || cfg.CacheMaxLabels > 0 {
+		s.cache.TightenPolicy(labelstore.Policy{TTL: max(cfg.CacheTTL, 0), MaxLabels: max(cfg.CacheMaxLabels, 0)})
 	}
 }
 
@@ -188,9 +197,13 @@ func (s *Session) Query(cfg Config) (*Result, error) {
 //
 // The batch counts as one unit against the cache's admission control
 // (the strictest positive AdmissionLimit in the batch applies). On
-// failure the first failing query's error (lowest index) is returned;
-// the successful queries' confirmed labels are still published, so
-// their oracle work is not lost.
+// failure the first failing query's error (lowest index; in coalesced
+// mode, plan-compilation errors are reported ahead of execution-stage
+// ones) is returned alongside the results: successful members keep
+// their Result (failed slots are nil), and their confirmed labels are
+// still published, so the oracle work a partly-failed batch paid for
+// is never lost — the same per-member contract in both the
+// independent and the coalesced mode.
 func (s *Session) QueryBatch(cfgs []Config) ([]*Result, error) {
 	if len(cfgs) == 0 {
 		return nil, nil
@@ -224,6 +237,7 @@ func (s *Session) QueryBatch(cfgs []Config) ([]*Result, error) {
 	var firstErr error
 	for i := range cfgs {
 		if errs[i] != nil {
+			results[i] = nil
 			if firstErr == nil {
 				firstErr = fmt.Errorf("everest: batch query %d: %w", i, errs[i])
 			}
@@ -232,39 +246,53 @@ func (s *Session) QueryBatch(cfgs []Config) ([]*Result, error) {
 		s.cache.Publish(overlays[i].Fresh())
 		s.queries.Add(1)
 	}
-	if firstErr != nil {
-		return nil, firstErr
-	}
-	return results, nil
+	return results, firstErr
 }
 
 // queryCoalesced submits the queries to the cache's scheduler as one
 // atomic group: plans execute in input order over one shared overlay.
 // It is the single coalesced entry sequence — a lone Coalesce Query is
-// a group of one.
+// a group of one. Like the independent batch path, a failing member
+// costs only itself, at either stage: a member whose Config fails plan
+// compilation is dropped from the group (its slot stays nil) and the
+// rest still run, and a member that fails mid-engine loses only its
+// own outcome. Successful members' Results come back alongside the
+// first error — compile-stage errors reported first — and their labels
+// were already published by the scheduler, so paid-for oracle work
+// survives a partly-failed group.
 func (s *Session) queryCoalesced(cfgs []Config) ([]*Result, error) {
-	plans := make([]engine.Plan, len(cfgs))
-	binds := make([]engine.Binding, len(cfgs))
+	results := make([]*Result, len(cfgs))
+	var firstErr error
+	plans := make([]engine.Plan, 0, len(cfgs))
+	binds := make([]engine.Binding, 0, len(cfgs))
+	slot := make([]int, 0, len(cfgs))
 	for i, cfg := range cfgs {
-		var err error
-		plans[i], binds[i], err = s.ix.planFor(s.src, s.udf, cfg)
+		p, b, err := s.ix.planFor(s.src, s.udf, cfg)
 		if err != nil {
 			if len(cfgs) > 1 {
 				err = fmt.Errorf("everest: batch query %d: %w", i, err)
 			}
-			return nil, err
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
 		}
+		plans = append(plans, p)
+		binds = append(binds, b)
+		slot = append(slot, i)
 	}
 	outs, err := s.scheduler().SubmitGroup(plans, binds)
-	if err != nil {
-		return nil, err
+	if firstErr == nil {
+		firstErr = err
 	}
-	results := make([]*Result, len(outs))
-	for i, out := range outs {
-		results[i] = resultOf(out, plans[i], s.ix.info)
+	for j, out := range outs {
+		if out == nil {
+			continue
+		}
+		results[slot[j]] = resultOf(out, plans[j], s.ix.info)
 		s.queries.Add(1)
 	}
-	return results, nil
+	return results, firstErr
 }
 
 // batchAdmissionLimit resolves a batch's admission cap: the strictest
