@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test vet race fuzz bench bench-diff bench-smoke experiments
+.PHONY: build test vet race chaos fuzz bench bench-diff bench-smoke experiments
 
 build:
 	$(GO) build ./...
@@ -16,16 +16,27 @@ test:
 # Race-check the concurrency packages and the engine determinism tests;
 # the full suite under -race is too slow for a quick gate.
 race:
-	$(GO) test -race ./internal/workpool/ ./internal/labelstore/ ./internal/engine/ ./internal/oraclemux/ ./internal/cmdn/ ./internal/phase1/ ./internal/nn/ ./internal/diffdet/ ./internal/windows/ ./internal/core/
+	$(GO) test -race ./internal/workpool/ ./internal/labelstore/ ./internal/engine/ ./internal/oraclemux/ ./internal/faultinject/ ./internal/cmdn/ ./internal/phase1/ ./internal/nn/ ./internal/diffdet/ ./internal/windows/ ./internal/core/
 	$(GO) test -race -run 'ProcsBitIdentical|GoldenConcurrent|GoldenCoalesced|SessionConcurrent|QueryBatch|SharedSession|AdmissionLimit|Coalesced|CoalesceWait|OracleMux' .
 
+# The fault-tolerance suite under the race detector: chaos-injected
+# oracle failures through the full serving pipeline (retry convergence,
+# typed panic recovery, graceful degradation, admission-slot and
+# goroutine leak audits, concurrent cancellation) plus the scheduler's
+# and mux's cancellation tests and the faultinject package itself.
+chaos:
+	$(GO) test -race -run 'TestChaos' .
+	$(GO) test -race -run 'Cancel|Withdraw' ./internal/engine/ ./internal/oraclemux/ ./internal/labelstore/
+	$(GO) test -race ./internal/faultinject/
+
 # Short-budget fuzz of the workpool determinism contract, the engine
-# plan compiler's normalize/validate invariants and the oracle mux's
-# batch-consolidation splitter.
+# plan compiler's normalize/validate invariants, the oracle mux's
+# batch-consolidation splitter and the fault-schedule DSL round-trip.
 fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzMapOrdering -fuzztime 30s ./internal/workpool/
 	$(GO) test -run '^$$' -fuzz FuzzPlanNormalize -fuzztime 30s ./internal/engine/
 	$(GO) test -run '^$$' -fuzz FuzzConsolidate -fuzztime 30s ./internal/oraclemux/
+	$(GO) test -run '^$$' -fuzz FuzzFaultSchedule -fuzztime 30s ./internal/faultinject/
 
 # Capture the engine benchmark suite into BENCH_engine.json so future
 # changes have a perf trajectory to compare against.

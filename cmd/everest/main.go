@@ -12,6 +12,9 @@
 //	everest -dataset Archie -k 10 -concurrent 8 -coalesce  # one coalesced engine run for all 8
 //	everest -dataset Archie -k 10 -concurrent 8 -coalesce -coalesce-wait 50ms  # hold groups open for late arrivals
 //	everest -dataset Archie -k 10 -concurrent 8 -shared -mux  # one oracle dispatch queue across sessions
+//	everest -dataset Archie -k 10 -deadline 50000 -degraded-ok  # bounded: best-effort answer if the simulated budget expires
+//	everest -dataset Archie -k 10 -chaos 'err:3' -retries 5     # inject transient oracle faults, retry through them
+//	everest -dataset Archie -k 10 -concurrent 4 -chaos 'err:2,slow:5:250' -retries 3 -degraded-ok
 //	everest -dataset Dashcam-California -udf tailgate -k 50
 //	everest -query 'SELECT TOP 10 WINDOWS OF 300 EVERY 30 FROM Archie RANK BY count(car)' [-explain]
 //	everest -repl
@@ -26,6 +29,7 @@ import (
 
 	everest "github.com/everest-project/everest"
 	"github.com/everest-project/everest/internal/eql"
+	"github.com/everest-project/everest/internal/faultinject"
 	"github.com/everest-project/everest/internal/oraclemux"
 	"github.com/everest-project/everest/internal/repl"
 	"github.com/everest-project/everest/internal/video"
@@ -50,6 +54,11 @@ func main() {
 		coalesce     = flag.Bool("coalesce", false, "with -concurrent: route queries through the cross-query coalescing scheduler (one engine run per compatible group; overlapping frames labeled and charged once)")
 		coalesceWait = flag.Duration("coalesce-wait", 0, "with -coalesce: latency budget for the group close — the leader holds a group open up to this long so compatible arrivals join one engine run (0 = commit immediately; results never change)")
 		mux          = flag.Bool("mux", false, "route Phase 2 oracle confirmation batches through the process-wide oracle multiplexer: in-flight batches from all runs consolidate into device batches (fewer simulated launches; results and per-query charges unchanged)")
+		deadline     = flag.Float64("deadline", 0, "simulated deadline budget per query in ms (0 = none); an expired deadline fails the query unless -degraded-ok")
+		retries      = flag.Int("retries", 0, "retries per transient oracle failure before the query fails (capped exponential simulated backoff)")
+		retryBackoff = flag.Float64("retry-backoff", 0, "initial simulated retry backoff in ms, doubling per attempt up to 32x the base (0 with -retries = 100)")
+		degradedOK   = flag.Bool("degraded-ok", false, "permit explicitly marked best-effort answers when the oracle stays down past the retry budget or the deadline expires")
+		chaos        = flag.String("chaos", "", "fault-injection schedule on the oracle dispatch path: comma-separated [start@]kind[:count][:ms][~prob] items, kind err|panic|slow (e.g. 'err:3,5@panic,slow:10:250'); deterministic per -seed")
 		list         = flag.Bool("list", false, "list datasets and exit")
 		query        = flag.String("query", "", `EQL statement, e.g. 'SELECT TOP 50 FRAMES FROM "Taipei-bus" RANK BY count(car) THRESHOLD 0.9'`)
 		explain      = flag.Bool("explain", false, "describe the EQL query's plan without running it")
@@ -112,6 +121,20 @@ func main() {
 		fatal(fmt.Errorf("unknown UDF %q", *udfName))
 	}
 
+	// -chaos wraps the UDF's dispatch boundary with a deterministic fault
+	// schedule. Phase 1 ingestion is untouched (injection fires on the
+	// serving-path TryScore contract only), so the same index serves
+	// faulted and clean queries.
+	var chaosUDF *faultinject.UDF
+	if *chaos != "" {
+		sched, err := faultinject.Parse(*chaos)
+		if err != nil {
+			fatal(err)
+		}
+		chaosUDF = faultinject.WrapUDF(udf, sched, *seed)
+		udf = chaosUDF
+	}
+
 	cfg := everest.Config{
 		K:              *k,
 		Threshold:      *thres,
@@ -123,6 +146,10 @@ func main() {
 		Coalesce:       *coalesce,
 		CoalesceWait:   *coalesceWait,
 		UseMux:         *mux,
+		DeadlineMS:     *deadline,
+		Retries:        *retries,
+		RetryBackoffMS: *retryBackoff,
+		DegradedOK:     *degradedOK,
 	}
 
 	if *saveIx != "" {
@@ -155,6 +182,7 @@ func main() {
 			fatal(err)
 		}
 		maybePrintMuxStats(*mux)
+		maybePrintChaosStats(chaosUDF)
 		return
 	}
 
@@ -192,6 +220,42 @@ func main() {
 
 	printResult(res, src.FPS(), "")
 	maybePrintMuxStats(*mux)
+	maybePrintChaosStats(chaosUDF)
+}
+
+// maybePrintChaosStats reports what the -chaos fault injector actually
+// did — the ground truth the per-query retry/degraded counters are read
+// against.
+func maybePrintChaosStats(u *faultinject.UDF) {
+	if u == nil {
+		return
+	}
+	st := u.Stats()
+	fmt.Printf("\nchaos: %d oracle dispatches saw %d transient errors, %d panics, %d latency spikes (+%.0f sim-ms)\n",
+		st.Calls, st.Transients, st.Panics, st.Slow, st.SpikeMS)
+}
+
+// printServingStats consolidates the fault-layer counters of a multi-
+// query run: retries attempted, simulated backoff charged, and how many
+// queries returned explicitly degraded answers.
+func printServingStats(results []*everest.Result) {
+	retries, degraded := 0, 0
+	backoffMS := 0.0
+	for _, r := range results {
+		if r == nil {
+			continue
+		}
+		retries += r.Retries
+		backoffMS += r.RetryBackoffMS
+		if r.Degraded != nil {
+			degraded++
+		}
+	}
+	if retries == 0 && degraded == 0 {
+		return
+	}
+	fmt.Printf("\nfault layer: %d retries attempted (%.0f sim-ms simulated backoff), %d degraded queries\n",
+		retries, backoffMS, degraded)
 }
 
 // maybePrintMuxStats reports the process-wide oracle multiplexer's
@@ -262,6 +326,7 @@ func runConcurrent(src video.Source, udf vision.UDF, cfg everest.Config, path st
 		fmt.Printf("  query %-3d confidence %.4f, cleaned %d, %.0f sim-ms\n",
 			i, r.Confidence, r.EngineStats.Cleaned, r.Clock.TotalMS())
 	}
+	printServingStats(results)
 	fmt.Printf("\nfirst answer (all %d are bit-identical):\n", n)
 	printResult(results[0], src.FPS(), "")
 	return nil
@@ -329,6 +394,7 @@ func runShared(src video.Source, udf vision.UDF, cfg everest.Config, ix *everest
 	}
 	fmt.Printf("\n%d of %d sessions paid the oracle; %d confirmations total (a lone cold-cache query pays %d)\n",
 		paid, n, totalCleaned, lone)
+	printServingStats(results)
 	fmt.Printf("\nfirst answer:\n")
 	printResult(results[0], src.FPS(), "")
 	return nil
@@ -341,6 +407,10 @@ func printResult(res *everest.Result, fps int, query string) {
 	}
 	if query != "" {
 		fmt.Printf("query: %s\n", query)
+	}
+	if res.Degraded != nil {
+		fmt.Printf("\nDEGRADED result (%s; %d of %d entries unconfirmed proxy estimates; %.0f sim-ms spent):\n",
+			res.Degraded.Reason, len(res.Degraded.Unconfirmed), len(res.IDs), res.Degraded.SpentMS)
 	}
 	fmt.Printf("\nresult (confidence %.4f):\n", res.Confidence)
 	for i, id := range res.IDs {
@@ -356,6 +426,10 @@ func printResult(res *everest.Result, fps int, query string) {
 		res.Phase1.Hyper.G, res.Phase1.Hyper.H, res.Phase1.HoldoutNLL)
 	fmt.Printf("phase 2: %d iterations, %d tuples confirmed by the oracle\n",
 		res.EngineStats.Iterations, res.EngineStats.Cleaned)
+	if res.Retries > 0 {
+		fmt.Printf("fault layer: %d transient oracle failures retried (+%.0f sim-ms simulated backoff)\n",
+			res.Retries, res.RetryBackoffMS)
+	}
 	fmt.Printf("\nsimulated cost:\n%s", res.Clock)
 }
 

@@ -49,6 +49,7 @@
 package everest
 
 import (
+	"context"
 	"errors"
 	"time"
 
@@ -174,6 +175,31 @@ type Config struct {
 	// positive knob alongside it then installs into the cleared state
 	// (the one way to loosen a shared bound).
 	CacheMaxLabels int
+	// DeadlineMS bounds the query's simulated cost: once the query's
+	// simclock reaches this many simulated milliseconds mid-run, the
+	// Phase 2 loop stops — returning an explicitly marked degraded
+	// answer when DegradedOK is set, and ErrDeadline otherwise. The
+	// budget is charged on the simulated clock (§3.5), so a query that
+	// finishes within it is bit-identical — results AND charges — to an
+	// unbounded one. Zero or negative means no deadline.
+	DeadlineMS float64
+	// Retries caps how many times a transient oracle failure (a UDF
+	// error or panic classified retryable) is retried per dispatch
+	// before the query fails with a typed *OracleError. Zero or
+	// negative means fail on first error.
+	Retries int
+	// RetryBackoffMS is the initial retry backoff, doubling per attempt
+	// and capped at 32× the base. The waits are simulated — charged to
+	// the clock's retry-backoff phase, never slept — so retried queries
+	// remain deterministic. Zero with Retries set uses 100 simulated ms.
+	RetryBackoffMS float64
+	// DegradedOK permits graceful degradation: when the oracle stays
+	// down past the retry budget, or the deadline expires, the query
+	// returns a best-effort Top-K (confirmed frames first, the rest
+	// estimated from proxy scores) carrying an explicit Result.Degraded
+	// marker instead of failing. Unconfirmed estimates are never
+	// published to the session's label cache.
+	DegradedOK bool
 
 	// DisableDiff skips the difference detector (ablation A4).
 	DisableDiff bool
@@ -262,6 +288,10 @@ func (c Config) plan() engine.Plan {
 		AdmissionLimit:   c.AdmissionLimit,
 		CoalesceWait:     c.CoalesceWait,
 		UseMux:           c.UseMux,
+		DeadlineMS:       c.DeadlineMS,
+		Retries:          c.Retries,
+		RetryBackoffMS:   c.RetryBackoffMS,
+		DegradedOK:       c.DegradedOK,
 		Ingest:           c.phase1Options(c.Seed),
 	}.Normalize()
 }
@@ -309,7 +339,34 @@ type Result struct {
 	EngineStats core.Stats
 	// Phase1 reports Phase 1 statistics (Table 8a).
 	Phase1 Phase1Info
+	// Retries counts transient oracle failures the query retried;
+	// RetryBackoffMS is the simulated backoff those retries cost (also
+	// on the Clock, under the retry-backoff phase). Zero on fault-free
+	// queries.
+	Retries        int
+	RetryBackoffMS float64
+	// Degraded is non-nil when the query degraded gracefully
+	// (Config.DegradedOK): the answer is best-effort, its Unconfirmed
+	// members carry proxy estimates rather than oracle-confirmed
+	// scores, and Confidence is the guarantee actually reached.
+	Degraded *Degraded
 }
+
+// Degraded documents a best-effort answer: why the query degraded
+// ("deadline" or "oracle"), which result IDs are unconfirmed proxy
+// estimates, and the simulated cost spent when it stopped.
+type Degraded = core.Degraded
+
+// OracleError is the typed failure of an oracle (UDF) dispatch: it
+// carries the failing UDF's name, the frame IDs of the failed batch,
+// and — when the UDF panicked — the recovered panic value. Queries
+// whose oracle fails past the retry budget return one (wrapped);
+// errors.As extracts it.
+type OracleError = vision.OracleError
+
+// ErrDeadline is returned (wrapped) when a query's Config.DeadlineMS
+// expires and DegradedOK is not set.
+var ErrDeadline = core.ErrDeadline
 
 // phase1InfoOf converts the ingest stage's statistics into the public
 // report shape (Tuples is per-query and filled in by resultOf).
@@ -332,16 +389,19 @@ func resultOf(out *engine.Outcome, p engine.Plan, info Phase1Info) *Result {
 		stride = p.Window.Stride
 	}
 	return &Result{
-		IDs:          out.IDs,
-		Scores:       out.Scores,
-		Confidence:   out.Confidence,
-		Bound:        out.Bound,
-		IsWindow:     p.Window.Enabled(),
-		WindowSize:   p.Window.Size,
-		WindowStride: stride,
-		Clock:        out.Clock,
-		EngineStats:  out.Stats,
-		Phase1:       info,
+		IDs:            out.IDs,
+		Scores:         out.Scores,
+		Confidence:     out.Confidence,
+		Bound:          out.Bound,
+		IsWindow:       p.Window.Enabled(),
+		WindowSize:     p.Window.Size,
+		WindowStride:   stride,
+		Clock:          out.Clock,
+		EngineStats:    out.Stats,
+		Phase1:         info,
+		Retries:        out.Retries,
+		RetryBackoffMS: out.BackoffMS,
+		Degraded:       out.Degraded,
 	}
 }
 
@@ -351,6 +411,13 @@ func resultOf(out *engine.Outcome, p engine.Plan, info Phase1Info) *Result {
 // other entrypoint uses, sharing one clock and worker pool across both
 // stages.
 func Run(src video.Source, udf vision.UDF, cfg Config) (*Result, error) {
+	return RunCtx(context.Background(), src, udf, cfg)
+}
+
+// RunCtx is Run with a cancellable context: a cancelled ctx stops the
+// Phase 2 loop and returns ctx.Err(). Phase 1 ingestion runs to
+// completion (it is the reusable artifact, not per-query work).
+func RunCtx(ctx context.Context, src video.Source, udf vision.UDF, cfg Config) (*Result, error) {
 	if src == nil || udf == nil {
 		return nil, errors.New("everest: nil source or UDF")
 	}
@@ -362,7 +429,7 @@ func Run(src video.Source, udf vision.UDF, cfg Config) (*Result, error) {
 	if err := plan.ValidateFor(src.NumFrames()); err != nil {
 		return nil, err
 	}
-	art, out, err := engine.Run(src, udf, plan)
+	art, out, err := engine.Run(ctx, src, udf, plan)
 	if err != nil {
 		return nil, err
 	}

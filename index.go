@@ -1,6 +1,7 @@
 package everest
 
 import (
+	"context"
 	"encoding/gob"
 	"errors"
 	"fmt"
@@ -75,7 +76,14 @@ func BuildIndex(src video.Source, udf vision.UDF, cfg Config) (*Index, error) {
 // Query runs Phase 2 against the index. The source and UDF must be the
 // ones the index was built from; only Phase 2 costs are charged.
 func (ix *Index) Query(src video.Source, udf vision.UDF, cfg Config) (*Result, error) {
-	return ix.query(src, udf, cfg, nil)
+	return ix.query(nil, src, udf, cfg, nil)
+}
+
+// QueryCtx is Query with a cancellable context: a cancelled ctx stops
+// the Phase 2 loop and returns ctx.Err(). Cancellation never degrades —
+// Config.DegradedOK applies to oracle failures and deadlines only.
+func (ix *Index) QueryCtx(ctx context.Context, src video.Source, udf vision.UDF, cfg Config) (*Result, error) {
+	return ix.query(ctx, src, udf, cfg, nil)
 }
 
 // validateFor checks that (src, udf) is what the index was built from.
@@ -105,13 +113,14 @@ func (ix *Index) planFor(src video.Source, udf vision.UDF, cfg Config) (engine.P
 // When labels is non-nil it is the query's private overlay over the
 // session cache snapshot: frames in it enter D0 certain, cleaned frames
 // are recorded into its fresh set, and oracle cost is charged only for
-// cache misses.
-func (ix *Index) query(src video.Source, udf vision.UDF, cfg Config, labels *labelstore.Overlay) (*Result, error) {
+// cache misses. A nil ctx means no cancellation.
+func (ix *Index) query(ctx context.Context, src video.Source, udf vision.UDF, cfg Config, labels *labelstore.Overlay) (*Result, error) {
 	plan, binding, err := ix.planFor(src, udf, cfg)
 	if err != nil {
 		return nil, err
 	}
 	binding.Labels = labels
+	binding.Ctx = ctx
 	out, err := engine.Execute(plan, binding)
 	if err != nil {
 		return nil, err

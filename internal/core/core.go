@@ -20,6 +20,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -80,6 +81,25 @@ type Config struct {
 	// goroutine-spawn-and-join per block; nil falls back to transient
 	// workers. Never affects results.
 	Pool *workpool.Pool
+	// Ctx, when non-nil, cancels the run: the loop checks it at every
+	// select-and-clean boundary and returns ctx.Err() — cancellation is
+	// caller abandonment, never a degraded answer. nil means no
+	// cancellation.
+	Ctx context.Context
+	// BudgetMS is the simulated deadline: once the run's clock (which
+	// may carry ingest charges the caller accumulated) reaches this many
+	// simulated milliseconds, the loop stops — with a degraded result
+	// when DegradedOK, with ErrDeadline otherwise. The check is
+	// read-only, so charges on runs that never hit the budget are
+	// bit-identical to runs with no budget at all. 0 means unbounded.
+	BudgetMS float64
+	// DegradedOK permits a principled best-effort answer instead of an
+	// error when the budget expires or the oracle stays down past the
+	// retry budget: the current Top-K estimate — confirmed scores where
+	// the oracle got that far, proxy point estimates elsewhere — marked
+	// with Result.Degraded. Unconfirmed estimates never reach the label
+	// overlay, so a shared cache cannot be polluted by degraded answers.
+	DegradedOK bool
 }
 
 func (c Config) validate(n int) error {
@@ -122,24 +142,52 @@ type Stats struct {
 	OracleCalls int
 }
 
-// Result is a probabilistically guaranteed Top-K answer.
+// Result is a probabilistically guaranteed Top-K answer — or, when
+// Degraded is non-nil, the explicit best-effort answer a bounded run
+// settled for.
 type Result struct {
 	// IDs are the Top-K tuple IDs in descending score order (ties broken
-	// by ascending ID). Every ID's score was confirmed by the oracle.
+	// by ascending ID). Every ID's score was confirmed by the oracle,
+	// except the ones a degraded run lists in Degraded.Unconfirmed.
 	IDs []int
-	// Levels[i] is the exact score level of IDs[i].
+	// Levels[i] is the exact score level of IDs[i] (for unconfirmed IDs
+	// of a degraded result: the proxy's rounded expected level).
 	Levels []int
 	// Confidence is p̂ = Pr(R̂ = R) ≥ thres at termination. Under
-	// BoundUnion it is a lower bound on that probability.
+	// BoundUnion it is a lower bound on that probability. A degraded
+	// result reports the p̂ it actually reached, below thres.
 	Confidence float64
 	// Bound echoes the confidence computation used.
 	Bound BoundKind
 	// Stats are execution counters.
 	Stats Stats
+	// Degraded is nil for guaranteed answers. Non-nil marks a
+	// best-effort answer returned under Config.DegradedOK, with the
+	// explicit provenance of what went unconfirmed and why.
+	Degraded *Degraded
+}
+
+// Degraded is the provenance of a best-effort answer: which result
+// entries are proxy estimates rather than oracle-confirmed scores, what
+// stopped the run, and the simulated cost spent before it stopped.
+type Degraded struct {
+	// Reason is "deadline" (the simulated budget expired) or "oracle"
+	// (the oracle stayed down past the retry budget).
+	Reason string
+	// Unconfirmed lists the result IDs whose Levels/Scores are proxy
+	// point estimates, in result order. Empty means every returned score
+	// is confirmed but the probabilistic guarantee was not reached.
+	Unconfirmed []int
+	// SpentMS is the clock's simulated total when the run degraded.
+	SpentMS float64
 }
 
 // ErrEmptyRelation is returned when the relation has no tuples.
 var ErrEmptyRelation = errors.New("core: empty relation")
+
+// ErrDeadline is returned (wrapped) when a run's simulated deadline
+// budget expires and the plan did not allow degraded answers.
+var ErrDeadline = errors.New("core: simulated deadline exceeded")
 
 // Engine runs Phase 2 over one uncertain relation. An Engine is
 // single-use: construct with NewEngine, call Run once.
@@ -199,9 +247,16 @@ func NewEngine(rel uncertain.Relation, cfg Config, oracle Oracle, clock *simcloc
 }
 
 // Run executes Phase 2 to completion and returns the guaranteed Top-K.
+//
+// Failure semantics: the loop checks cancellation and the simulated
+// deadline at every select-and-clean boundary. Cancellation always
+// returns ctx.Err(). An expired budget, or an oracle failure the
+// dispatch layer could not retry around, returns ErrDeadline / the
+// oracle's error — unless Config.DegradedOK, in which case the run
+// settles for an explicitly marked best-effort answer (finishDegraded).
 func (e *Engine) Run() (Result, error) {
 	if err := e.bootstrap(); err != nil {
-		return Result{}, err
+		return e.failOrDegrade(err)
 	}
 	for {
 		sk, _ := e.thresholds()
@@ -212,16 +267,48 @@ func (e *Engine) Run() (Result, error) {
 		if e.cfg.MaxCleaned > 0 && e.stats.Cleaned >= e.cfg.MaxCleaned {
 			return e.finish(phat), nil
 		}
+		// Interrupt checks sit after the success checks: a run that meets
+		// its guarantee on the very charge that exhausts the budget still
+		// returns the guaranteed answer.
+		if e.cfg.Ctx != nil {
+			if err := e.cfg.Ctx.Err(); err != nil {
+				return Result{}, err
+			}
+		}
+		if e.cfg.BudgetMS > 0 && e.clock.TotalMS() >= e.cfg.BudgetMS {
+			if e.cfg.DegradedOK {
+				return e.finishDegraded("deadline"), nil
+			}
+			return Result{}, fmt.Errorf("%w: %.1f of %.1f simulated ms spent, confidence %.4f < %.4f",
+				ErrDeadline, e.clock.TotalMS(), e.cfg.BudgetMS, phat, e.cfg.Threshold)
+		}
 		batch := e.sel.selectBatch()
 		if len(batch) == 0 {
 			// No uncertain candidates can improve the result; p̂ is final.
 			return e.finish(phat), nil
 		}
 		if err := e.clean(batch); err != nil {
-			return Result{}, err
+			return e.failOrDegrade(err)
 		}
 		e.stats.Iterations++
 	}
+}
+
+// oracleFailure is the classification hook oracle errors implement
+// (vision.OracleError does): a failure of the oracle itself, the class
+// a degraded run may answer around. Internal errors — a cancelled
+// context, a malformed batch — never degrade.
+type oracleFailure interface{ OracleFailure() bool }
+
+// failOrDegrade maps a clean/bootstrap error to the run's outcome:
+// oracle-availability failures degrade when the plan allows it,
+// everything else propagates.
+func (e *Engine) failOrDegrade(err error) (Result, error) {
+	var of oracleFailure
+	if e.cfg.DegradedOK && errors.As(err, &of) && of.OracleFailure() {
+		return e.finishDegraded("oracle"), nil
+	}
+	return Result{}, err
 }
 
 // thresholds returns (S_k, S_p): the K-th and (K−1)-st certain scores.
@@ -306,6 +393,58 @@ func (e *Engine) finish(phat float64) Result {
 	ids, levels := e.certain.topK(e.cfg.K)
 	e.clock.Charge(simclock.PhaseTopkProb, 1e-3*float64(e.stats.Iterations+1))
 	return Result{IDs: ids, Levels: levels, Confidence: phat, Bound: e.cfg.Bound, Stats: e.stats}
+}
+
+// finishDegraded assembles the best-effort answer of an interrupted
+// run: every tuple — confirmed ones at their exact level, uncertain
+// ones at the proxy's rounded expected level — ranked by (level desc,
+// confirmed first, ID asc), truncated to K. Unconfirmed members are
+// listed explicitly; their estimates are NEVER written to the label
+// overlay (only oracle confirmations are), so nothing unconfirmed can
+// leak into a shared cache. Deterministic: a pure function of the
+// engine's state at the interrupt point.
+func (e *Engine) finishDegraded(reason string) Result {
+	type cand struct {
+		id, level int
+		confirmed bool
+	}
+	cands := make([]cand, 0, len(e.certain.top)+len(e.dists))
+	for _, c := range e.certain.top {
+		cands = append(cands, cand{id: c.id, level: c.level, confirmed: true})
+	}
+	for id, d := range e.dists {
+		cands = append(cands, cand{id: id, level: int(math.Round(d.Mean()))})
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		a, b := cands[i], cands[j]
+		if a.level != b.level {
+			return a.level > b.level
+		}
+		if a.confirmed != b.confirmed {
+			return a.confirmed
+		}
+		return a.id < b.id
+	})
+	k := min(e.cfg.K, len(cands))
+	res := Result{
+		Bound: e.cfg.Bound,
+		Stats: e.stats,
+		Degraded: &Degraded{
+			Reason:  reason,
+			SpentMS: e.clock.TotalMS(),
+		},
+	}
+	res.Confidence = e.Confidence()
+	res.IDs = make([]int, k)
+	res.Levels = make([]int, k)
+	for i := 0; i < k; i++ {
+		res.IDs[i] = cands[i].id
+		res.Levels[i] = cands[i].level
+		if !cands[i].confirmed {
+			res.Degraded.Unconfirmed = append(res.Degraded.Unconfirmed, cands[i].id)
+		}
+	}
+	return res
 }
 
 // Confidence returns the current p̂ without advancing the engine; used by

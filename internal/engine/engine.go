@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 
 	"github.com/everest-project/everest/internal/core"
@@ -45,6 +46,13 @@ type Binding struct {
 	// with Plan.UseMux set falls back to the process-wide mux. Never
 	// affects results or the plan's own charges.
 	Dispatch *oraclemux.Mux
+	// Ctx, when non-nil, bounds the execution: it is checked before each
+	// oracle dispatch and between Phase 2 cleaning rounds, and a
+	// cancelled context returns ctx.Err() — never a degraded answer,
+	// because cancellation means the caller stopped wanting one. nil
+	// means context.Background(). Cancellation never perturbs sibling
+	// plans sharing a coalesced group, mux batch or label cache.
+	Ctx context.Context
 }
 
 // Outcome is the engine's answer to one plan.
@@ -65,6 +73,17 @@ type Outcome struct {
 	// Clock holds the simulated charges (including any the caller had
 	// already accumulated on a provided clock).
 	Clock *simclock.Clock
+	// Retries counts transient oracle failures the dispatch boundary
+	// retried; BackoffMS is the simulated backoff those retries cost
+	// (also charged to the clock as simclock.PhaseRetryBackoff). Both
+	// are zero on a fault-free run.
+	Retries   int
+	BackoffMS float64
+	// Degraded is non-nil when the plan allowed graceful degradation
+	// (Plan.DegradedOK) and the run had to take it: the IDs hold a
+	// best-effort answer whose unconfirmed members are estimated from
+	// proxy scores and never entered the label overlay.
+	Degraded *core.Degraded
 }
 
 // Execute runs the RelationBuild and TopKLoop stages of one plan against
@@ -75,6 +94,13 @@ type Outcome struct {
 // Procs and Pool change wall-clock only, and a nil overlay behaves as a
 // frozen empty cache.
 func Execute(p Plan, b Binding) (*Outcome, error) {
+	ctx := b.Ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	clock := b.Clock
 	if clock == nil {
 		clock = simclock.NewClock()
@@ -99,10 +125,55 @@ func Execute(p Plan, b Binding) (*Outcome, error) {
 	}
 
 	qopt := b.UDF.Quantize()
+	// dispatchScore is the single oracle dispatch boundary — every Phase 2
+	// confirmation, mux-routed or direct, passes through here with the
+	// error-returning contract (vision.SafeScore: a panicking UDF becomes
+	// a typed *vision.OracleError, never an escaped panic). Transient
+	// failures retry up to p.Retries times with capped exponential
+	// backoff whose waits are simulated — charged to the clock as
+	// simclock.PhaseRetryBackoff, never slept — so retry behavior is
+	// bit-deterministic and identical with the mux on or off. Oracle
+	// calls are serial within one plan (the Phase 2 loop cleans batches
+	// in order), so the plain counters need no synchronization.
+	var retries int
+	var backoffMS float64
+	dispatchScore := func(missIDs []int) ([]float64, error) {
+		wait := p.RetryBackoffMS
+		if wait <= 0 {
+			wait = DefaultRetryBackoffMS
+		}
+		capMS := wait * retryBackoffCap
+		for attempt := 0; ; attempt++ {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			var fresh []float64
+			var err error
+			if dispatch != nil {
+				fresh, err = dispatch.Score(ctx, b.Src, b.UDF, missIDs, p.Cost)
+			} else {
+				fresh, err = vision.SafeScore(b.UDF, b.Src, missIDs)
+			}
+			if err == nil {
+				return fresh, nil
+			}
+			if attempt >= p.Retries || !vision.Transient(err) {
+				return nil, err
+			}
+			retries++
+			backoffMS += wait
+			clock.Charge(simclock.PhaseRetryBackoff, wait)
+			if wait *= 2; wait > capMS {
+				wait = capMS
+			}
+		}
+	}
 	// scoreFrames is the frame-level oracle shared by both query kinds:
 	// it consults and feeds the label overlay and charges per miss. With
 	// a nil overlay every frame misses, which is exactly the uncached
-	// per-confirmation charge.
+	// per-confirmation charge. A failed dispatch feeds nothing back:
+	// only successfully confirmed labels ever enter the overlay, so a
+	// faulted query cannot pollute a shared cache.
 	scoreFrames := func(ids []int) ([]float64, error) {
 		scores := make([]float64, len(ids))
 		var missAt, missIDs []int
@@ -115,11 +186,9 @@ func Execute(p Plan, b Binding) (*Outcome, error) {
 			missIDs = append(missIDs, id)
 		}
 		if len(missIDs) > 0 {
-			var fresh []float64
-			if dispatch != nil {
-				fresh = dispatch.Score(b.Src, b.UDF, missIDs, p.Cost)
-			} else {
-				fresh = b.UDF.Score(b.Src, missIDs)
+			fresh, err := dispatchScore(missIDs)
+			if err != nil {
+				return nil, err
 			}
 			for j, i := range missAt {
 				scores[i] = fresh[j]
@@ -181,6 +250,9 @@ func Execute(p Plan, b Binding) (*Outcome, error) {
 		Bound:            p.Bound(),
 		Procs:            p.Procs,
 		Pool:             pool,
+		Ctx:              ctx,
+		BudgetMS:         p.DeadlineMS,
+		DegradedOK:       p.DegradedOK,
 	}
 	if p.DisablePrefetch {
 		coreCfg.UnhiddenDecodeMS = p.Cost.DecodeMS
@@ -206,5 +278,8 @@ func Execute(p Plan, b Binding) (*Outcome, error) {
 		Stats:      coreRes.Stats,
 		Tuples:     len(rel),
 		Clock:      clock,
+		Retries:    retries,
+		BackoffMS:  backoffMS,
+		Degraded:   coreRes.Degraded,
 	}, nil
 }

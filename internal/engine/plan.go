@@ -35,6 +35,14 @@ import (
 	"github.com/everest-project/everest/internal/workpool"
 )
 
+// DefaultRetryBackoffMS is the initial simulated retry backoff used
+// when a plan enables retries (Retries > 0) without choosing a base.
+const DefaultRetryBackoffMS = 100
+
+// retryBackoffCap bounds the exponential backoff at this multiple of
+// the base, so a long outage's simulated waits stay proportionate.
+const retryBackoffCap = 32
+
 // WindowSpec describes the window shape of a plan. The zero value is a
 // frame query.
 type WindowSpec struct {
@@ -104,6 +112,29 @@ type Plan struct {
 	// charges are bit-identical to direct dispatch. Binding.Dispatch,
 	// when set, takes precedence (tests inject private muxes there).
 	UseMux bool
+	// DeadlineMS bounds the query's simulated cost: once the plan's
+	// clock reaches this many simulated milliseconds mid-run, the Top-K
+	// loop stops — with an explicitly marked degraded answer when
+	// DegradedOK, with core.ErrDeadline otherwise. Charged on the §3.5
+	// simclock, so a run that never hits its deadline is bit-identical
+	// (results AND charges) to an unbounded one. 0 means no deadline;
+	// Normalize clamps negatives to 0.
+	DeadlineMS float64
+	// Retries caps how many times a transient oracle dispatch failure
+	// is retried (per failing dispatch) before the error propagates.
+	// 0 means no retries; Normalize clamps negatives to 0.
+	Retries int
+	// RetryBackoffMS is the initial retry backoff, doubling per attempt
+	// and capped at 32× the base. The waits are simulated — charged to
+	// simclock.PhaseRetryBackoff, never slept — so retry behavior is
+	// deterministic. 0 with Retries > 0 uses DefaultRetryBackoffMS.
+	RetryBackoffMS float64
+	// DegradedOK lets a run whose deadline expired, or whose oracle
+	// stayed down past the retry budget, return proxy-only results
+	// carrying an explicit Degraded marker instead of an error. The
+	// unconfirmed estimates never enter the label overlay, so degraded
+	// answers cannot pollute a shared cache.
+	DegradedOK bool
 	// Ingest parameterizes the Phase 1 stage for entrypoints that run it
 	// (Run, BuildIndex, Extend); plans executed against an existing
 	// Artifact ignore it.
@@ -125,6 +156,15 @@ func (p Plan) Normalize() Plan {
 	}
 	if p.CoalesceWait < 0 {
 		p.CoalesceWait = 0
+	}
+	if p.DeadlineMS < 0 {
+		p.DeadlineMS = 0
+	}
+	if p.Retries < 0 {
+		p.Retries = 0
+	}
+	if p.RetryBackoffMS < 0 {
+		p.RetryBackoffMS = 0
 	}
 	return p
 }

@@ -1,6 +1,8 @@
 package engine
 
 import (
+	"context"
+
 	"github.com/everest-project/everest/internal/simclock"
 	"github.com/everest-project/everest/internal/video"
 	"github.com/everest-project/everest/internal/vision"
@@ -10,8 +12,10 @@ import (
 // clock (so the outcome carries the full Phase 1 + Phase 2 cost
 // breakdown) and one resident worker pool across both stages. The
 // returned artifact is the ingest product; callers that want to reuse
-// it for further plans may keep it.
-func Run(src video.Source, udf vision.UDF, p Plan) (*Artifact, *Outcome, error) {
+// it for further plans may keep it. A non-nil ctx bounds the Phase 2
+// loop (cancellation returns ctx.Err()); Phase 1 ingestion runs to
+// completion — it is the reusable artifact, not per-query work.
+func Run(ctx context.Context, src video.Source, udf vision.UDF, p Plan) (*Artifact, *Outcome, error) {
 	clock := simclock.NewClock()
 	// One resident worker pool serves the whole query: Phase 1 fan-outs,
 	// window aggregation and Phase 2's speculative selection blocks all
@@ -32,6 +36,7 @@ func Run(src video.Source, udf vision.UDF, p Plan) (*Artifact, *Outcome, error) 
 		Artifact: art,
 		Clock:    clock,
 		Pool:     pool,
+		Ctx:      ctx,
 	})
 	if err != nil {
 		return nil, nil, err

@@ -113,10 +113,53 @@ func (s *submission) deliver() {
 // The binding's Labels, Clock and Pool must be nil: the scheduler
 // supplies the group's shared overlay and pool, and every plan gets its
 // own fresh clock (per-plan charges stay separable).
+//
+// A non-nil Binding.Ctx bounds the wait: a submission cancelled while
+// still queued withdraws — it leaves the queue without joining any
+// group, so siblings coalesce exactly as if it were never submitted —
+// and Submit returns ctx.Err(). Once a leader has taken the submission
+// into a group, Submit waits for the group (the engine run itself
+// observes the cancellation and returns ctx.Err() without poisoning
+// the group's other members).
 func (s *Scheduler) Submit(p Plan, b Binding) (*Outcome, error) {
-	subs := s.enqueue([]*submission{{plan: p, bind: b, done: make(chan struct{})}})
-	<-subs[0].done
-	return subs[0].out, subs[0].err
+	ctx := b.Ctx
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+	}
+	sub := &submission{plan: p, bind: b, done: make(chan struct{})}
+	s.enqueue([]*submission{sub})
+	if ctx != nil {
+		select {
+		case <-sub.done:
+		case <-ctx.Done():
+			if s.withdraw(sub) {
+				return nil, ctx.Err()
+			}
+			// A leader already took the submission into a group; its run
+			// delivers (Execute returns ctx.Err() for a cancelled member).
+			<-sub.done
+		}
+	} else {
+		<-sub.done
+	}
+	return sub.out, sub.err
+}
+
+// withdraw removes a still-queued submission (cancelled by its
+// submitter) from the queue. It reports false when a leader already
+// took the submission into a group.
+func (s *Scheduler) withdraw(sub *submission) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i, q := range s.queue {
+		if q == sub {
+			s.queue = append(s.queue[:i], s.queue[i+1:]...)
+			return true
+		}
+	}
+	return false
 }
 
 // SubmitGroup queues plans as one atomic block — no foreign submission
@@ -270,9 +313,11 @@ func (s *Scheduler) runGroup(group []*submission) {
 				}
 			}
 		}
-		// Failed plans abort before cleaning (validation), so the overlay
-		// holds confirmed oracle labels only. A nil overlay (snapshot
-		// itself failed) publishes nothing.
+		// The overlay holds confirmed oracle labels only — a member that
+		// failed mid-cleaning contributed just the labels its successful
+		// dispatches paid for, and degraded estimates never enter an
+		// overlay — so publishing after a partial failure is always safe.
+		// A nil overlay (snapshot itself failed) publishes nothing.
 		s.publish(overlay.Fresh())
 		for _, sub := range group {
 			sub.deliver()

@@ -1,6 +1,8 @@
 package engine
 
 import (
+	"context"
+	"errors"
 	"reflect"
 	"sync"
 	"sync/atomic"
@@ -395,5 +397,152 @@ func TestSchedulerValidationErrorDelivered(t *testing.T) {
 	// The scheduler stays usable.
 	if _, err := sched.Submit(good, bind); err != nil {
 		t.Fatalf("scheduler wedged after a failed group: %v", err)
+	}
+}
+
+// TestSchedulerSubmitPreCancelled pins the cheap path: a submission
+// whose context is already cancelled never enters the queue.
+func TestSchedulerSubmitPreCancelled(t *testing.T) {
+	art, src, udf := fixture(t)
+	cache := labelstore.NewSharedCache()
+	sched := schedulerOver(cache)
+	plan, err := NewPlan(testPlan(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	out, err := sched.Submit(plan, Binding{Src: src, UDF: udf, Artifact: art, Ctx: ctx})
+	if !errors.Is(err, context.Canceled) || out != nil {
+		t.Fatalf("pre-cancelled Submit returned (%v, %v), want (nil, context.Canceled)", out, err)
+	}
+	if q := sched.QueuedForTest(); q != 0 {
+		t.Fatalf("pre-cancelled submission left %d entries queued", q)
+	}
+	// The scheduler is untouched: a live submission still runs.
+	if _, err := sched.Submit(plan, Binding{Src: src, UDF: udf, Artifact: art}); err != nil {
+		t.Fatalf("scheduler unusable after pre-cancelled submit: %v", err)
+	}
+}
+
+// TestSchedulerCancelWhileQueuedWithdraws is the sibling-isolation
+// contract for cancellation: a submission cancelled while still queued
+// leaves the queue without joining any group — the surviving sibling
+// coalesces and answers exactly as if the cancelled query were never
+// submitted, and the canceller gets ctx.Err() promptly instead of
+// waiting out a run it no longer wants.
+func TestSchedulerCancelWhileQueuedWithdraws(t *testing.T) {
+	art, src, udf := fixture(t)
+	mkPlan := func(k int) Plan {
+		p := testPlan(k)
+		p.CoalesceWait = 50 * time.Millisecond
+		plan, err := NewPlan(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return plan
+	}
+	bind := Binding{Src: src, UDF: udf, Artifact: art}
+
+	// Baseline: the surviving plan alone on an empty cache.
+	lone, err := Execute(mkPlan(5), Binding{Src: src, UDF: udf, Artifact: art,
+		Labels: labelstore.NewOverlay(labelstore.Map{})})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cache := labelstore.NewSharedCache()
+	sched, groups := countingSchedulerOver(cache)
+	// Hold the leader open in the injected wait so the test controls
+	// exactly what is queued when the group commits.
+	release := make(chan struct{})
+	sched.SetWaitClockForTest(func(time.Duration) { <-release })
+
+	var leaderOut *Outcome
+	var leaderErr error
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		leaderOut, leaderErr = sched.Submit(mkPlan(5), bind)
+	}()
+	waitFor(t, func() bool { return sched.QueuedForTest() == 1 })
+
+	ctx, cancel := context.WithCancel(context.Background())
+	var victimOut *Outcome
+	var victimErr error
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		b := bind
+		b.Ctx = ctx
+		victimOut, victimErr = sched.Submit(mkPlan(3), b)
+	}()
+	waitFor(t, func() bool { return sched.QueuedForTest() == 2 })
+
+	// Cancel while the leader is still holding the group open: the victim
+	// must withdraw and return without waiting for the run.
+	cancel()
+	waitFor(t, func() bool { return sched.QueuedForTest() == 1 })
+	close(release)
+	wg.Wait()
+
+	if !errors.Is(victimErr, context.Canceled) || victimOut != nil {
+		t.Fatalf("cancelled submission returned (%v, %v), want (nil, context.Canceled)", victimOut, victimErr)
+	}
+	if leaderErr != nil {
+		t.Fatalf("surviving sibling: %v", leaderErr)
+	}
+	if g := groups.Load(); g != 1 {
+		t.Fatalf("queue split into %d groups, want 1", g)
+	}
+	if !reflect.DeepEqual(keyOf(leaderOut), keyOf(lone)) {
+		t.Fatalf("surviving sibling perturbed by its neighbour's withdrawal:\n%+v\nvs\n%+v",
+			keyOf(leaderOut), keyOf(lone))
+	}
+}
+
+// TestSchedulerCancelledMemberInsideGroup covers the other side of the
+// race: once a leader has taken a submission into a group, cancellation
+// is observed by the engine run itself — the member gets ctx.Err(), its
+// siblings complete untouched, and the run's confirmed labels still
+// publish.
+func TestSchedulerCancelledMemberInsideGroup(t *testing.T) {
+	art, src, udf := fixture(t)
+	cache := labelstore.NewSharedCache()
+	sched := schedulerOver(cache)
+	a, err := NewPlan(testPlan(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewPlan(testPlan(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // already cancelled when the group executes it
+	bind := Binding{Src: src, UDF: udf, Artifact: art}
+	cancelledBind := bind
+	cancelledBind.Ctx = ctx
+	outs, err := sched.SubmitGroup([]Plan{a, b}, []Binding{bind, cancelledBind})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("group error = %v, want the cancelled member's context.Canceled", err)
+	}
+	if outs[1] != nil {
+		t.Fatal("cancelled member produced an outcome")
+	}
+	if outs[0] == nil {
+		t.Fatal("healthy sibling starved by its cancelled neighbour")
+	}
+	if cache.Len() == 0 {
+		t.Fatal("group's confirmed labels were not published")
+	}
+	// The scheduler stays usable and the repeat rides the published labels.
+	repeat, err := sched.Submit(a, bind)
+	if err != nil {
+		t.Fatalf("scheduler wedged after a cancelled member: %v", err)
+	}
+	if repeat.Stats.Cleaned != 0 {
+		t.Fatalf("repeat cleaned %d frames, want 0 via the published cache", repeat.Stats.Cleaned)
 	}
 }

@@ -1,0 +1,52 @@
+package faultinject
+
+import (
+	"reflect"
+	"testing"
+)
+
+// FuzzFaultSchedule fuzzes the schedule DSL for the canonical-form
+// contract: anything Parse accepts must String to a form that
+// re-parses to the same schedule, and that canonical form must be a
+// fixed point (String of the re-parse is byte-identical). Inputs Parse
+// rejects are simply skipped — the fuzz target hunts for crashes in
+// the parser and for round-trip drift, not for a grammar oracle.
+func FuzzFaultSchedule(f *testing.F) {
+	for _, s := range []string{
+		"",
+		"err",
+		"err:3",
+		"5@panic",
+		"slow:10:250",
+		"slow:2",
+		"err:1000~0.2",
+		"err:2~1",
+		"err:1,3@slow:2:50,7@panic",
+		" err:1 , 2@slow:1:50 ",
+		"slow:1:0.5",
+		"0@err:0",
+		"err~0.999",
+	} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		sched, err := Parse(s)
+		if err != nil {
+			return
+		}
+		if !reflect.DeepEqual(sched, sched.Normalize()) {
+			t.Fatalf("Parse(%q) returned non-normalized schedule %+v", s, sched)
+		}
+		canon := sched.String()
+		again, err := Parse(canon)
+		if err != nil {
+			t.Fatalf("canonical form %q of %q does not re-parse: %v", canon, s, err)
+		}
+		if !reflect.DeepEqual(again, sched) {
+			t.Fatalf("round-trip of %q drifted: %+v vs %+v", s, again, sched)
+		}
+		if got := again.String(); got != canon {
+			t.Fatalf("canonical form of %q is not a fixed point: %q -> %q", s, canon, got)
+		}
+	})
+}

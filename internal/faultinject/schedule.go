@@ -1,0 +1,233 @@
+// Package faultinject is the chaos layer of the serving stack: it wraps
+// a vision.UDF (or a video.Source) with a deterministic, seedable fault
+// schedule — transient errors, panics, simulated latency spikes,
+// N-failures-then-succeed — so the full pipeline can be driven through
+// every failure path repeatably. Fault decisions are a pure function of
+// (schedule, seed, call index): concurrent queries observe exactly the
+// faults the schedule prescribes regardless of goroutine interleaving,
+// which is what lets chaos tests assert bit-identical convergence once
+// the injected faults are exhausted.
+package faultinject
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Kind is a fault class.
+type Kind uint8
+
+const (
+	// KindErr makes scoring calls fail with a transient error (the
+	// retry layer's retryable class).
+	KindErr Kind = iota
+	// KindPanic makes scoring calls panic, exercising the dispatch
+	// boundary's recovery.
+	KindPanic
+	// KindSlow lets scoring succeed but adds a simulated latency spike
+	// of Rule.MS milliseconds per call.
+	KindSlow
+)
+
+// String returns the kind's schedule-DSL name.
+func (k Kind) String() string {
+	switch k {
+	case KindErr:
+		return "err"
+	case KindPanic:
+		return "panic"
+	case KindSlow:
+		return "slow"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Rule applies one fault kind to a contiguous range of scoring calls:
+// the Count calls starting at the Start-th call (0-based) of the
+// wrapped function. The zero Prob means the fault fires on every call
+// in range; a Prob in (0,1) fires it per call with that probability,
+// drawn from a seeded per-call stream so the decision is deterministic
+// and independent of arrival interleaving.
+type Rule struct {
+	Kind  Kind
+	Start int
+	Count int
+	// MS is the simulated latency spike per affected call (KindSlow).
+	MS float64
+	// Prob in (0,1) makes the rule probabilistic; 0 (and 1) mean always.
+	Prob float64
+}
+
+// matches reports whether the rule covers call n (probability aside).
+func (r Rule) matches(n int) bool { return n >= r.Start && n < r.Start+r.Count }
+
+// Schedule is an ordered set of fault rules. The zero value injects
+// nothing. For a given call the first matching rule (in normalized
+// order) decides the outcome.
+type Schedule struct {
+	Rules []Rule
+}
+
+// Empty reports whether the schedule injects no faults at all.
+func (s Schedule) Empty() bool { return len(s.Rules) == 0 }
+
+// Normalize returns the canonical form Parse and String agree on:
+// rules sorted by (Start, Kind), non-positive counts dropped, negative
+// starts clamped to 0, negative spike latencies cleared, probabilities
+// clamped into [0,1] with 1 meaning "always" (stored as 0). Idempotent.
+func (s Schedule) Normalize() Schedule {
+	out := make([]Rule, 0, len(s.Rules))
+	for _, r := range s.Rules {
+		if r.Count <= 0 {
+			continue
+		}
+		if r.Start < 0 {
+			r.Start = 0
+		}
+		if r.MS < 0 || r.Kind != KindSlow || !isFinite(r.MS) {
+			r.MS = 0
+		}
+		if r.Prob <= 0 || r.Prob >= 1 || math.IsNaN(r.Prob) {
+			r.Prob = 0
+		}
+		out = append(out, r)
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Start != out[j].Start {
+			return out[i].Start < out[j].Start
+		}
+		return out[i].Kind < out[j].Kind
+	})
+	if len(out) == 0 {
+		out = nil
+	}
+	return Schedule{Rules: out}
+}
+
+// String renders the schedule in the canonical DSL: one item per rule,
+// comma-separated, each `[start@]kind:count[:ms][~prob]`. The output
+// round-trips through Parse.
+func (s Schedule) String() string {
+	items := make([]string, 0, len(s.Rules))
+	for _, r := range s.Normalize().Rules {
+		var b strings.Builder
+		if r.Start > 0 {
+			fmt.Fprintf(&b, "%d@", r.Start)
+		}
+		fmt.Fprintf(&b, "%s:%d", r.Kind, r.Count)
+		if r.Kind == KindSlow {
+			fmt.Fprintf(&b, ":%s", strconv.FormatFloat(r.MS, 'g', -1, 64))
+		}
+		if r.Prob > 0 {
+			fmt.Fprintf(&b, "~%s", strconv.FormatFloat(r.Prob, 'g', -1, 64))
+		}
+		items = append(items, b.String())
+	}
+	return strings.Join(items, ",")
+}
+
+// Parse reads a fault schedule from its DSL form: comma-separated
+// items, each
+//
+//	[start@]kind[:count][:ms][~prob]
+//
+// where kind is err | panic | slow, count defaults to 1, ms (KindSlow
+// only) defaults to 100 simulated milliseconds, and ~prob in (0,1)
+// makes the rule fire probabilistically per call (seeded — see
+// WrapUDF). Examples:
+//
+//	err:3           the first 3 scoring calls fail transiently, then succeed
+//	5@panic         the 6th scoring call panics
+//	slow:10:250     the first 10 calls each cost +250 simulated ms
+//	err:1000~0.2    each of the first 1000 calls fails with probability 0.2
+//
+// The empty string is the empty schedule. The result is normalized.
+func Parse(s string) (Schedule, error) {
+	var sched Schedule
+	for _, item := range strings.Split(s, ",") {
+		item = strings.TrimSpace(item)
+		if item == "" {
+			continue
+		}
+		r, err := parseItem(item)
+		if err != nil {
+			return Schedule{}, err
+		}
+		sched.Rules = append(sched.Rules, r)
+	}
+	return sched.Normalize(), nil
+}
+
+// MustParse is Parse that panics on error, for tests and literals.
+func MustParse(s string) Schedule {
+	sched, err := Parse(s)
+	if err != nil {
+		panic(err)
+	}
+	return sched
+}
+
+func parseItem(item string) (Rule, error) {
+	r := Rule{Count: 1}
+	if at := strings.IndexByte(item, '@'); at >= 0 {
+		start, err := strconv.Atoi(strings.TrimSpace(item[:at]))
+		if err != nil || start < 0 {
+			return Rule{}, fmt.Errorf("faultinject: bad start offset %q in %q", item[:at], item)
+		}
+		r.Start = start
+		item = item[at+1:]
+	}
+	if tilde := strings.IndexByte(item, '~'); tilde >= 0 {
+		prob, err := strconv.ParseFloat(strings.TrimSpace(item[tilde+1:]), 64)
+		if err != nil || math.IsNaN(prob) || prob <= 0 || prob > 1 {
+			return Rule{}, fmt.Errorf("faultinject: bad probability %q in %q (want (0,1])", item[tilde+1:], item)
+		}
+		if prob < 1 {
+			r.Prob = prob
+		}
+		item = item[:tilde]
+	}
+	parts := strings.Split(item, ":")
+	switch strings.TrimSpace(parts[0]) {
+	case "err":
+		r.Kind = KindErr
+	case "panic":
+		r.Kind = KindPanic
+	case "slow":
+		r.Kind = KindSlow
+		r.MS = 100
+	case "":
+		return Rule{}, fmt.Errorf("faultinject: empty fault kind in %q", item)
+	default:
+		return Rule{}, fmt.Errorf("faultinject: unknown fault kind %q (want err|panic|slow)", parts[0])
+	}
+	if len(parts) > 1 {
+		count, err := strconv.Atoi(strings.TrimSpace(parts[1]))
+		if err != nil || count < 0 {
+			return Rule{}, fmt.Errorf("faultinject: bad count %q in %q", parts[1], item)
+		}
+		r.Count = count
+	}
+	if len(parts) > 2 {
+		if r.Kind != KindSlow {
+			return Rule{}, fmt.Errorf("faultinject: latency parameter only applies to slow, got %q", item)
+		}
+		ms, err := strconv.ParseFloat(strings.TrimSpace(parts[2]), 64)
+		if err != nil || ms < 0 || !isFinite(ms) {
+			return Rule{}, fmt.Errorf("faultinject: bad latency %q in %q", parts[2], item)
+		}
+		r.MS = ms
+	}
+	if len(parts) > 3 {
+		return Rule{}, fmt.Errorf("faultinject: too many fields in %q", item)
+	}
+	return r, nil
+}
+
+// isFinite rejects the float values the DSL must not round-trip: NaN
+// and the infinities (an infinite latency spike is a hang, not a fault).
+func isFinite(f float64) bool { return !math.IsNaN(f) && !math.IsInf(f, 0) }

@@ -1,6 +1,7 @@
 package labelstore
 
 import (
+	"context"
 	"sort"
 	"sync"
 	"time"
@@ -289,6 +290,53 @@ func (c *SharedCache) Admit(limit int) (release func()) {
 		c.mu.Unlock()
 		c.cond.Broadcast()
 	}
+}
+
+// AdmitCtx is Admit with a cancellable wait: a caller cancelled while
+// blocked at the gate stops waiting and gets ctx.Err() with a nil
+// release — no slot was reserved, so cancellation can never leak
+// admission capacity. A nil ctx behaves exactly as Admit.
+func (c *SharedCache) AdmitCtx(ctx context.Context, limit int) (release func(), err error) {
+	if ctx == nil {
+		return c.Admit(limit), nil
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	// Cancellation wakes every gate waiter; the loop below re-checks its
+	// own ctx, so only the cancelled caller gives up. Taking the lock in
+	// the callback orders the broadcast after the waiter is parked.
+	stop := context.AfterFunc(ctx, func() {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		c.cond.Broadcast()
+	})
+	defer stop()
+	c.mu.Lock()
+	for limit > 0 && c.inflight >= limit {
+		if err := ctx.Err(); err != nil {
+			c.mu.Unlock()
+			return nil, err
+		}
+		c.cond.Wait()
+	}
+	c.inflight++
+	c.mu.Unlock()
+	return func() {
+		c.mu.Lock()
+		c.inflight--
+		c.mu.Unlock()
+		c.cond.Broadcast()
+	}, nil
+}
+
+// InFlight reports how many admitted oracle-heavy units are currently
+// running against this cache. Leak-detection tests assert it returns
+// to zero after faulted workloads; it is scheduling introspection only.
+func (c *SharedCache) InFlight() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.inflight
 }
 
 // registry is the process-wide cache directory: one SharedCache per

@@ -1,6 +1,8 @@
 package labelstore
 
 import (
+	"context"
+	"errors"
 	"sync"
 	"testing"
 )
@@ -116,4 +118,67 @@ func TestSharedCacheAdmission(t *testing.T) {
 	// Unlimited admission must not block.
 	release := c.Admit(0)
 	release()
+}
+
+// TestAdmitCtxCancelWhileWaiting locks the cancellable admission gate:
+// a waiter cancelled while parked at a full gate returns ctx.Err()
+// with no slot reserved (InFlight unchanged), the remaining waiters
+// admit normally once capacity frees, and a pre-cancelled or nil ctx
+// takes the documented fast paths.
+func TestAdmitCtxCancelWhileWaiting(t *testing.T) {
+	c := NewSharedCache()
+
+	// nil ctx: exactly Admit.
+	release, err := c.AdmitCtx(nil, 1)
+	if err != nil || release == nil {
+		t.Fatalf("nil-ctx AdmitCtx failed: err=%v, release nil=%v", err, release == nil)
+	}
+
+	// Pre-cancelled: immediate error, nothing reserved (gate is full, so
+	// success would mean it jumped the queue).
+	pre, preCancel := context.WithCancel(context.Background())
+	preCancel()
+	if rel, err := c.AdmitCtx(pre, 1); !errors.Is(err, context.Canceled) || rel != nil {
+		t.Fatalf("pre-cancelled AdmitCtx: err=%v (release nil=%v), want context.Canceled and nil release", err, rel == nil)
+	}
+	if got := c.InFlight(); got != 1 {
+		t.Fatalf("in-flight %d after rejected admission, want 1", got)
+	}
+
+	// Park a cancellable waiter and a patient waiter at the full gate.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancelledErr := make(chan error, 1)
+	go func() {
+		rel, err := c.AdmitCtx(ctx, 1)
+		if rel != nil {
+			rel()
+		}
+		cancelledErr <- err
+	}()
+	patient := make(chan error, 1)
+	go func() {
+		rel, err := c.AdmitCtx(context.Background(), 1)
+		if err == nil {
+			rel()
+		}
+		patient <- err
+	}()
+	// Both are (eventually) parked; cancel one. Only it may give up.
+	cancel()
+	if err := <-cancelledErr; !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled waiter returned %v, want context.Canceled", err)
+	}
+	select {
+	case err := <-patient:
+		t.Fatalf("patient waiter returned early (%v) while the gate was full", err)
+	default:
+	}
+	// Free the slot: the patient waiter admits and releases.
+	release()
+	if err := <-patient; err != nil {
+		t.Fatalf("patient waiter failed after capacity freed: %v", err)
+	}
+	if got := c.InFlight(); got != 0 {
+		t.Fatalf("gate leaked: %d in flight after all releases", got)
+	}
 }

@@ -37,6 +37,7 @@
 package oraclemux
 
 import (
+	"context"
 	"sync"
 
 	"github.com/everest-project/everest/internal/simclock"
@@ -51,9 +52,9 @@ type request struct {
 	ids  []int
 	cost simclock.CostModel
 
-	scores   []float64
-	panicked any
-	done     chan struct{}
+	scores []float64
+	err    error
+	done   chan struct{}
 }
 
 // batchKey identifies requests one device launch may serve: the same
@@ -85,6 +86,9 @@ type Stats struct {
 	// SavedMS is the launch overhead consolidation avoided versus
 	// dispatching every request independently.
 	SavedMS float64
+	// Withdrawn counts requests cancelled by their submitter while
+	// still queued — they left the queue before any launch took them.
+	Withdrawn int
 }
 
 // Mux is one oracle dispatch queue. The zero value is not usable; use
@@ -121,12 +125,27 @@ func Shared() *Mux { return sharedMux }
 
 // Score scores the given frames with the UDF's oracle through the
 // dispatch queue, blocking until the consolidated launch that carries
-// them completes. The returned scores are exactly udf.Score(src, ids);
-// cost is the caller's simulated cost model, used for device-side
-// accounting only (the caller charges its own clock as usual).
-func (m *Mux) Score(src video.Source, udf vision.UDF, ids []int, cost simclock.CostModel) []float64 {
+// them completes. The returned scores are exactly what a direct
+// dispatch (vision.SafeScore) would return; cost is the caller's
+// simulated cost model, used for device-side accounting only (the
+// caller charges its own clock as usual).
+//
+// Failure semantics: a failing or panicking UDF fails only its own
+// request, as a typed error (*vision.OracleError) — never a re-raised
+// panic in the submitter's goroutine, and never the rest of the batch.
+// A non-nil ctx bounds the wait: a request cancelled while still
+// queued withdraws — it leaves the queue without perturbing the
+// batches its siblings consolidate into — and returns ctx.Err(); once
+// a launch has taken the request, Score waits for that launch (a
+// device batch completes as a unit).
+func (m *Mux) Score(ctx context.Context, src video.Source, udf vision.UDF, ids []int, cost simclock.CostModel) ([]float64, error) {
 	if len(ids) == 0 {
-		return nil
+		return nil, nil
+	}
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 	}
 	req := &request{src: src, udf: udf, ids: ids, cost: cost, done: make(chan struct{})}
 	m.mu.Lock()
@@ -139,13 +158,36 @@ func (m *Mux) Score(src video.Source, udf vision.UDF, ids []int, cost simclock.C
 		m.mu.Unlock()
 		m.dispatch(req)
 	}
-	<-req.done
-	if req.panicked != nil {
-		// The oracle panicked scoring THIS request; re-raise it in the
-		// submitter's goroutine, where a direct udf.Score call would have.
-		panic(req.panicked)
+	if ctx != nil {
+		select {
+		case <-req.done:
+		case <-ctx.Done():
+			if m.withdraw(req) {
+				return nil, ctx.Err()
+			}
+			// A launch already took the request; it completes as a unit.
+			<-req.done
+		}
+	} else {
+		<-req.done
 	}
-	return req.scores
+	return req.scores, req.err
+}
+
+// withdraw removes a still-queued request (cancelled by its submitter)
+// from the dispatch queue. It reports false when a dispatcher already
+// took the request into a launch.
+func (m *Mux) withdraw(req *request) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for i, r := range m.queue {
+		if r == req {
+			m.queue = append(m.queue[:i], m.queue[i+1:]...)
+			m.stats.Withdrawn++
+			return true
+		}
+	}
+	return false
 }
 
 // dispatch drains the queue: each iteration takes everything queued,
@@ -189,7 +231,8 @@ func (m *Mux) dispatch(mine *request) {
 // as a unit. Accounting strictly precedes delivery so that once a
 // submitter's Score has returned, its launch is visible in Stats — an
 // observer that joins all submitters can never see a request counted
-// but its launch missing. A panicking UDF fails its own request only;
+// but its launch missing. A failing or panicking UDF fails its own
+// request only (vision.SafeScore converts both into a typed error);
 // the rest of the batch is still served, and the failed request's
 // frames are not counted as scored or charged (its scoring never
 // completed).
@@ -197,11 +240,8 @@ func (m *Mux) launch(batch []*request) {
 	frames := 0
 	deviceMS := batch[0].cost.OracleCallMS
 	for _, r := range batch {
-		func() {
-			defer func() { r.panicked = recover() }()
-			r.scores = r.udf.Score(r.src, r.ids)
-		}()
-		if r.panicked != nil {
+		r.scores, r.err = vision.SafeScore(r.udf, r.src, r.ids)
+		if r.err != nil {
 			continue
 		}
 		frames += len(r.ids)

@@ -1,6 +1,8 @@
 package oraclemux
 
 import (
+	"context"
+	"errors"
 	"math/rand"
 	"reflect"
 	"runtime"
@@ -11,6 +13,17 @@ import (
 	"github.com/everest-project/everest/internal/video"
 	"github.com/everest-project/everest/internal/vision"
 )
+
+// score is the tests' happy-path Score: background context, errors
+// reported (Error, not Fatal — many callers are goroutines).
+func score(t testing.TB, m *Mux, src video.Source, udf vision.UDF, ids []int, cost simclock.CostModel) []float64 {
+	t.Helper()
+	got, err := m.Score(context.Background(), src, udf, ids, cost)
+	if err != nil {
+		t.Errorf("mux score %v: %v", ids, err)
+	}
+	return got
+}
 
 func testSource(t testing.TB, seed uint64) *video.Synthetic {
 	t.Helper()
@@ -61,14 +74,14 @@ func TestMuxConsolidatesQueuedRequests(t *testing.T) {
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
-		scores[0] = m.Score(src, gate, idsOf(0), cost)
+		scores[0] = score(t, m, src, gate, idsOf(0), cost)
 	}()
 	<-gate.started // request 0 is mid-launch; the dispatcher is busy
 	for i := 1; i < 5; i++ {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			scores[i] = m.Score(src, gate, idsOf(i), cost)
+			scores[i] = score(t, m, src, gate, idsOf(i), cost)
 		}(i)
 	}
 	for m.pending() < 4 {
@@ -124,7 +137,7 @@ func TestMuxSplitsIncompatibleModels(t *testing.T) {
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
-		m.Score(src, gate, []int{0, 1}, cost)
+		score(t, m, src, gate, []int{0, 1}, cost)
 	}()
 	<-gate.started
 	// Queue two compatible car requests, one bus request, and one car
@@ -142,7 +155,7 @@ func TestMuxSplitsIncompatibleModels(t *testing.T) {
 		wg.Add(1)
 		go func(udf vision.UDF, ids []int, c simclock.CostModel) {
 			defer wg.Done()
-			m.Score(src, udf, ids, c)
+			score(t, m, src, udf, ids, c)
 		}(sub.udf, sub.ids, sub.cost)
 	}
 	for m.pending() < 4 {
@@ -171,14 +184,14 @@ func TestMuxMaxFramesBound(t *testing.T) {
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
-		m.Score(src, gate, []int{0}, cost)
+		score(t, m, src, gate, []int{0}, cost)
 	}()
 	<-gate.started
 	for i := 0; i < 3; i++ {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			m.Score(src, gate, []int{10 * (i + 1), 10*(i+1) + 1}, cost)
+			score(t, m, src, gate, []int{10 * (i + 1), 10*(i+1) + 1}, cost)
 		}(i)
 	}
 	for m.pending() < 3 {
@@ -222,7 +235,7 @@ func TestMuxConcurrentSubmitters(t *testing.T) {
 				for i := range ids {
 					ids[i] = rng.Intn(src.NumFrames())
 				}
-				got := m.Score(src, udf, ids, cost)
+				got := score(t, m, src, udf, ids, cost)
 				if want := udf.Score(src, ids); !reflect.DeepEqual(got, want) {
 					errs <- "muxed scores diverged from direct oracle call"
 					return
@@ -253,7 +266,7 @@ func TestMuxConcurrentSubmitters(t *testing.T) {
 // TestMuxEmptyRequest checks the trivial edge: no frames, no dispatch.
 func TestMuxEmptyRequest(t *testing.T) {
 	m := New(0)
-	if got := m.Score(testSource(t, 23), vision.CountUDF{Class: video.ClassCar}, nil, simclock.Default()); got != nil {
+	if got := score(t, m, testSource(t, 23), vision.CountUDF{Class: video.ClassCar}, nil, simclock.Default()); got != nil {
 		t.Fatalf("empty request returned %v", got)
 	}
 	if st := m.Stats(); st.Requests != 0 || st.Launches != 0 {
@@ -277,9 +290,10 @@ func (p panicUDF) Score(src video.Source, ids []int) []float64 {
 }
 
 // TestMuxPanicIsolatedToItsRequest checks fault isolation: a panicking
-// oracle fails its own submitter (re-panicking in that goroutine, as a
-// direct call would) while the rest of the batch is served, and the mux
-// stays usable.
+// oracle fails its own submitter — as a typed *vision.OracleError
+// carrying the recovered panic value and the failing frame IDs, never
+// a re-raised panic in the submitter's goroutine — while the rest of
+// the batch is served, and the mux stays usable.
 func TestMuxPanicIsolatedToItsRequest(t *testing.T) {
 	src := testSource(t, 29)
 	inner := vision.CountUDF{Class: video.ClassCar}
@@ -287,20 +301,25 @@ func TestMuxPanicIsolatedToItsRequest(t *testing.T) {
 	cost := simclock.Default()
 	m := New(0)
 
-	var wg sync.WaitGroup
-	var recovered any
-	wg.Add(1)
-	go func() {
-		defer wg.Done()
-		defer func() { recovered = recover() }()
-		m.Score(src, bad, []int{7}, cost)
-	}()
-	wg.Wait()
-	if recovered != "oracle fault" {
-		t.Fatalf("submitter recovered %v, want the oracle's panic", recovered)
+	scores, err := m.Score(context.Background(), src, bad, []int{7}, cost)
+	if scores != nil {
+		t.Fatalf("panicked request returned scores %v", scores)
+	}
+	var oe *vision.OracleError
+	if !errors.As(err, &oe) {
+		t.Fatalf("panicked request returned %v (%T), want *vision.OracleError", err, err)
+	}
+	if oe.Panic != "oracle fault" {
+		t.Fatalf("OracleError carries panic %v, want the oracle's value", oe.Panic)
+	}
+	if !reflect.DeepEqual(oe.Frames, []int{7}) {
+		t.Fatalf("OracleError frames %v, want [7]", oe.Frames)
+	}
+	if vision.Transient(err) {
+		t.Fatal("a panic must not classify as transient")
 	}
 	// The mux still serves.
-	got := m.Score(src, inner, []int{1, 2}, cost)
+	got := score(t, m, src, inner, []int{1, 2}, cost)
 	if want := inner.Score(src, []int{1, 2}); !reflect.DeepEqual(got, want) {
 		t.Fatalf("mux wedged after a panicking launch: %v vs %v", got, want)
 	}
@@ -312,5 +331,66 @@ func TestMuxPanicIsolatedToItsRequest(t *testing.T) {
 	}
 	if want := 2*cost.OracleCallMS + 2*inner.OracleCostMS(cost); st.DeviceMS != want {
 		t.Fatalf("device clock %v ms charged for unscored frames, want %v", st.DeviceMS, want)
+	}
+}
+
+// TestMuxCancelWhileQueuedWithdraws checks the cancellation contract:
+// a request cancelled while still queued leaves the queue (Withdrawn
+// accounting, ctx.Err() to the submitter) without perturbing the
+// sibling requests it would have consolidated with — they score and
+// account exactly as usual.
+func TestMuxCancelWhileQueuedWithdraws(t *testing.T) {
+	src := testSource(t, 31)
+	inner := vision.CountUDF{Class: video.ClassCar}
+	gate := &gateUDF{UDF: inner, started: make(chan struct{}), release: make(chan struct{})}
+	cost := simclock.Default()
+	m := New(0)
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		score(t, m, src, gate, []int{0}, cost)
+	}()
+	<-gate.started // dispatcher is mid-launch; new requests queue
+
+	ctx, cancel := context.WithCancel(context.Background())
+	var sibling []float64
+	var cancelledErr error
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		sibling = score(t, m, src, gate, []int{10, 11}, cost)
+	}()
+	go func() {
+		defer wg.Done()
+		_, cancelledErr = m.Score(ctx, src, gate, []int{20}, cost)
+	}()
+	for m.pending() < 2 {
+		runtime.Gosched()
+	}
+	cancel()
+	// The withdrawal must land before the held launch completes, or the
+	// dispatcher could legitimately take the request into a batch.
+	for m.Stats().Withdrawn == 0 {
+		runtime.Gosched()
+	}
+	close(gate.release)
+	wg.Wait()
+
+	if !errors.Is(cancelledErr, context.Canceled) {
+		t.Fatalf("cancelled submitter got %v, want context.Canceled", cancelledErr)
+	}
+	if want := inner.Score(src, []int{10, 11}); !reflect.DeepEqual(sibling, want) {
+		t.Fatalf("sibling scores perturbed by a withdrawn neighbour: %v vs %v", sibling, want)
+	}
+	st := m.Stats()
+	if st.Withdrawn != 1 {
+		t.Fatalf("want 1 withdrawn request, got %d", st.Withdrawn)
+	}
+	// 3 requests, 2 launches (gated; sibling), 3 frames — the withdrawn
+	// request's frame was never scored or charged.
+	if st.Requests != 3 || st.Launches != 2 || st.Frames != 3 {
+		t.Fatalf("accounting after withdrawal: %+v, want 3 requests / 2 launches / 3 frames", st)
 	}
 }

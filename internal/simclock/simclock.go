@@ -29,13 +29,17 @@ type Phase string
 
 // Phases used by the Everest pipeline. Baselines use their own phases.
 const (
-	PhaseLabelSamples  Phase = "phase1/label-samples-by-oracle"
-	PhaseTrainCMDN     Phase = "phase1/train-cmdn"
-	PhasePopulateD0    Phase = "phase1/populate-d0-by-cmdn"
-	PhaseDiffDetect    Phase = "phase1/difference-detector"
-	PhaseSelect        Phase = "phase2/select-candidate"
-	PhaseConfirm       Phase = "phase2/confirm-by-oracle"
-	PhaseTopkProb      Phase = "phase2/topk-prob"
+	PhaseLabelSamples Phase = "phase1/label-samples-by-oracle"
+	PhaseTrainCMDN    Phase = "phase1/train-cmdn"
+	PhasePopulateD0   Phase = "phase1/populate-d0-by-cmdn"
+	PhaseDiffDetect   Phase = "phase1/difference-detector"
+	PhaseSelect       Phase = "phase2/select-candidate"
+	PhaseConfirm      Phase = "phase2/confirm-by-oracle"
+	PhaseTopkProb     Phase = "phase2/topk-prob"
+	// PhaseRetryBackoff accounts the simulated waits the retry layer
+	// inserts between oracle dispatch attempts after transient failures.
+	// Zero on the golden path — it appears only when faults fire.
+	PhaseRetryBackoff  Phase = "phase2/retry-backoff"
 	PhaseBaselineScan  Phase = "baseline/scan"
 	PhaseBaselineTrain Phase = "baseline/train"
 )

@@ -1,0 +1,121 @@
+package vision
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/everest-project/everest/internal/video"
+)
+
+// FallibleUDF is the optional error-returning extension of UDF — the
+// dispatch-boundary contract of the fault-tolerance layer. A UDF whose
+// oracle can fail (a remote model, a fault-injection wrapper) implements
+// TryScore; the engine's dispatch path prefers it over Score, classifies
+// the error (see Transient) and retries transient failures with
+// simulated backoff. Plain UDFs are dispatched through SafeScore's panic
+// recovery instead, so a panicking oracle surfaces as a typed
+// *OracleError either way — never as a panic in a caller goroutine.
+type FallibleUDF interface {
+	// TryScore is Score with an error channel: it returns the exact raw
+	// score of each listed frame, or an error describing why the oracle
+	// could not. Like Score it must be safe for concurrent calls.
+	TryScore(src video.Source, ids []int) ([]float64, error)
+}
+
+// OracleError is the typed failure of one oracle dispatch: which UDF,
+// which frames, and whether the oracle panicked or returned an error.
+// It is the error Session.Query and friends surface when a tenant's UDF
+// fails or panics — a panicking UDF must never crash a serving process.
+type OracleError struct {
+	// UDF names the scoring function that failed.
+	UDF string
+	// Frames lists the frame IDs of the failed dispatch.
+	Frames []int
+	// Panic is the recovered panic value when the oracle panicked
+	// (nil for plain errors).
+	Panic any
+	// Err is the underlying error (nil for pure panics).
+	Err error
+	// Transient marks failures worth retrying: the oracle said (via the
+	// Transient() classification hook) that a later attempt may succeed.
+	// Panics and unclassified errors are permanent.
+	Transient bool
+}
+
+// Error implements error.
+func (e *OracleError) Error() string {
+	switch {
+	case e.Panic != nil:
+		return fmt.Sprintf("vision: oracle %s panicked scoring %d frames: %v", e.UDF, len(e.Frames), e.Panic)
+	case e.Transient:
+		return fmt.Sprintf("vision: oracle %s transiently failed scoring %d frames: %v", e.UDF, len(e.Frames), e.Err)
+	default:
+		return fmt.Sprintf("vision: oracle %s failed scoring %d frames: %v", e.UDF, len(e.Frames), e.Err)
+	}
+}
+
+// Unwrap exposes the underlying error to errors.Is/As chains.
+func (e *OracleError) Unwrap() error { return e.Err }
+
+// OracleFailure marks the error as an oracle-availability failure — the
+// class of error a degraded-mode query (Plan.DegradedOK) may answer
+// around with proxy-only results. The engine's Phase 2 loop probes for
+// this method rather than importing this package.
+func (e *OracleError) OracleFailure() bool { return true }
+
+// transienter is the classification hook fault sources implement on
+// their error types: Transient() true means a retry may succeed.
+type transienter interface{ Transient() bool }
+
+// Transient reports whether err is a retryable oracle failure: an
+// *OracleError marked transient, or any error in the chain implementing
+// Transient() bool returning true.
+func Transient(err error) bool {
+	var oe *OracleError
+	if errors.As(err, &oe) {
+		return oe.Transient
+	}
+	var t transienter
+	return errors.As(err, &t) && t.Transient()
+}
+
+// SafeScore is the one oracle dispatch boundary: it scores ids with the
+// UDF — via TryScore when implemented, Score otherwise — and converts
+// every failure mode into a typed *OracleError: returned errors are
+// wrapped (carrying their Transient classification), panics are
+// recovered, and a wrong-length score slice is rejected. On success the
+// scores are exactly what a direct udf.Score call would return, at zero
+// added cost — the fault layer never perturbs the golden path.
+func SafeScore(udf UDF, src video.Source, ids []int) (scores []float64, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			scores = nil
+			err = &OracleError{UDF: udf.Name(), Frames: append([]int(nil), ids...), Panic: r}
+		}
+	}()
+	if f, ok := udf.(FallibleUDF); ok {
+		scores, err = f.TryScore(src, ids)
+		if err != nil {
+			var oe *OracleError
+			if errors.As(err, &oe) {
+				return nil, oe
+			}
+			return nil, &OracleError{
+				UDF:       udf.Name(),
+				Frames:    append([]int(nil), ids...),
+				Err:       err,
+				Transient: Transient(err),
+			}
+		}
+	} else {
+		scores = udf.Score(src, ids)
+	}
+	if len(scores) != len(ids) {
+		return nil, &OracleError{
+			UDF:    udf.Name(),
+			Frames: append([]int(nil), ids...),
+			Err:    fmt.Errorf("oracle returned %d scores for %d frames", len(scores), len(ids)),
+		}
+	}
+	return scores, nil
+}

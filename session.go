@@ -1,6 +1,7 @@
 package everest
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -153,23 +154,51 @@ func (s *Session) applyCachePolicy(cfg Config) {
 // cache's cross-query scheduler instead, which batches it with other
 // in-flight coalesced queries into one engine run.
 func (s *Session) Query(cfg Config) (*Result, error) {
+	return s.QueryCtx(context.Background(), cfg)
+}
+
+// QueryCtx is Query with a cancellable context: a cancelled ctx stops
+// the query — waiting at the admission gate, queued at the coalescing
+// scheduler, or mid-Phase 2 — and returns ctx.Err(). Cancellation
+// never poisons siblings: a cancelled member leaves its coalesced
+// group (and any mux batch) without perturbing the others' results or
+// charges, and its admission slot is always released.
+//
+// Failure semantics (see DESIGN.md "Failure semantics"): a UDF that
+// fails or panics surfaces as a typed *OracleError — a tenant's
+// panicking oracle never crashes the serving process — and the
+// confirmed labels a failed query already paid for are still published
+// to the session's cache. Unconfirmed (degraded) estimates never are.
+func (s *Session) QueryCtx(ctx context.Context, cfg Config) (res *Result, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			res, err = nil, oraclePanicError(s.udf, r)
+		}
+	}()
 	s.applyCachePolicy(cfg)
 	if cfg.Coalesce {
-		results, err := s.queryCoalesced([]Config{cfg})
+		results, err := s.queryCoalesced(ctx, []Config{cfg})
 		if err != nil {
 			return nil, err
 		}
 		return results[0], nil
 	}
-	release := s.cache.Admit(cfg.AdmissionLimit)
-	defer release()
-	snap, _ := s.cache.Snapshot()
-	overlay := labelstore.NewOverlay(snap)
-	res, err := s.ix.query(s.src, s.udf, cfg, overlay)
+	release, err := s.cache.AdmitCtx(ctx, cfg.AdmissionLimit)
 	if err != nil {
 		return nil, err
 	}
+	defer release()
+	snap, _ := s.cache.Snapshot()
+	overlay := labelstore.NewOverlay(snap)
+	res, qerr := s.ix.query(ctx, s.src, s.udf, cfg, overlay)
+	// Publish before checking the error: a query that failed mid-cleaning
+	// already paid the oracle for every label in its fresh set (only
+	// successful dispatches enter the overlay), and paid-for work is
+	// never lost — the same contract the coalesced path keeps.
 	s.cache.Publish(overlay.Fresh())
+	if qerr != nil {
+		return nil, qerr
+	}
 	s.queries.Add(1)
 	return res, nil
 }
@@ -205,6 +234,21 @@ func (s *Session) Query(cfg Config) (*Result, error) {
 // is never lost — the same per-member contract in both the
 // independent and the coalesced mode.
 func (s *Session) QueryBatch(cfgs []Config) ([]*Result, error) {
+	return s.QueryBatchCtx(context.Background(), cfgs)
+}
+
+// QueryBatchCtx is QueryBatch with a cancellable context governing the
+// whole batch: cancellation stops every member with ctx.Err() (slots
+// nil), releases the batch's admission slot, and still publishes the
+// confirmed labels completed members paid for. A member's UDF panic is
+// recovered per member — it fails only its own slot, as a typed
+// *OracleError, exactly like an error return.
+func (s *Session) QueryBatchCtx(ctx context.Context, cfgs []Config) (_ []*Result, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = oraclePanicError(s.udf, r)
+		}
+	}()
 	if len(cfgs) == 0 {
 		return nil, nil
 	}
@@ -214,9 +258,12 @@ func (s *Session) QueryBatch(cfgs []Config) ([]*Result, error) {
 		coalesce = coalesce || cfg.Coalesce
 	}
 	if coalesce {
-		return s.queryCoalesced(cfgs)
+		return s.queryCoalesced(ctx, cfgs)
 	}
-	release := s.cache.Admit(batchAdmissionLimit(cfgs))
+	release, err := s.cache.AdmitCtx(ctx, batchAdmissionLimit(cfgs))
+	if err != nil {
+		return nil, err
+	}
 	defer release()
 	snap, _ := s.cache.Snapshot()
 	overlays := make([]*labelstore.Overlay, len(cfgs))
@@ -230,12 +277,21 @@ func (s *Session) QueryBatch(cfgs []Config) ([]*Result, error) {
 		wg.Add(1)
 		go func(i int, cfg Config) {
 			defer wg.Done()
-			results[i], errs[i] = s.ix.query(s.src, s.udf, cfg, overlays[i])
+			defer func() {
+				if r := recover(); r != nil {
+					results[i], errs[i] = nil, oraclePanicError(s.udf, r)
+				}
+			}()
+			results[i], errs[i] = s.ix.query(ctx, s.src, s.udf, cfg, overlays[i])
 		}(i, cfg)
 	}
 	wg.Wait()
 	var firstErr error
 	for i := range cfgs {
+		// A failed member's confirmed labels are published too: only
+		// successful oracle dispatches ever enter an overlay, so this is
+		// paid-for exact work, never speculation.
+		s.cache.Publish(overlays[i].Fresh())
 		if errs[i] != nil {
 			results[i] = nil
 			if firstErr == nil {
@@ -243,7 +299,6 @@ func (s *Session) QueryBatch(cfgs []Config) ([]*Result, error) {
 			}
 			continue
 		}
-		s.cache.Publish(overlays[i].Fresh())
 		s.queries.Add(1)
 	}
 	return results, firstErr
@@ -260,7 +315,7 @@ func (s *Session) QueryBatch(cfgs []Config) ([]*Result, error) {
 // first error — compile-stage errors reported first — and their labels
 // were already published by the scheduler, so paid-for oracle work
 // survives a partly-failed group.
-func (s *Session) queryCoalesced(cfgs []Config) ([]*Result, error) {
+func (s *Session) queryCoalesced(ctx context.Context, cfgs []Config) ([]*Result, error) {
 	results := make([]*Result, len(cfgs))
 	var firstErr error
 	plans := make([]engine.Plan, 0, len(cfgs))
@@ -277,6 +332,7 @@ func (s *Session) queryCoalesced(cfgs []Config) ([]*Result, error) {
 			}
 			continue
 		}
+		b.Ctx = ctx
 		plans = append(plans, p)
 		binds = append(binds, b)
 		slot = append(slot, i)
@@ -319,6 +375,12 @@ func batchAdmissionLimit(cfgs []Config) int {
 // coalesced group: the first pays the oracle, the repeats ride its
 // labels — results still bit-identical to serial repeats.)
 func (s *Session) RunConcurrent(cfg Config, n int) ([]*Result, error) {
+	return s.RunConcurrentCtx(context.Background(), cfg, n)
+}
+
+// RunConcurrentCtx is RunConcurrent with a cancellable context
+// governing all n copies (see QueryBatchCtx).
+func (s *Session) RunConcurrentCtx(ctx context.Context, cfg Config, n int) ([]*Result, error) {
 	if n <= 0 {
 		return nil, fmt.Errorf("everest: concurrent query count must be positive, got %d", n)
 	}
@@ -326,7 +388,19 @@ func (s *Session) RunConcurrent(cfg Config, n int) ([]*Result, error) {
 	for i := range cfgs {
 		cfgs[i] = cfg
 	}
-	return s.QueryBatch(cfgs)
+	return s.QueryBatchCtx(ctx, cfgs)
+}
+
+// oraclePanicError is the public API's last-resort recovery: any panic
+// that unwinds out of a query path — a tenant UDF or video source that
+// panicked outside the guarded dispatch boundary — becomes a typed
+// *OracleError instead of crashing the process. An *OracleError panic
+// value (already typed by the dispatch boundary) passes through as is.
+func oraclePanicError(udf vision.UDF, r any) error {
+	if oe, ok := r.(*vision.OracleError); ok {
+		return oe
+	}
+	return &vision.OracleError{UDF: udf.Name(), Panic: r}
 }
 
 // CachedLabels returns the number of distinct frames whose exact score
