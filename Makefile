@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test vet race chaos fuzz bench bench-diff bench-smoke experiments
+.PHONY: build test testbuild vet race chaos fuzz bench bench-diff bench-smoke experiments
 
 build:
 	$(GO) build ./...
@@ -12,6 +12,12 @@ vet:
 
 test:
 	$(GO) test ./...
+
+# Compile every package's test binary without running any test: catches
+# _test.go files that no longer build (go build ./... does not compile
+# them, and a broken test file fails the whole tier-1 gate).
+testbuild:
+	$(GO) test -run '^$$' -count=1 ./...
 
 # Race-check the concurrency packages and the engine determinism tests;
 # the full suite under -race is too slow for a quick gate.

@@ -17,6 +17,7 @@
 //	everest -dataset Archie -k 10 -concurrent 4 -chaos 'err:2,slow:5:250' -retries 3 -degraded-ok
 //	everest -dataset Dashcam-California -udf tailgate -k 50
 //	everest -query 'SELECT TOP 10 WINDOWS OF 300 EVERY 30 FROM Archie RANK BY count(car)' [-explain]
+//	everest -query 'EXPLAIN ANALYZE SELECT TOP 10 FRAMES FROM Archie RANK BY count(car)'  # cost-based planner chooses the knobs, runs the plan, reports predicted vs actual
 //	everest -repl
 //	everest -list
 package main
@@ -76,7 +77,19 @@ func main() {
 	}
 
 	if *query != "" {
-		if *explain {
+		q, err := eql.Parse(*query)
+		if err != nil {
+			fatal(err)
+		}
+		if q.Analyze {
+			rep, err := eql.Analyze(*query)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Print(rep.String())
+			return
+		}
+		if q.Explain || *explain {
 			out, err := eql.Explain(*query)
 			if err != nil {
 				fatal(err)

@@ -51,6 +51,7 @@ package everest
 import (
 	"context"
 	"errors"
+	"fmt"
 	"time"
 
 	"github.com/everest-project/everest/internal/cmdn"
@@ -294,6 +295,25 @@ func (c Config) plan() engine.Plan {
 		DegradedOK:       c.DegradedOK,
 		Ingest:           c.phase1Options(c.Seed),
 	}.Normalize()
+}
+
+// PlanKnob is one engine setting of a compiled Config, rendered for
+// plan introspection (EXPLAIN / EXPLAIN ANALYZE reports).
+type PlanKnob struct {
+	Name, Value string
+}
+
+// PlanKnobs renders the engine knob settings this Config compiles to,
+// in a fixed deterministic order. Coalesce is prepended because it
+// lives on Config (it selects the Session submission path) rather than
+// on the engine plan itself.
+func (c Config) PlanKnobs() []PlanKnob {
+	c = c.withDefaults()
+	ks := []PlanKnob{{"coalesce", fmt.Sprintf("%t", c.Coalesce)}}
+	for _, k := range c.plan().Knobs() {
+		ks = append(ks, PlanKnob(k))
+	}
+	return ks
 }
 
 // Phase1Info reports what Phase 1 did.

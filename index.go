@@ -47,6 +47,11 @@ func (ix *Index) IngestMS() float64 { return ix.ingestMS }
 // Info returns the Phase 1 statistics captured at ingestion.
 func (ix *Index) Info() Phase1Info { return ix.info }
 
+// CertainFrames reports how many frames the index already holds exact
+// oracle scores for. These enter Phase 2 certain and are never cleaned
+// again — a planner subtracts them from the uncertain-relation estimate.
+func (ix *Index) CertainFrames() int { return len(ix.art.Exact) }
+
 // BuildIndex runs the engine's Ingest stage once and captures its
 // outputs for reuse.
 func BuildIndex(src video.Source, udf vision.UDF, cfg Config) (*Index, error) {

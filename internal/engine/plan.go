@@ -238,6 +238,55 @@ func Compatible(a, b Plan) bool {
 	return a.Cost == b.Cost
 }
 
+// Knob is one engine setting rendered for plan introspection (EXPLAIN
+// and the planner's reports).
+type Knob struct {
+	Name, Value string
+}
+
+// Knobs renders the plan's engine settings in a fixed, deterministic
+// order. Knobs that are off and default-zero (admission limit,
+// deadline, retries) are omitted so reports stay readable.
+func (p Plan) Knobs() []Knob {
+	ks := []Knob{
+		{"k", fmt.Sprintf("%d", p.K)},
+		{"threshold", fmt.Sprintf("%g", p.Threshold)},
+	}
+	if p.Window.Enabled() {
+		ks = append(ks,
+			Knob{"window-size", fmt.Sprintf("%d", p.Window.Size)},
+			Knob{"window-stride", fmt.Sprintf("%d", p.Window.Stride)},
+			Knob{"window-sample-frac", fmt.Sprintf("%g", p.Window.SampleFrac)},
+		)
+	}
+	ks = append(ks, Knob{"batch-size", fmt.Sprintf("%d", p.BatchSize)})
+	procs := "auto"
+	if p.Procs > 0 {
+		procs = fmt.Sprintf("%d", p.Procs)
+	}
+	ks = append(ks,
+		Knob{"procs", procs},
+		Knob{"coalesce-wait", p.CoalesceWait.String()},
+		Knob{"use-mux", fmt.Sprintf("%t", p.UseMux)},
+	)
+	if p.Ingest.DisableDiff {
+		ks = append(ks, Knob{"proxy-cascade", "decode→proxy"})
+	} else {
+		ks = append(ks, Knob{"proxy-cascade", "decode→diff→proxy"})
+	}
+	if p.AdmissionLimit > 0 {
+		ks = append(ks, Knob{"admission-limit", fmt.Sprintf("%d", p.AdmissionLimit)})
+	}
+	if p.DeadlineMS > 0 {
+		ks = append(ks, Knob{"deadline-ms", fmt.Sprintf("%g", p.DeadlineMS)})
+	}
+	if p.Retries > 0 {
+		ks = append(ks, Knob{"retries", fmt.Sprintf("%d", p.Retries)})
+	}
+	ks = append(ks, Knob{"seed", fmt.Sprintf("%d", p.Seed)})
+	return ks
+}
+
 // WorkerPool returns a resident worker pool for one plan execution or
 // ingestion run (nil when the effective worker count is 1, where
 // transient serial paths are exact already). The caller owns it: pass

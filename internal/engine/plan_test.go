@@ -4,6 +4,7 @@ import (
 	"reflect"
 	"strings"
 	"testing"
+	"time"
 
 	"github.com/everest-project/everest/internal/core"
 )
@@ -121,5 +122,52 @@ func TestPlanCompatible(t *testing.T) {
 	c.Cost.OracleMS = a.Cost.OracleMS + 1
 	if Compatible(a, c) {
 		t.Fatal("plans with different cost models must not coalesce")
+	}
+}
+
+func TestPlanKnobsIntrospection(t *testing.T) {
+	p := Plan{
+		K: 7, Threshold: 0.95,
+		Window:       WindowSpec{Size: 300, Stride: 30, SampleFrac: 0.2},
+		BatchSize:    8,
+		Procs:        4,
+		CoalesceWait: 25 * time.Millisecond,
+		UseMux:       true,
+		Retries:      3,
+		Seed:         11,
+	}.Normalize()
+	got := map[string]string{}
+	var order []string
+	for _, k := range p.Knobs() {
+		got[k.Name] = k.Value
+		order = append(order, k.Name)
+	}
+	want := map[string]string{
+		"k": "7", "threshold": "0.95",
+		"window-size": "300", "window-stride": "30", "window-sample-frac": "0.2",
+		"batch-size": "8", "procs": "4", "coalesce-wait": "25ms",
+		"use-mux": "true", "proxy-cascade": "decode→diff→proxy",
+		"retries": "3", "seed": "11",
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("knobs = %v, want %v", got, want)
+	}
+	// Deterministic order, and the zero-valued optional knobs are omitted.
+	again := p.Knobs()
+	for i, k := range again {
+		if k.Name != order[i] {
+			t.Fatalf("knob order not deterministic: %v vs %v", again, order)
+		}
+	}
+	frame := validPlan().Normalize()
+	for _, k := range frame.Knobs() {
+		switch k.Name {
+		case "window-size", "admission-limit", "deadline-ms", "retries":
+			t.Fatalf("frame plan with defaults rendered optional knob %s", k.Name)
+		case "procs":
+			if k.Value != "auto" {
+				t.Fatalf("unset procs rendered %q, want auto", k.Value)
+			}
+		}
 	}
 }

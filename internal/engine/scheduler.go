@@ -155,7 +155,13 @@ func (s *Scheduler) withdraw(sub *submission) bool {
 	defer s.mu.Unlock()
 	for i, q := range s.queue {
 		if q == sub {
-			s.queue = append(s.queue[:i], s.queue[i+1:]...)
+			// Shift left and nil the vacated trailing slot: the backing
+			// array must not keep a dead *submission alive (the aliasing
+			// the resurrection bug exploited) nor pin its bindings for GC.
+			copy(s.queue[i:], s.queue[i+1:])
+			last := len(s.queue) - 1
+			s.queue[last] = nil
+			s.queue = s.queue[:last]
 			return true
 		}
 	}
@@ -254,6 +260,18 @@ func (s *Scheduler) lead(mine []*submission) {
 			s.mu.Unlock()
 			wait(w)
 			s.mu.Lock()
+			// Every queued submission may have withdrawn during the wait.
+			// The queue's slice header is then empty, but its backing array
+			// still holds the dead *submission — and s.queue[:1:1] on a
+			// zero-length slice with spare capacity would legally slice the
+			// withdrawn submission back into a group after its Submit
+			// already returned ctx.Err(). Re-check emptiness and recompute
+			// the prefix from scratch; the loop top releases leadership
+			// atomically with its own empty-queue check.
+			if len(s.queue) == 0 {
+				s.mu.Unlock()
+				continue
+			}
 		}
 		n := 1
 		for n < len(s.queue) && Compatible(s.queue[0].plan, s.queue[n].plan) {

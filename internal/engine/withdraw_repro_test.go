@@ -16,7 +16,7 @@ func TestWithdrawDuringCoalesceWaitRepro(t *testing.T) {
 	aInGroup := make(chan struct{})
 	aRelease := make(chan struct{})
 	s := NewScheduler(
-		func() *labelstore.Overlay { return labelstore.NewOverlay(nil) },
+		func() *labelstore.Overlay { return labelstore.NewOverlay(labelstore.Map{}) },
 		func(map[int]float64) {},
 		func(int) func() {
 			if admits.Add(1) == 1 {
@@ -31,8 +31,8 @@ func TestWithdrawDuringCoalesceWaitRepro(t *testing.T) {
 	bDone := make(chan struct{})
 	waited := make(chan struct{})
 	s.SetWaitClockForTest(func(time.Duration) {
-		cancel()  // B's submitter cancels while the leader sleeps
-		<-bDone   // B withdraws and Submit returns
+		cancel() // B's submitter cancels while the leader sleeps
+		<-bDone  // B withdraws and Submit returns
 		close(waited)
 	})
 

@@ -1,0 +1,246 @@
+package eql
+
+import (
+	"fmt"
+	"strings"
+
+	everest "github.com/everest-project/everest"
+	"github.com/everest-project/everest/internal/eql/planner"
+	"github.com/everest-project/everest/internal/oraclemux"
+	"github.com/everest-project/everest/internal/simclock"
+)
+
+// AnalyzeOptions tunes an EXPLAIN ANALYZE run.
+type AnalyzeOptions struct {
+	// Procs pins the worker count (0 lets the planner choose). Wall-clock
+	// only: results and simulated charges are identical for any value.
+	Procs int
+	// Concurrency tells the planner how many compatible queries to expect
+	// in flight together (≤ 1 plans for a lone query, leaving the serving
+	// knobs — coalesce, mux — off).
+	Concurrency int
+}
+
+// PhaseRow is one line of the predicted-vs-actual cost table.
+type PhaseRow struct {
+	Phase       string
+	PredictedMS float64
+	ActualMS    float64
+}
+
+// AnalyzeReport is the result of an EXPLAIN ANALYZE: the planner's
+// choice with its reasoning and candidate table, plus the measured
+// execution of the chosen plan.
+type AnalyzeReport struct {
+	// Statement echoes the analyzed EQL text.
+	Statement string
+	// Plan is the bound query.
+	Plan *Plan
+	// Config is the final engine configuration the planner chose — the
+	// exact Config a caller would hand-set to reproduce the run
+	// bit-identically.
+	Config everest.Config
+	// Chosen is the winning candidate with per-phase reasoning.
+	Chosen planner.Candidate
+	// Candidates is the priced enumeration (post-ingest: the cascade is
+	// fixed, so the grid ranges over batch sizes).
+	Candidates []planner.Candidate
+	// IngestMS is the measured Phase 1 cost (0 when the session's index
+	// predates this call and nothing was ingested here).
+	IngestMS float64
+	// Result is the executed query's answer.
+	Result *everest.Result
+	// Phases is the predicted-vs-actual simulated cost per phase.
+	Phases []PhaseRow
+	// PredictedLaunches/Cleaned vs the engine's counters.
+	PredictedLaunches int
+	ActualLaunches    int
+	PredictedCleaned  int
+	ActualCleaned     int
+	// Mux accounting deltas for the run (zero unless the chosen plan
+	// routed through the shared oracle multiplexer).
+	MuxRequests int
+	MuxLaunches int
+	MuxSavedMS  float64
+}
+
+// String renders the report.
+func (r *AnalyzeReport) String() string {
+	var b strings.Builder
+	stmt := strings.TrimSpace(r.Statement)
+	if !strings.HasPrefix(strings.ToUpper(stmt), "EXPLAIN") {
+		stmt = "EXPLAIN ANALYZE " + stmt
+	}
+	fmt.Fprintf(&b, "%s\n", stmt)
+	b.WriteString("  chosen knobs:\n")
+	for _, k := range r.Config.PlanKnobs() {
+		fmt.Fprintf(&b, "    %-20s %s\n", k.Name, k.Value)
+	}
+	b.WriteString("  reasons:\n")
+	for _, w := range r.Chosen.Why {
+		fmt.Fprintf(&b, "    - %s\n", w)
+	}
+	candidateTable(&b, r.Candidates)
+	b.WriteString("  predicted vs actual (simulated ms):\n")
+	fmt.Fprintf(&b, "    %-28s  %12s  %12s\n", "phase", "predicted", "actual")
+	for _, row := range r.Phases {
+		fmt.Fprintf(&b, "    %-28s  %12.1f  %12.1f\n", row.Phase, row.PredictedMS, row.ActualMS)
+	}
+	fmt.Fprintf(&b, "  oracle launches  predicted %d, actual %d\n", r.PredictedLaunches, r.ActualLaunches)
+	fmt.Fprintf(&b, "  confirmations    predicted %d, actual %d\n", r.PredictedCleaned, r.ActualCleaned)
+	if r.Config.UseMux {
+		fmt.Fprintf(&b, "  mux              %d requests in %d device launches, %.0f ms launch overhead saved\n",
+			r.MuxRequests, r.MuxLaunches, r.MuxSavedMS)
+	}
+	if res := r.Result; res != nil {
+		fmt.Fprintf(&b, "  result           top-%d ids=%v confidence=%.4f\n", len(res.IDs), res.IDs, res.Confidence)
+	}
+	return b.String()
+}
+
+// Analyze parses an EQL statement (with or without the EXPLAIN ANALYZE
+// prefix), lets the planner choose every engine knob, runs the chosen
+// plan, and reports predicted vs actual simulated cost per phase.
+func Analyze(src string) (*AnalyzeReport, error) {
+	return AnalyzeWithOptions(src, AnalyzeOptions{})
+}
+
+// AnalyzeWithOptions is Analyze with pinned options. It ingests its own
+// index (paying Phase 1 under the planner's cascade and procs choices),
+// so the report covers both phases; use AnalyzeOnSession to analyze
+// against an existing session instead.
+func AnalyzeWithOptions(src string, opt AnalyzeOptions) (*AnalyzeReport, error) {
+	q, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	if q.Parallel > 1 {
+		return nil, fmt.Errorf("eql: EXPLAIN ANALYZE does not support PARALLEL scale-out; the planner sets procs itself")
+	}
+	plan, err := Bind(q)
+	if err != nil {
+		return nil, err
+	}
+
+	// Pre-ingest planning: the cascade depth and worker count must be
+	// fixed before Phase 1 runs.
+	in := plannerInput(plan)
+	in.Concurrency = opt.Concurrency
+	in.PinProcs = opt.Procs
+	pre := planner.Choose(in)
+	cfg := plan.Config
+	cfg.DisableDiff = pre.Knobs.DisableDiff
+	cfg.Procs = pre.Knobs.Procs
+
+	ix, err := everest.BuildIndex(plan.Source, plan.UDF, cfg)
+	if err != nil {
+		return nil, err
+	}
+	sess, err := everest.NewSession(ix, plan.Source, plan.UDF)
+	if err != nil {
+		return nil, err
+	}
+	rep, err := analyzeOn(plan, ix, sess, cfg, opt)
+	if err != nil {
+		return nil, err
+	}
+	rep.Statement = src
+	rep.IngestMS = ix.IngestMS()
+	return rep, nil
+}
+
+// AnalyzeOnSession analyzes a statement against an existing index and
+// session (the REPL's serving path): Phase 1 is already paid, so the
+// planner inherits the cascade and ranges over the Phase 2 knobs only.
+func AnalyzeOnSession(src string, ix *everest.Index, sess *everest.Session, opt AnalyzeOptions) (*AnalyzeReport, error) {
+	q, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	if q.Parallel > 1 {
+		return nil, fmt.Errorf("eql: EXPLAIN ANALYZE does not support PARALLEL scale-out; the planner sets procs itself")
+	}
+	plan, err := Bind(q)
+	if err != nil {
+		return nil, err
+	}
+	cfg := plan.Config
+	rep, err := analyzeOn(plan, ix, sess, cfg, opt)
+	if err != nil {
+		return nil, err
+	}
+	rep.Statement = src
+	return rep, nil
+}
+
+// analyzeOn runs the post-ingest half of EXPLAIN ANALYZE: refine the
+// planner input with the index's measured Phase 1 statistics, choose
+// the Phase 2 knobs, execute on the session, and assemble the report.
+func analyzeOn(plan *Plan, ix *everest.Index, sess *everest.Session, cfg everest.Config, opt AnalyzeOptions) (*AnalyzeReport, error) {
+	info := ix.Info()
+	in := plannerInput(plan)
+	in.Concurrency = opt.Concurrency
+	in.TrainSamples = info.TrainSamples + info.HoldoutSamples
+	in.Retained = info.Retained
+	in.Certain = ix.CertainFrames()
+	in.HasIndex = true
+	in.CascadeFixed = true
+	in.DisableDiff = cfg.DisableDiff
+	// Procs was fixed before ingest (or by the caller); keep it stable so
+	// the reported Config reproduces the whole run, ingest included.
+	if cfg.Procs > 0 {
+		in.PinProcs = cfg.Procs
+	} else if opt.Procs > 0 {
+		in.PinProcs = opt.Procs
+	}
+
+	chosen := planner.Choose(in)
+	cands := planner.Enumerate(in)
+	cfg.BatchSize = chosen.Knobs.BatchSize
+	cfg.Procs = chosen.Knobs.Procs
+	cfg.Coalesce = chosen.Knobs.Coalesce
+	cfg.CoalesceWait = chosen.Knobs.CoalesceWait
+	cfg.UseMux = chosen.Knobs.UseMux
+
+	var muxBefore oraclemux.Stats
+	if cfg.UseMux {
+		muxBefore = oraclemux.Shared().Stats()
+	}
+	res, err := sess.Query(cfg)
+	if err != nil {
+		return nil, err
+	}
+
+	// Predicted ingest re-priced from the measured Phase 1 statistics, so
+	// the phase-1 row isolates the pricing model from tuple estimation.
+	ingestIn := in
+	ingestIn.HasIndex = false
+	ingestPred := planner.Predict(ingestIn, chosen.Knobs).Phase1MS
+
+	selectActual := res.Clock.PhaseMS(simclock.PhaseSelect) + res.Clock.PhaseMS(simclock.PhaseTopkProb)
+	confirmActual := res.Clock.PhaseMS(simclock.PhaseConfirm)
+	rep := &AnalyzeReport{
+		Plan:       plan,
+		Config:     cfg,
+		Chosen:     chosen,
+		Candidates: cands,
+		Result:     res,
+		Phases: []PhaseRow{
+			{Phase: "phase1 (ingest)", PredictedMS: ingestPred, ActualMS: ix.IngestMS()},
+			{Phase: "phase2/select+topk-prob", PredictedMS: chosen.Pred.SelectMS, ActualMS: selectActual},
+			{Phase: "phase2/confirm-by-oracle", PredictedMS: chosen.Pred.ConfirmMS, ActualMS: confirmActual},
+			{Phase: "query total (phase 2)", PredictedMS: chosen.Pred.SelectMS + chosen.Pred.ConfirmMS, ActualMS: res.Clock.TotalMS()},
+		},
+		PredictedLaunches: chosen.Pred.Launches,
+		ActualLaunches:    res.EngineStats.OracleCalls,
+		PredictedCleaned:  chosen.Pred.Cleaned,
+		ActualCleaned:     res.EngineStats.Cleaned,
+	}
+	if cfg.UseMux {
+		after := oraclemux.Shared().Stats()
+		rep.MuxRequests = after.Requests - muxBefore.Requests
+		rep.MuxLaunches = after.Launches - muxBefore.Launches
+		rep.MuxSavedMS = after.SavedMS - muxBefore.SavedMS
+	}
+	return rep, nil
+}

@@ -80,6 +80,9 @@ func Execute(src string) (*everest.Result, *Plan, error) {
 	if err != nil {
 		return nil, nil, err
 	}
+	if q.Analyze {
+		return nil, nil, fmt.Errorf("eql: EXPLAIN ANALYZE statements plan and measure; use Analyze")
+	}
 	if q.Explain {
 		return nil, nil, fmt.Errorf("eql: EXPLAIN statements describe a plan; use Explain")
 	}

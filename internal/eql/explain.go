@@ -4,48 +4,27 @@ import (
 	"fmt"
 	"strings"
 
+	"github.com/everest-project/everest/internal/eql/planner"
 	"github.com/everest-project/everest/internal/simclock"
 	"github.com/everest-project/everest/internal/windows"
 )
 
-// Explain parses and binds an EQL statement (with or without the EXPLAIN
-// keyword) and renders the execution plan without running it: the bound
-// dataset and UDF, the query shape (frames vs windows, stride, bound
-// kind, scale-out degree), and cost estimates under the simulated cost
-// model — the naive scan-and-test cost the optimizer avoids and an upper
-// bound on Phase 1. Phase 2's oracle bill depends on the score
-// distribution and cannot be known before running; the plan says so
-// rather than guessing.
-func Explain(src string) (string, error) {
-	q, err := Parse(src)
-	if err != nil {
-		return "", err
-	}
-	plan, err := Bind(q)
-	if err != nil {
-		return "", err
-	}
-
-	cost := simclock.Default()
-	n := plan.Source.NumFrames()
-	udfMS := plan.UDF.OracleCostMS(cost)
-	scanMS := float64(n) * (udfMS + cost.DecodeMS)
-
-	// Mirror Phase 1's sampling arithmetic for the label estimate.
-	cfg := plan.Config
-	sampleFrac := cfg.SampleFrac
+// plannedSamples mirrors Phase 1's sampling arithmetic (fraction,
+// floor, cap, holdout) so cost predictions price the label bill the
+// engine will actually pay.
+func plannedSamples(sampleFrac float64, minSamples, sampleCap, n int) int {
 	if sampleFrac == 0 {
 		sampleFrac = 0.02
 	}
 	trainN := int(sampleFrac * float64(n))
-	floor := cfg.MinSamples
+	floor := minSamples
 	if floor == 0 {
 		floor = 600
 	}
 	if trainN < floor {
 		trainN = floor
 	}
-	ceil := cfg.SampleCap
+	ceil := sampleCap
 	if ceil == 0 {
 		ceil = 30000
 	}
@@ -56,8 +35,77 @@ func Explain(src string) (string, error) {
 	if holdN < 100 {
 		holdN = 100
 	}
-	labelMS := float64(trainN+holdN) * (udfMS + cost.DecodeMS)
-	populateMS := float64(n) * (cost.DecodeMS + cost.DiffMS + cost.ProxyMS)
+	return trainN + holdN
+}
+
+// plannerInput assembles the planner's view of a bound plan. Callers
+// holding an index refine it with measured Phase 1 statistics.
+func plannerInput(plan *Plan) planner.Input {
+	cfg := plan.Config
+	cost := cfg.Cost
+	if cost == (simclock.CostModel{}) {
+		cost = simclock.Default()
+	}
+	n := plan.Source.NumFrames()
+	return planner.Input{
+		Frames:           n,
+		K:                cfg.K,
+		Window:           cfg.Window,
+		Stride:           cfg.Stride,
+		WindowSampleFrac: cfg.WindowSampleFrac,
+		UDFFrameMS:       plan.UDF.OracleCostMS(cost),
+		Cost:             cost,
+		TrainSamples:     plannedSamples(cfg.SampleFrac, cfg.MinSamples, cfg.SampleCap, n),
+	}
+}
+
+// candidateTable renders a planner enumeration as the table EXPLAIN and
+// EXPLAIN ANALYZE share.
+func candidateTable(b *strings.Builder, cands []planner.Candidate) {
+	b.WriteString("  candidates (batch × cascade, predicted §3.5 cost):\n")
+	fmt.Fprintf(b, "    %5s  %-26s  %8s  %12s  %s\n", "batch", "cascade", "launches", "predicted-ms", "")
+	for _, c := range cands {
+		mark := ""
+		if c.Chosen {
+			mark = "← chosen"
+		}
+		fmt.Fprintf(b, "    %5d  %-26s  %8d  %12.0f  %s\n",
+			c.Knobs.BatchSize, planner.CascadeName(c.Knobs.DisableDiff),
+			c.Pred.Launches, c.Pred.TotalMS, mark)
+	}
+}
+
+// Explain parses and binds an EQL statement (with or without the EXPLAIN
+// keyword) and renders the execution plan without running it: the bound
+// dataset and UDF, the query shape (frames vs windows, stride, bound
+// kind, scale-out degree), and the planner's knob choices with their
+// predicted costs under the simulated cost model — the candidate table,
+// the chosen batch size and cascade depth, the Phase 1 bill, the
+// expected Phase 2 oracle bill, and the naive scan-and-test cost the
+// optimizer avoids. Phase 2's actual bill depends on the score
+// distribution; EXPLAIN ANALYZE (Analyze) runs the chosen plan and
+// reports predicted vs actual.
+func Explain(src string) (string, error) {
+	q, err := Parse(src)
+	if err != nil {
+		return "", err
+	}
+	plan, err := Bind(q)
+	if err != nil {
+		return "", err
+	}
+
+	in := plannerInput(plan)
+	in.Concurrency = 1
+	if plan.Workers > 1 {
+		in.PinProcs = plan.Workers
+	}
+	chosen := planner.Choose(in)
+	cands := planner.Enumerate(in)
+
+	cost := in.Cost
+	n := in.Frames
+	scanMS := float64(n) * (in.UDFFrameMS + cost.DecodeMS)
 
 	var b strings.Builder
 	fmt.Fprintf(&b, "plan: everest top-%d", q.K)
@@ -85,9 +133,15 @@ func Explain(src string) (string, error) {
 	if plan.Workers > 1 {
 		fmt.Fprintf(&b, "  scale-out %d workers (partitioned phase 1, parallel cleaning)\n", plan.Workers)
 	}
-	fmt.Fprintf(&b, "  phase 1   label ≈%d samples (%.0f ms) + train grid + populate ≤ %.0f ms\n",
-		trainN+holdN, labelMS, populateMS)
-	b.WriteString("  phase 2   oracle-in-the-loop cleaning; bill depends on score skew (typically <2% of frames)\n")
+	fmt.Fprintf(&b, "  phase 1   label ≈%d samples + train grid + cascade %s ≈ %.0f ms\n",
+		in.TrainSamples, planner.CascadeName(chosen.Knobs.DisableDiff), chosen.Pred.Phase1MS)
+	fmt.Fprintf(&b, "  phase 2   batch %d → ≈%d confirmations in %d launches ≈ %.0f ms (bill depends on score skew; typically <2%% of frames)\n",
+		chosen.Knobs.BatchSize, chosen.Pred.Cleaned, chosen.Pred.Launches, chosen.Pred.ConfirmMS)
 	fmt.Fprintf(&b, "  baseline  scan-and-test would cost %.0f ms\n", scanMS)
+	candidateTable(&b, cands)
+	b.WriteString("  reasons:\n")
+	for _, w := range chosen.Why {
+		fmt.Fprintf(&b, "    - %s\n", w)
+	}
 	return b.String(), nil
 }

@@ -10,6 +10,9 @@ import (
 type Query struct {
 	// Explain marks an EXPLAIN statement: bind and describe, do not run.
 	Explain bool
+	// Analyze marks an EXPLAIN ANALYZE statement: plan, run the chosen
+	// plan, and report predicted vs actual cost. Implies Explain.
+	Analyze bool
 	// K is the result size.
 	K int
 	// Window is the window length in frames; 0 for frame queries.
@@ -112,6 +115,9 @@ func Parse(src string) (*Query, error) {
 
 	if p.tryKeyword("EXPLAIN") {
 		q.Explain = true
+		if p.tryKeyword("ANALYZE") {
+			q.Analyze = true
+		}
 	}
 	if err := p.keyword("SELECT"); err != nil {
 		return nil, err

@@ -4,7 +4,9 @@
 // pays Phase 1 once by building an ingestion Index, and every later query
 // in the same shell runs through a Session over that index — Phase 2
 // only, sharing all previously revealed oracle labels. EXPLAIN statements
-// describe plans without running them.
+// describe plans without running them; EXPLAIN ANALYZE statements let the
+// cost-based planner choose the engine knobs, run the chosen plan on the
+// pair's session, and report predicted vs actual simulated cost.
 package repl
 
 import (
@@ -27,6 +29,7 @@ type REPL struct {
 }
 
 type entry struct {
+	ix       *everest.Index
 	sess     *everest.Session
 	ingestMS float64
 }
@@ -81,6 +84,28 @@ func (r *REPL) ExecLine(line string) error {
 	if err != nil {
 		return err
 	}
+	if q.Analyze {
+		// EXPLAIN ANALYZE runs on the shell's session for the bound pair,
+		// ingesting it first if this is its first query — the planner then
+		// inherits the index's cascade and chooses the Phase 2 knobs.
+		plan, err := eql.Bind(q)
+		if err != nil {
+			return err
+		}
+		if plan.Workers > 1 {
+			return fmt.Errorf("eql: EXPLAIN ANALYZE does not support PARALLEL scale-out; the planner sets procs itself")
+		}
+		ent, err := r.entryFor(plan)
+		if err != nil {
+			return err
+		}
+		rep, err := eql.AnalyzeOnSession(line, ent.ix, ent.sess, eql.AnalyzeOptions{})
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(r.out, rep.String())
+		return nil
+	}
 	if q.Explain {
 		out, err := eql.Explain(line)
 		if err != nil {
@@ -105,23 +130,9 @@ func (r *REPL) ExecLine(line string) error {
 		return nil
 	}
 
-	key := fmt.Sprintf("%s|%d|%s|%d",
-		plan.Source.Name(), plan.Source.NumFrames(), plan.UDF.Name(), plan.Config.Seed)
-	ent, ok := r.sessions[key]
-	if !ok {
-		fmt.Fprintf(r.out, "(ingesting %s for %s — one-off Phase 1)\n",
-			plan.Source.Name(), plan.UDF.Name())
-		ix, err := everest.BuildIndex(plan.Source, plan.UDF, plan.Config)
-		if err != nil {
-			return err
-		}
-		sess, err := everest.NewSession(ix, plan.Source, plan.UDF)
-		if err != nil {
-			return err
-		}
-		ent = &entry{sess: sess, ingestMS: ix.IngestMS()}
-		r.sessions[key] = ent
-		fmt.Fprintf(r.out, "(ingested in %.0f sim-ms; later queries pay Phase 2 only)\n", ent.ingestMS)
+	ent, err := r.entryFor(plan)
+	if err != nil {
+		return err
 	}
 	res, err := ent.sess.Query(plan.Config)
 	if err != nil {
@@ -129,6 +140,30 @@ func (r *REPL) ExecLine(line string) error {
 	}
 	r.printResult(res, plan)
 	return nil
+}
+
+// entryFor returns the shell's session for a bound plan's (dataset,
+// frame count, UDF, seed) key, ingesting the pair's index on first use.
+func (r *REPL) entryFor(plan *eql.Plan) (*entry, error) {
+	key := fmt.Sprintf("%s|%d|%s|%d",
+		plan.Source.Name(), plan.Source.NumFrames(), plan.UDF.Name(), plan.Config.Seed)
+	if ent, ok := r.sessions[key]; ok {
+		return ent, nil
+	}
+	fmt.Fprintf(r.out, "(ingesting %s for %s — one-off Phase 1)\n",
+		plan.Source.Name(), plan.UDF.Name())
+	ix, err := everest.BuildIndex(plan.Source, plan.UDF, plan.Config)
+	if err != nil {
+		return nil, err
+	}
+	sess, err := everest.NewSession(ix, plan.Source, plan.UDF)
+	if err != nil {
+		return nil, err
+	}
+	ent := &entry{ix: ix, sess: sess, ingestMS: ix.IngestMS()}
+	r.sessions[key] = ent
+	fmt.Fprintf(r.out, "(ingested in %.0f sim-ms; later queries pay Phase 2 only)\n", ent.ingestMS)
+	return ent, nil
 }
 
 func (r *REPL) printResult(res *everest.Result, plan *eql.Plan) {
@@ -154,6 +189,8 @@ func (r *REPL) help() {
   SELECT TOP k FRAMES FROM dataset RANK BY udf(arg) [THRESHOLD p] [LIMIT FRAMES n] [SEED s] [PARALLEL w]
   SELECT TOP k WINDOWS OF n [EVERY m] FROM dataset RANK BY udf(arg) [...]
   EXPLAIN SELECT ...        describe the plan without running it
+  EXPLAIN ANALYZE SELECT ...plan with the cost-based optimizer, run the
+                            chosen plan, report predicted vs actual cost
 commands:
   datasets                  list built-in datasets
   sessions                  list open ingestion sessions

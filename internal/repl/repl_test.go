@@ -37,6 +37,48 @@ func TestExplainStatement(t *testing.T) {
 	}
 }
 
+func TestExplainAnalyzeStatementRunsOnSession(t *testing.T) {
+	var out bytes.Buffer
+	r := New(&out)
+	err := r.ExecLine("EXPLAIN ANALYZE SELECT TOP 5 FRAMES FROM Archie RANK BY count(car) LIMIT FRAMES 4000 SEED 4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{"ingesting", "chosen knobs", "predicted vs actual", "batch-size"} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("analyze output missing %q:\n%s", want, got)
+		}
+	}
+	if r.Sessions() != 1 {
+		t.Fatalf("%d sessions after EXPLAIN ANALYZE, want 1 — it must run on the shell session", r.Sessions())
+	}
+	// A later plain query on the same pair reuses the index and the
+	// labels the analyzed run revealed.
+	out.Reset()
+	if err := r.ExecLine("SELECT TOP 5 FRAMES FROM Archie RANK BY count(car) LIMIT FRAMES 4000 SEED 4"); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(out.String(), "ingesting") {
+		t.Fatalf("query after EXPLAIN ANALYZE must reuse the session:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "cleaned 0") {
+		t.Fatalf("repeat of the analyzed query should clean nothing:\n%s", out.String())
+	}
+}
+
+func TestExplainAnalyzeRejectsParallel(t *testing.T) {
+	var out bytes.Buffer
+	r := New(&out)
+	err := r.ExecLine("EXPLAIN ANALYZE SELECT TOP 5 FRAMES FROM Archie RANK BY count(car) PARALLEL 2 LIMIT FRAMES 4000")
+	if err == nil || !strings.Contains(err.Error(), "PARALLEL") {
+		t.Fatalf("PARALLEL under EXPLAIN ANALYZE should be rejected, got %v", err)
+	}
+	if r.Sessions() != 0 {
+		t.Fatal("rejected statement must not ingest")
+	}
+}
+
 func TestParseAndBindErrorsAreReturned(t *testing.T) {
 	var out bytes.Buffer
 	r := New(&out)

@@ -92,6 +92,64 @@ func Default() CostModel {
 	}
 }
 
+// Cost-prediction helpers: the arithmetic a planner (or EXPLAIN) uses
+// to price work on this model BEFORE running it. They mirror how the
+// pipeline charges its clock — per-frame inference plus a per-invocation
+// launch overhead — so a prediction and the actual charge differ only by
+// how well the tuple counts were estimated, never by the pricing rule.
+
+// Batches returns how many oracle invocations confirming items tuples
+// takes at batch size batch (ceil division; §3.5's b). Zero items need
+// zero invocations; a non-positive batch is treated as 1.
+func Batches(items, batch int) int {
+	if items <= 0 {
+		return 0
+	}
+	if batch <= 0 {
+		batch = 1
+	}
+	return (items + batch - 1) / batch
+}
+
+// LaunchOverheadMS prices the fixed per-invocation overhead of the given
+// number of oracle launches — the cost §3.5's batching amortizes.
+func (m CostModel) LaunchOverheadMS(launches int) float64 {
+	return float64(launches) * m.OracleCallMS
+}
+
+// ConfirmMS prices a Phase 2 confirmation workload: frames scored by an
+// oracle charging udfFrameMS per frame, dispatched in the given number
+// of launches.
+func (m CostModel) ConfirmMS(frames, launches int, udfFrameMS float64) float64 {
+	return float64(frames)*udfFrameMS + m.LaunchOverheadMS(launches)
+}
+
+// LabelMS prices Phase 1 sample labelling: each sample is decoded and
+// scored by the oracle.
+func (m CostModel) LabelMS(samples int, udfFrameMS float64) float64 {
+	return float64(samples) * (udfFrameMS + m.DecodeMS)
+}
+
+// TrainMS prices CMDN grid training over samples, mirroring the charge
+// cmdn.Train makes: ProxyTrainSampleMS per sample, with the epoch and
+// hyperparameter-grid factors baked into the constant.
+func (m CostModel) TrainMS(samples int) float64 {
+	return float64(samples) * m.ProxyTrainSampleMS
+}
+
+// CascadeMS prices the ingest proxy cascade over a video of frames
+// frames, of which retained survive the difference detector. Depth 3
+// (decode → diff → proxy, disableDiff false) diff-filters every decoded
+// frame and proxy-scores only the retained; depth 2 (decode → proxy)
+// skips the filter and proxy-scores everything.
+func (m CostModel) CascadeMS(frames, retained int, disableDiff bool) float64 {
+	ms := float64(frames) * m.DecodeMS
+	if disableDiff {
+		return ms + float64(frames)*m.ProxyMS
+	}
+	return ms + float64(frames)*m.DiffMS + float64(retained)*m.ProxyMS
+}
+
 // Clock accumulates simulated milliseconds per phase. It is safe for
 // concurrent use.
 type Clock struct {

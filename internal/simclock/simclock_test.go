@@ -163,3 +163,60 @@ func TestChargeParallelMaxEmpty(t *testing.T) {
 		t.Fatal("empty merge must be a no-op")
 	}
 }
+
+func TestBatchesCeilDivision(t *testing.T) {
+	cases := []struct{ items, batch, want int }{
+		{0, 8, 0}, {-3, 8, 0}, {1, 8, 1}, {8, 8, 1}, {9, 8, 2},
+		{23, 8, 3}, {23, 1, 23}, {5, 0, 5}, {5, -2, 5},
+	}
+	for _, c := range cases {
+		if got := Batches(c.items, c.batch); got != c.want {
+			t.Fatalf("Batches(%d, %d) = %d, want %d", c.items, c.batch, got, c.want)
+		}
+	}
+}
+
+// TestConfirmMSMatchesCleanCharge pins the prediction helpers to the
+// pricing rule the Phase 2 loop actually charges: per-frame inference
+// plus one launch overhead per invocation.
+func TestConfirmMSMatchesCleanCharge(t *testing.T) {
+	m := Default()
+	frames, batch := 23, 8
+	launches := Batches(frames, batch)
+	want := float64(frames)*m.OracleMS + float64(launches)*m.OracleCallMS
+	if got := m.ConfirmMS(frames, launches, m.OracleMS); got != want {
+		t.Fatalf("ConfirmMS = %v, want %v", got, want)
+	}
+	if got := m.LaunchOverheadMS(launches); got != float64(launches)*m.OracleCallMS {
+		t.Fatalf("LaunchOverheadMS = %v", got)
+	}
+}
+
+func TestCascadeMSDepths(t *testing.T) {
+	m := Default()
+	frames, retained := 1000, 600
+	depth3 := m.CascadeMS(frames, retained, false)
+	depth2 := m.CascadeMS(frames, retained, true)
+	if want := 1000*m.DecodeMS + 1000*m.DiffMS + 600*m.ProxyMS; depth3 != want {
+		t.Fatalf("depth-3 cascade = %v, want %v", depth3, want)
+	}
+	if want := 1000 * (m.DecodeMS + m.ProxyMS); depth2 != want {
+		t.Fatalf("depth-2 cascade = %v, want %v", depth2, want)
+	}
+	// Under the default model the diff filter pays for itself whenever it
+	// prunes frames: diffing everything is cheaper than proxy-scoring the
+	// pruned share.
+	if depth3 >= depth2 {
+		t.Fatalf("diff filter should win at 60%% retention: depth3 %v vs depth2 %v", depth3, depth2)
+	}
+}
+
+func TestLabelAndTrainMS(t *testing.T) {
+	m := Default()
+	if got, want := m.LabelMS(120, m.OracleMS), 120*(m.OracleMS+m.DecodeMS); got != want {
+		t.Fatalf("LabelMS = %v, want %v", got, want)
+	}
+	if got, want := m.TrainMS(660), 660.0*m.ProxyTrainSampleMS; got != want {
+		t.Fatalf("TrainMS = %v, want %v", got, want)
+	}
+}
