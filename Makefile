@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test testbuild vet race chaos fuzz bench bench-diff bench-smoke experiments
+.PHONY: build test testbuild vet race chaos crash fuzz bench bench-diff bench-smoke experiments
 
 build:
 	$(GO) build ./...
@@ -22,7 +22,7 @@ testbuild:
 # Race-check the concurrency packages and the engine determinism tests;
 # the full suite under -race is too slow for a quick gate.
 race:
-	$(GO) test -race ./internal/workpool/ ./internal/labelstore/ ./internal/engine/ ./internal/oraclemux/ ./internal/faultinject/ ./internal/cmdn/ ./internal/phase1/ ./internal/nn/ ./internal/diffdet/ ./internal/windows/ ./internal/core/
+	$(GO) test -race ./internal/workpool/ ./internal/labelstore/ ./internal/engine/ ./internal/oraclemux/ ./internal/faultinject/ ./internal/durable/ ./internal/cmdn/ ./internal/phase1/ ./internal/nn/ ./internal/diffdet/ ./internal/windows/ ./internal/core/
 	$(GO) test -race -run 'ProcsBitIdentical|GoldenConcurrent|GoldenCoalesced|SessionConcurrent|QueryBatch|SharedSession|AdmissionLimit|Coalesced|CoalesceWait|OracleMux' .
 
 # The fault-tolerance suite under the race detector: chaos-injected
@@ -35,14 +35,29 @@ chaos:
 	$(GO) test -race -run 'Cancel|Withdraw' ./internal/engine/ ./internal/oraclemux/ ./internal/labelstore/
 	$(GO) test -race ./internal/faultinject/
 
+# The crash-injection suite under the race detector: kill the process at
+# every mutating filesystem op of a durable workload (and at every op of
+# every recovery from every one of those crashes), then assert the
+# recovered label cache is always a consistent prefix of the publish
+# history — plus the golden test that a crash/recover cycle leaves query
+# results bit-identical to a run that never crashed.
+crash:
+	$(GO) test -race -run 'TestCrash' .
+	$(GO) test -race ./internal/durable/ ./internal/faultinject/
+	$(GO) test -race -run 'Durable|SnapshotAt|Evict' ./internal/labelstore/
+
 # Short-budget fuzz of the workpool determinism contract, the engine
 # plan compiler's normalize/validate invariants, the oracle mux's
-# batch-consolidation splitter and the fault-schedule DSL round-trip.
+# batch-consolidation splitter, the fault-schedule DSL round-trip, and
+# the durable store's WAL-replay and checkpoint decoders (never panic,
+# recover exactly the checksum-valid prefix).
 fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzMapOrdering -fuzztime 30s ./internal/workpool/
 	$(GO) test -run '^$$' -fuzz FuzzPlanNormalize -fuzztime 30s ./internal/engine/
 	$(GO) test -run '^$$' -fuzz FuzzConsolidate -fuzztime 30s ./internal/oraclemux/
 	$(GO) test -run '^$$' -fuzz FuzzFaultSchedule -fuzztime 30s ./internal/faultinject/
+	$(GO) test -run '^$$' -fuzz FuzzWALReplay -fuzztime 30s ./internal/durable/
+	$(GO) test -run '^$$' -fuzz FuzzCheckpointDecode -fuzztime 30s ./internal/durable/
 
 # Capture the engine benchmark suite into BENCH_engine.json so future
 # changes have a perf trajectory to compare against.

@@ -64,8 +64,9 @@ func main() {
 		query        = flag.String("query", "", `EQL statement, e.g. 'SELECT TOP 50 FRAMES FROM "Taipei-bus" RANK BY count(car) THRESHOLD 0.9'`)
 		explain      = flag.Bool("explain", false, "describe the EQL query's plan without running it")
 		shell        = flag.Bool("repl", false, "interactive EQL shell (ingest-once, session-shared queries)")
-		saveIx       = flag.String("saveindex", "", "run Phase 1 only and save an ingestion index to this file")
+		saveIx       = flag.String("saveindex", "", "run Phase 1 only and save an ingestion index to this file (atomic write, checksummed format)")
 		useIx        = flag.String("useindex", "", "answer from a saved ingestion index (Phase 2 only)")
+		durableDir   = flag.String("durable-dir", "", "make the serving label cache crash-safe: log every published label to a checksummed WAL with atomic checkpoints in this directory, and recover the surviving labels on start (the query is then served from a shared session)")
 	)
 	flag.Parse()
 
@@ -163,6 +164,7 @@ func main() {
 		Retries:        *retries,
 		RetryBackoffMS: *retryBackoff,
 		DegradedOK:     *degradedOK,
+		DurableDir:     *durableDir,
 	}
 
 	if *saveIx != "" {
@@ -170,12 +172,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		f, err := os.Create(*saveIx)
-		if err != nil {
-			fatal(err)
-		}
-		defer f.Close()
-		if err := ix.Save(f); err != nil {
+		if err := ix.SaveFile(*saveIx); err != nil {
 			fatal(err)
 		}
 		fmt.Printf("index for %s / %s written to %s (ingest cost %.0f sim-ms, %d retained frames)\n",
@@ -199,14 +196,20 @@ func main() {
 		return
 	}
 
-	var res *everest.Result
-	if *useIx != "" {
-		f, err := os.Open(*useIx)
+	if *durableDir != "" {
+		res, err := runDurable(src, udf, cfg, *useIx, *durableDir)
 		if err != nil {
 			fatal(err)
 		}
-		ix, err := everest.LoadIndex(f)
-		f.Close()
+		printResult(res, src.FPS(), "")
+		maybePrintMuxStats(*mux)
+		maybePrintChaosStats(chaosUDF)
+		return
+	}
+
+	var res *everest.Result
+	if *useIx != "" {
+		ix, err := everest.LoadFile(*useIx)
 		if err != nil {
 			fatal(err)
 		}
@@ -298,25 +301,9 @@ func maybePrintMuxStats(enabled bool) {
 // session batches over one snapshot (bit-identical answers), the shared
 // sessions reuse each other's published labels.
 func runConcurrent(src video.Source, udf vision.UDF, cfg everest.Config, path string, n int, shared bool) error {
-	var ix *everest.Index
-	var err error
-	if path != "" {
-		f, err := os.Open(path)
-		if err != nil {
-			return err
-		}
-		ix, err = everest.LoadIndex(f)
-		f.Close()
-		if err != nil {
-			return err
-		}
-		fmt.Printf("(serving from index %s; ingest cost %.0f sim-ms amortized)\n", path, ix.IngestMS())
-	} else {
-		ix, err = everest.BuildIndex(src, udf, cfg)
-		if err != nil {
-			return err
-		}
-		fmt.Printf("(phase 1 ingested once: %.0f sim-ms, %d retained frames)\n", ix.IngestMS(), ix.Info().Retained)
+	ix, err := loadOrBuildIndex(src, udf, cfg, path)
+	if err != nil {
+		return err
 	}
 	if shared {
 		return runShared(src, udf, cfg, ix, n)
@@ -343,6 +330,56 @@ func runConcurrent(src video.Source, udf vision.UDF, cfg everest.Config, path st
 	fmt.Printf("\nfirst answer (all %d are bit-identical):\n", n)
 	printResult(results[0], src.FPS(), "")
 	return nil
+}
+
+// loadOrBuildIndex serves the session paths: a saved index is loaded
+// when path is non-empty, otherwise Phase 1 runs once up front.
+func loadOrBuildIndex(src video.Source, udf vision.UDF, cfg everest.Config, path string) (*everest.Index, error) {
+	if path != "" {
+		ix, err := everest.LoadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		fmt.Printf("(serving from index %s; ingest cost %.0f sim-ms amortized)\n", path, ix.IngestMS())
+		return ix, nil
+	}
+	ix, err := everest.BuildIndex(src, udf, cfg)
+	if err != nil {
+		return nil, err
+	}
+	fmt.Printf("(phase 1 ingested once: %.0f sim-ms, %d retained frames)\n", ix.IngestMS(), ix.Info().Retained)
+	return ix, nil
+}
+
+// runDurable serves one query from a shared session whose label cache
+// is crash-safe in dir: labels recovered from a previous process are
+// reported and reused (they enter the query oracle-free), and the
+// labels this query confirms are logged before it returns — a restart
+// with the same -durable-dir picks them up.
+func runDurable(src video.Source, udf vision.UDF, cfg everest.Config, path, dir string) (*everest.Result, error) {
+	ix, err := loadOrBuildIndex(src, udf, cfg, path)
+	if err != nil {
+		return nil, err
+	}
+	sess, err := everest.NewSharedSession(ix, src, udf)
+	if err != nil {
+		return nil, err
+	}
+	if err := sess.EnableDurable(dir); err != nil {
+		return nil, err
+	}
+	fmt.Printf("(durable label cache in %s: recovered %d labels at version %d)\n",
+		dir, sess.CachedLabels(), sess.CacheVersion())
+	res, err := sess.Query(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if derr := sess.DurableErr(); derr != nil {
+		fmt.Printf("WARNING: durable log failed mid-run; serving continued from RAM: %v\n", derr)
+	}
+	fmt.Printf("(cache now %d labels at version %d; the WAL in %s survives restarts)\n",
+		sess.CachedLabels(), sess.CacheVersion(), dir)
+	return res, nil
 }
 
 // runShared serves the query from n distinct shared sessions launched

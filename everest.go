@@ -176,6 +176,17 @@ type Config struct {
 	// positive knob alongside it then installs into the cleared state
 	// (the one way to loosen a shared bound).
 	CacheMaxLabels int
+	// DurableDir, when non-empty, makes the session's label cache
+	// crash-safe: every publish and eviction is logged to a
+	// checksummed write-ahead log in this directory (with periodic
+	// atomic checkpoints) before its version becomes observable, and a
+	// restarted process recovers the newest consistent prefix of that
+	// history — the oracle bill the cache represents survives a crash.
+	// The directory belongs to exactly one (video, UDF) cache;
+	// attaching it to a different cache, or pointing one session at two
+	// directories, is an error. Ignored outside sessions (Run,
+	// Index.Query). See DESIGN.md "Durability & crash recovery".
+	DurableDir string
 	// DeadlineMS bounds the query's simulated cost: once the query's
 	// simclock reaches this many simulated milliseconds mid-run, the
 	// Phase 2 loop stops — returning an explicitly marked degraded

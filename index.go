@@ -1,11 +1,16 @@
 package everest
 
 import (
+	"bytes"
 	"context"
+	"encoding/binary"
 	"encoding/gob"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
+	"os"
+	"path/filepath"
 
 	"github.com/everest-project/everest/internal/engine"
 	"github.com/everest-project/everest/internal/labelstore"
@@ -149,9 +154,73 @@ type indexCodec struct {
 
 const indexVersion = 1
 
-// Save persists the index.
+// Index file wire format (Save / SaveFile):
+//
+//	8 bytes  magic "EVESTIDX" (identifies the file type)
+//	uint32   format version (little-endian; currently 1)
+//	gob      indexCodec payload
+//	uint32   CRC32 (IEEE) of every preceding byte
+//
+// Files written before the header existed are a bare gob stream;
+// LoadIndex still reads those through a compatibility path (they carry
+// no checksum — corruption surfaces as a gob decode failure instead).
+var indexMagic = [8]byte{'E', 'V', 'E', 'S', 'T', 'I', 'D', 'X'}
+
+const indexFormatVersion = 1
+
+// IndexFormatError is the typed failure of loading a persisted index:
+// the bytes are not an index file, the header names a format this
+// build does not speak, the checksum does not match, or the payload is
+// corrupt (including malformed gob that would otherwise panic the
+// decoder). errors.As extracts it from LoadIndex/LoadFile errors.
+type IndexFormatError struct {
+	// Path is the file being loaded ("" for stream loads).
+	Path string
+	// FormatVersion is the header's format version, when one was read
+	// (0 for unversioned legacy files and unrecognized bytes).
+	FormatVersion uint32
+	// Reason says what failed.
+	Reason string
+	// Err is the underlying decode error, if any.
+	Err error
+}
+
+// Error implements error.
+func (e *IndexFormatError) Error() string {
+	at := ""
+	if e.Path != "" {
+		at = " " + e.Path
+	}
+	msg := fmt.Sprintf("everest: index file%s: %s", at, e.Reason)
+	if e.Err != nil {
+		msg += ": " + e.Err.Error()
+	}
+	return msg
+}
+
+// Unwrap exposes the underlying decode error to errors.Is/As.
+func (e *IndexFormatError) Unwrap() error { return e.Err }
+
+// Save persists the index to w in the headered, checksummed wire
+// format (magic, format version, gob payload, CRC32 trailer).
 func (ix *Index) Save(w io.Writer) error {
-	return gob.NewEncoder(w).Encode(indexCodec{
+	var buf bytes.Buffer
+	buf.Write(indexMagic[:])
+	var ver [4]byte
+	binary.LittleEndian.PutUint32(ver[:], indexFormatVersion)
+	buf.Write(ver[:])
+	if err := gob.NewEncoder(&buf).Encode(ix.codec()); err != nil {
+		return err
+	}
+	var trailer [4]byte
+	binary.LittleEndian.PutUint32(trailer[:], crc32.ChecksumIEEE(buf.Bytes()))
+	buf.Write(trailer[:])
+	_, err := w.Write(buf.Bytes())
+	return err
+}
+
+func (ix *Index) codec() indexCodec {
+	return indexCodec{
 		Version:     indexVersion,
 		Dataset:     ix.art.Dataset,
 		UDFName:     ix.art.UDFName,
@@ -162,17 +231,123 @@ func (ix *Index) Save(w io.Writer) error {
 		Mixtures:    ix.art.Mixtures,
 		Info:        ix.info,
 		IngestMS:    ix.ingestMS,
-	})
+	}
 }
 
-// LoadIndex restores an index written by Save.
+// SaveFile persists the index to path atomically: the bytes are
+// written to a temp file, fsynced, renamed over path, and the
+// directory fsynced — a crash mid-save leaves either the old file or
+// the new one, never a torn mixture.
+func (ix *Index) SaveFile(path string) error {
+	var buf bytes.Buffer
+	if err := ix.Save(&buf); err != nil {
+		return err
+	}
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("everest: saving index: %w", err)
+	}
+	_, werr := f.Write(buf.Bytes())
+	if werr == nil {
+		werr = f.Sync()
+	}
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		return fmt.Errorf("everest: saving index: %w", werr)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("everest: saving index: %w", err)
+	}
+	if d, err := os.Open(filepath.Dir(path)); err == nil {
+		_ = d.Sync()
+		_ = d.Close()
+	}
+	return nil
+}
+
+// LoadFile restores an index saved with SaveFile (or an old
+// unversioned file). Format failures are typed *IndexFormatError.
+func LoadFile(path string) (*Index, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("everest: loading index: %w", err)
+	}
+	return decodeIndex(data, path)
+}
+
+// LoadIndex restores an index written by Save. Headered files are
+// checksum-verified; files from before the header existed (a bare gob
+// stream) load through the unversioned compatibility path. Malformed
+// input yields a typed *IndexFormatError — never a panic.
 func LoadIndex(r io.Reader) (*Index, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("everest: reading index: %w", err)
+	}
+	return decodeIndex(data, "")
+}
+
+// decodeIndex sniffs the header and dispatches to the right decode
+// path.
+func decodeIndex(data []byte, path string) (*Index, error) {
+	if len(data) < len(indexMagic) || string(data[:len(indexMagic)]) != string(indexMagic[:]) {
+		// No magic: either a legacy unversioned index (pre-header bare
+		// gob) or not an index at all. Try the compat path; report its
+		// failure in terms of both possibilities.
+		ix, err := decodeIndexGob(data, path, 0)
+		if err != nil {
+			return nil, &IndexFormatError{
+				Path:   path,
+				Reason: "no index header, and the bytes do not decode as an unversioned (pre-header) index either",
+				Err:    errors.Unwrap(err),
+			}
+		}
+		return ix, nil
+	}
+	if len(data) < len(indexMagic)+8 {
+		return nil, &IndexFormatError{Path: path, Reason: "truncated index header"}
+	}
+	version := binary.LittleEndian.Uint32(data[len(indexMagic):])
+	if version != indexFormatVersion {
+		return nil, &IndexFormatError{
+			Path:          path,
+			FormatVersion: version,
+			Reason:        fmt.Sprintf("format version %d not supported (this build reads version %d)", version, indexFormatVersion),
+		}
+	}
+	body, trailer := data[:len(data)-4], data[len(data)-4:]
+	if crc32.ChecksumIEEE(body) != binary.LittleEndian.Uint32(trailer) {
+		return nil, &IndexFormatError{Path: path, FormatVersion: version, Reason: "checksum mismatch (file corrupt or torn)"}
+	}
+	return decodeIndexGob(body[len(indexMagic)+4:], path, version)
+}
+
+// decodeIndexGob decodes the gob payload. Gob panics on some malformed
+// inputs; the recover turns those into the same typed error as a
+// decode failure.
+func decodeIndexGob(data []byte, path string, formatVersion uint32) (ix *Index, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			ix, err = nil, &IndexFormatError{
+				Path:          path,
+				FormatVersion: formatVersion,
+				Reason:        fmt.Sprintf("payload decode panicked: %v", r),
+			}
+		}
+	}()
 	var c indexCodec
-	if err := gob.NewDecoder(r).Decode(&c); err != nil {
-		return nil, fmt.Errorf("everest: decoding index: %w", err)
+	if derr := gob.NewDecoder(bytes.NewReader(data)).Decode(&c); derr != nil {
+		return nil, &IndexFormatError{Path: path, FormatVersion: formatVersion, Reason: "payload decode failed", Err: derr}
 	}
 	if c.Version != indexVersion {
-		return nil, fmt.Errorf("everest: index version %d not supported (want %d)", c.Version, indexVersion)
+		return nil, &IndexFormatError{
+			Path:          path,
+			FormatVersion: formatVersion,
+			Reason:        fmt.Sprintf("index version %d not supported (want %d)", c.Version, indexVersion),
+		}
 	}
 	return &Index{
 		art: &engine.Artifact{

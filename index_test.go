@@ -2,6 +2,10 @@ package everest
 
 import (
 	"bytes"
+	"encoding/gob"
+	"errors"
+	"os"
+	"strings"
 	"testing"
 
 	"github.com/everest-project/everest/internal/video"
@@ -176,4 +180,100 @@ func TestLoadIndexRejectsGarbage(t *testing.T) {
 	if _, err := LoadIndex(bytes.NewReader([]byte("not an index"))); err == nil {
 		t.Fatal("garbage input should fail to decode")
 	}
+}
+
+// TestIndexFileFormat locks the persisted index's on-disk contract:
+// atomic SaveFile/LoadFile round trip, typed *IndexFormatError for
+// corruption and unknown format versions, and the compatibility path
+// for unversioned (pre-header) files.
+func TestIndexFileFormat(t *testing.T) {
+	src := testSource(t, 3000, 61)
+	udf := vision.CountUDF{Class: video.ClassCar}
+	cfg := smallCfg(3)
+	ix, err := BuildIndex(src, udf, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	path := dir + "/archie.evidx"
+	if err := ix.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+
+	t.Run("round trip", func(t *testing.T) {
+		loaded, err := LoadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if loaded.Dataset() != ix.Dataset() || loaded.CertainFrames() != ix.CertainFrames() {
+			t.Fatal("LoadFile changed the index")
+		}
+		// No temp residue from the atomic save.
+		if _, err := os.Stat(path + ".tmp"); !errors.Is(err, os.ErrNotExist) {
+			t.Fatal("SaveFile left its temp file behind")
+		}
+	})
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	t.Run("bit flip fails typed", func(t *testing.T) {
+		for _, off := range []int{20, len(data) / 2, len(data) - 5} {
+			bad := append([]byte(nil), data...)
+			bad[off] ^= 0x01
+			var ferr *IndexFormatError
+			if _, err := LoadIndex(bytes.NewReader(bad)); !errors.As(err, &ferr) {
+				t.Fatalf("bit flip at %d: %v, want *IndexFormatError", off, err)
+			}
+		}
+	})
+
+	t.Run("truncation fails typed", func(t *testing.T) {
+		for _, n := range []int{0, 4, len(indexMagic), len(indexMagic) + 2, len(data) / 2, len(data) - 1} {
+			var ferr *IndexFormatError
+			if _, err := LoadIndex(bytes.NewReader(data[:n])); !errors.As(err, &ferr) {
+				t.Fatalf("truncation to %d: %v, want *IndexFormatError", n, err)
+			}
+		}
+	})
+
+	t.Run("future format version refused", func(t *testing.T) {
+		bad := append([]byte(nil), data...)
+		bad[len(indexMagic)] = 99 // format version field
+		var ferr *IndexFormatError
+		if _, err := LoadIndex(bytes.NewReader(bad)); !errors.As(err, &ferr) {
+			t.Fatalf("future version: %v, want *IndexFormatError", err)
+		}
+		if ferr.FormatVersion != 99 {
+			t.Fatalf("FormatVersion = %d, want 99", ferr.FormatVersion)
+		}
+	})
+
+	t.Run("unversioned legacy file loads", func(t *testing.T) {
+		// Files from before the header existed are a bare gob stream.
+		var legacy bytes.Buffer
+		if err := gob.NewEncoder(&legacy).Encode(ix.codec()); err != nil {
+			t.Fatal(err)
+		}
+		loaded, err := LoadIndex(&legacy)
+		if err != nil {
+			t.Fatalf("legacy unversioned index: %v", err)
+		}
+		if loaded.Dataset() != ix.Dataset() {
+			t.Fatal("legacy load changed the index")
+		}
+	})
+
+	t.Run("garbage names the unversioned possibility", func(t *testing.T) {
+		var ferr *IndexFormatError
+		_, err := LoadIndex(bytes.NewReader([]byte("neither headered nor legacy gob")))
+		if !errors.As(err, &ferr) {
+			t.Fatalf("garbage: %v, want *IndexFormatError", err)
+		}
+		if !strings.Contains(ferr.Reason, "unversioned") {
+			t.Fatalf("garbage error should mention the unversioned compat path, got %q", ferr.Reason)
+		}
+	})
 }

@@ -1,0 +1,544 @@
+// Package durable is the crash-safety layer under the serving state: a
+// segment-based, CRC32-checksummed append-only write-ahead log of label
+// publishes and evictions, periodic atomic checkpoints, and
+// recovery-on-open that reconstructs the newest consistent prefix of
+// the logged history.
+//
+// The paper's §3.5 cost model is explicit that oracle labels are the
+// expensive resource; labelstore.SharedCache accumulates exactly those
+// labels, and before this package they lived only in RAM — a restart
+// re-paid the whole oracle bill. A Store makes the cache's versioned
+// history durable the way "FO+MOD queries under updates" frames
+// incremental maintenance: recovery does not recompute, it replays a
+// log of updates on top of the newest checkpoint.
+//
+// Invariants (locked by the root crash_test.go harness and
+// FuzzWALReplay):
+//
+//   - Atomic records: a publish or eviction is one WAL record; recovery
+//     applies it entirely or not at all — never a partial batch.
+//   - Consistent prefix: whatever bytes a crash leaves behind, recovery
+//     yields the state after some prefix of the logged operations, with
+//     the version counter equal to that prefix's length.
+//   - Torn-tail truncation: the first corrupt record ends the log; the
+//     tail is physically truncated and later segments removed.
+//   - Version continuity: the recovered version counter continues where
+//     the prefix ended, so version numbers never repeat with different
+//     contents and pinned versions resolve identically or fail closed
+//     (labelstore.VersionError) — never silently rebind.
+package durable
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"github.com/everest-project/everest/internal/labelstore"
+)
+
+// Options configures a Store.
+type Options struct {
+	// FS is the filesystem the store writes through; nil means the real
+	// one (OSFS). The crash-injection harness passes a fault layer.
+	FS FS
+	// SegmentBytes rotates the active WAL segment once it exceeds this
+	// many bytes; 0 means 1 MiB.
+	SegmentBytes int
+	// CheckpointEvery writes an atomic checkpoint (and truncates the
+	// WAL) every this many appended records; 0 means 64, negative
+	// disables automatic checkpoints.
+	CheckpointEvery int
+	// NoSync skips the per-append fsync. Throughput over durability:
+	// a crash may then lose records an Append already acknowledged,
+	// but recovery still yields a consistent prefix. The checkpoint
+	// path always syncs regardless.
+	NoSync bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.FS == nil {
+		o.FS = OSFS{}
+	}
+	if o.SegmentBytes == 0 {
+		o.SegmentBytes = 1 << 20
+	}
+	if o.CheckpointEvery == 0 {
+		o.CheckpointEvery = 64
+	}
+	return o
+}
+
+// Store is a durable mirror of one labelstore.SharedCache: it receives
+// every publish and eviction (with the version each produced), appends
+// them to the WAL, maintains the materialized state for checkpointing,
+// and recovers the newest consistent prefix when reopened. It
+// implements labelstore.WAL. Safe for concurrent use, though the cache
+// already serializes calls under its own lock.
+type Store struct {
+	dir  string
+	opts Options
+
+	mu          sync.Mutex
+	fs          FS
+	labels      labelstore.Map
+	version     uint64
+	ckptVersion uint64 // newest durable checkpoint's version
+	segSeq      uint64 // active segment sequence number
+	seg         File   // nil until the first append after open/rotate
+	segBytes    int
+	recsSince   int   // records appended since the last checkpoint
+	sticky      error // first fatal I/O failure; all later ops fail with it
+}
+
+const (
+	segPrefix  = "wal-"
+	segSuffix  = ".seg"
+	ckptPrefix = "ckpt-"
+	ckptSuffix = ".ck"
+	tmpSuffix  = ".tmp"
+)
+
+func segName(seq uint64) string { return fmt.Sprintf("%s%016x%s", segPrefix, seq, segSuffix) }
+func ckptName(version uint64) string {
+	return fmt.Sprintf("%s%016x%s", ckptPrefix, version, ckptSuffix)
+}
+
+// parseSeq extracts the hex sequence from name given its prefix/suffix;
+// ok is false for foreign files.
+func parseSeq(name, prefix, suffix string) (uint64, bool) {
+	if !strings.HasPrefix(name, prefix) || !strings.HasSuffix(name, suffix) {
+		return 0, false
+	}
+	hex := name[len(prefix) : len(name)-len(suffix)]
+	if len(hex) != 16 {
+		return 0, false
+	}
+	v, err := strconv.ParseUint(hex, 16, 64)
+	if err != nil {
+		return 0, false
+	}
+	return v, true
+}
+
+// Open opens (creating if needed) the durable store in dir and recovers
+// its state: the newest valid checkpoint is loaded, the WAL replayed on
+// top of it in version order, and a torn tail truncated at the first
+// corrupt record. Open never panics on corrupt input — arbitrary bytes
+// in the directory yield a consistent prefix or an error.
+func Open(dir string, opts Options) (*Store, error) {
+	opts = opts.withDefaults()
+	s := &Store{dir: dir, opts: opts, fs: opts.FS}
+	if err := s.fs.MkdirAll(dir); err != nil {
+		return nil, fmt.Errorf("durable: creating %s: %w", dir, err)
+	}
+	if err := s.recover(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// path joins dir and a file name.
+func (s *Store) path(name string) string { return s.dir + "/" + name }
+
+// listing scans the directory into checkpoint versions (descending) and
+// segment sequences (ascending). Temp files and foreign names are
+// ignored.
+func (s *Store) listing() (ckpts []uint64, segs []uint64, err error) {
+	names, err := s.fs.ReadDir(s.dir)
+	if err != nil {
+		return nil, nil, fmt.Errorf("durable: listing %s: %w", s.dir, err)
+	}
+	for _, name := range names {
+		if strings.HasSuffix(name, tmpSuffix) {
+			continue
+		}
+		if v, ok := parseSeq(name, ckptPrefix, ckptSuffix); ok {
+			ckpts = append(ckpts, v)
+		} else if v, ok := parseSeq(name, segPrefix, segSuffix); ok {
+			segs = append(segs, v)
+		}
+	}
+	sort.Slice(ckpts, func(i, j int) bool { return ckpts[i] > ckpts[j] })
+	sort.Slice(segs, func(i, j int) bool { return segs[i] < segs[j] })
+	return ckpts, segs, nil
+}
+
+// loadBase returns the newest checkpoint whose version is ≤ limit and
+// that validates, or the empty version-0 state. Invalid checkpoints are
+// skipped (recovery falls back to the next older one); they are swept
+// by the next checkpoint's cleanup, not here — recovery mutates nothing
+// but the torn tail.
+func (s *Store) loadBase(ckpts []uint64, limit uint64) (labelstore.Map, uint64) {
+	for _, v := range ckpts {
+		if v > limit {
+			continue
+		}
+		data, err := s.fs.ReadFile(s.path(ckptName(v)))
+		if err != nil {
+			continue
+		}
+		labels, version, err := decodeCheckpoint(data)
+		if err != nil || version != v {
+			continue
+		}
+		return labels, version
+	}
+	return labelstore.Map{}, 0
+}
+
+// replay applies segment records on top of (labels, version), stopping
+// — and, when fix is true, truncating the torn tail and removing the
+// unreachable later segments — at the first corrupt or discontinuous
+// record. Records at or below the starting version are stale segments'
+// leftovers and are skipped; limit bounds how far to apply (MaxUint64
+// for "everything valid").
+func (s *Store) replay(segs []uint64, labels labelstore.Map, version, limit uint64, fix bool) (labelstore.Map, uint64, error) {
+	for si, seq := range segs {
+		name := s.path(segName(seq))
+		data, err := s.fs.ReadFile(name)
+		if err != nil {
+			return labels, version, fmt.Errorf("durable: reading %s: %w", name, err)
+		}
+		off := 0
+		for off < len(data) {
+			rec, next, derr := decodeRecord(data, off)
+			if derr == nil && rec.Version > version+1 {
+				// A version gap means the contiguous history ends here:
+				// whatever produced this record, the records before it are
+				// gone, so it is unreachable — same treatment as corruption.
+				derr = fmt.Errorf("durable: version gap (%d after %d) in %s", rec.Version, version, name)
+			}
+			if derr != nil {
+				if !fix {
+					return labels, version, nil
+				}
+				// Torn tail: cut this segment at the last valid record and
+				// drop every later segment — they are beyond the first
+				// corruption and therefore not part of the consistent prefix.
+				if err := s.fs.Truncate(name, int64(off)); err != nil {
+					return labels, version, fmt.Errorf("durable: truncating torn tail of %s: %w", name, err)
+				}
+				for _, later := range segs[si+1:] {
+					if err := s.fs.Remove(s.path(segName(later))); err != nil {
+						return labels, version, fmt.Errorf("durable: removing unreachable segment: %w", err)
+					}
+				}
+				if err := s.fs.SyncDir(s.dir); err != nil {
+					return labels, version, fmt.Errorf("durable: syncing %s: %w", s.dir, err)
+				}
+				return labels, version, nil
+			}
+			if rec.Version > limit {
+				return labels, version, nil
+			}
+			if rec.Version == version+1 {
+				switch rec.Type {
+				case recPublish:
+					for i, f := range rec.Frames {
+						labels = labels.Set(f, rec.Scores[i])
+					}
+				case recEvict:
+					for _, f := range rec.Frames {
+						labels = labels.Delete(f)
+					}
+				}
+				version = rec.Version
+			}
+			off = next
+		}
+	}
+	return labels, version, nil
+}
+
+// recover loads the newest valid checkpoint and replays the WAL.
+func (s *Store) recover() error {
+	ckpts, segs, err := s.listing()
+	if err != nil {
+		return err
+	}
+	labels, version := s.loadBase(ckpts, ^uint64(0))
+	s.ckptVersion = version
+	labels, version, err = s.replay(segs, labels, version, ^uint64(0), true)
+	if err != nil {
+		return err
+	}
+	s.labels, s.version = labels, version
+	if n := len(segs); n > 0 {
+		s.segSeq = segs[n-1] + 1
+	} else {
+		s.segSeq = 1
+	}
+	return nil
+}
+
+// Dir returns the store's directory.
+func (s *Store) Dir() string { return s.dir }
+
+// Recovered returns the state recovered at Open (or adopted since):
+// the label map and the version counter the cache should resume from.
+func (s *Store) Recovered() (labelstore.Map, uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.labels, s.version
+}
+
+// Err returns the store's sticky fatal error, if any: the first append
+// or checkpoint I/O failure. A store with a sticky error keeps failing
+// every later operation — the in-RAM cache stays available, but
+// durability has stopped at a known prefix.
+func (s *Store) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.sticky
+}
+
+// AppendPublish logs one publish batch as the record that produced
+// version. Frames must be sorted ascending (labelstore publishes in
+// sorted fold order); version must be exactly one past the store's.
+func (s *Store) AppendPublish(version uint64, frames []int, scores []float64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.appendLocked(Record{Type: recPublish, Version: version, Frames: frames, Scores: scores}); err != nil {
+		return err
+	}
+	for i, f := range frames {
+		s.labels = s.labels.Set(f, scores[i])
+	}
+	s.version = version
+	return s.maybeCheckpointLocked()
+}
+
+// AppendEvict logs one eviction pass as the record that produced
+// version.
+func (s *Store) AppendEvict(version uint64, frames []int) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sorted := append([]int(nil), frames...)
+	sort.Ints(sorted)
+	if err := s.appendLocked(Record{Type: recEvict, Version: version, Frames: sorted}); err != nil {
+		return err
+	}
+	for _, f := range sorted {
+		s.labels = s.labels.Delete(f)
+	}
+	s.version = version
+	return s.maybeCheckpointLocked()
+}
+
+// appendLocked validates continuity, encodes and writes one record to
+// the active segment, syncing per the options. Caller holds s.mu.
+func (s *Store) appendLocked(rec Record) error {
+	if s.sticky != nil {
+		return s.sticky
+	}
+	if rec.Version != s.version+1 {
+		return fmt.Errorf("durable: version discontinuity: appending %d onto %d", rec.Version, s.version)
+	}
+	if s.seg == nil {
+		seg, err := s.fs.OpenAppend(s.path(segName(s.segSeq)))
+		if err != nil {
+			return s.fail(fmt.Errorf("durable: opening segment: %w", err))
+		}
+		s.seg = seg
+		s.segBytes = 0
+	}
+	buf := appendRecord(nil, rec)
+	if _, err := s.seg.Write(buf); err != nil {
+		return s.fail(fmt.Errorf("durable: appending record: %w", err))
+	}
+	if !s.opts.NoSync {
+		if err := s.seg.Sync(); err != nil {
+			return s.fail(fmt.Errorf("durable: syncing segment: %w", err))
+		}
+	}
+	s.segBytes += len(buf)
+	s.recsSince++
+	if s.segBytes >= s.opts.SegmentBytes {
+		s.rotateLocked()
+	}
+	return nil
+}
+
+// fail records the first fatal error and returns it.
+func (s *Store) fail(err error) error {
+	if s.sticky == nil {
+		s.sticky = err
+	}
+	return s.sticky
+}
+
+// rotateLocked closes the active segment and directs future appends at
+// the next one. Caller holds s.mu.
+func (s *Store) rotateLocked() {
+	if s.seg != nil {
+		_ = s.seg.Close()
+		s.seg = nil
+	}
+	s.segSeq++
+	s.segBytes = 0
+}
+
+// maybeCheckpointLocked runs the automatic checkpoint cadence.
+func (s *Store) maybeCheckpointLocked() error {
+	if s.opts.CheckpointEvery <= 0 || s.recsSince < s.opts.CheckpointEvery {
+		return nil
+	}
+	return s.checkpointLocked()
+}
+
+// Checkpoint forces an atomic checkpoint of the current state and
+// truncates the WAL behind it.
+func (s *Store) Checkpoint() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.sticky != nil {
+		return s.sticky
+	}
+	return s.checkpointLocked()
+}
+
+// checkpointLocked writes the materialized state atomically — temp
+// file, fsync, rename, directory fsync — then rotates the WAL and
+// removes the segments and older checkpoints the new one supersedes.
+// The deletions run only after the rename is durable, so a crash at any
+// point leaves either the old recovery chain or the new one intact.
+// Caller holds s.mu.
+func (s *Store) checkpointLocked() error {
+	final := s.path(ckptName(s.version))
+	tmp := final + tmpSuffix
+	f, err := s.fs.Create(tmp)
+	if err != nil {
+		return s.fail(fmt.Errorf("durable: creating checkpoint temp: %w", err))
+	}
+	_, werr := f.Write(encodeCheckpoint(s.labels, s.version))
+	if werr == nil {
+		werr = f.Sync()
+	}
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		return s.fail(fmt.Errorf("durable: writing checkpoint: %w", werr))
+	}
+	if err := s.fs.Rename(tmp, final); err != nil {
+		return s.fail(fmt.Errorf("durable: publishing checkpoint: %w", err))
+	}
+	if err := s.fs.SyncDir(s.dir); err != nil {
+		return s.fail(fmt.Errorf("durable: syncing checkpoint: %w", err))
+	}
+	s.ckptVersion = s.version
+	s.recsSince = 0
+	// The WAL behind the checkpoint is now redundant: every record in
+	// every existing segment is ≤ the checkpointed version (appends and
+	// checkpoints serialize under s.mu). Rotate so new records land in a
+	// fresh segment, then sweep. Sweep failures are fatal-sticky like any
+	// other I/O failure; a crash mid-sweep just leaves stale files that
+	// recovery skips by version.
+	s.rotateLocked()
+	ckpts, segs, err := s.listing()
+	if err != nil {
+		return s.fail(err)
+	}
+	kept := 0
+	for _, v := range ckpts { // descending
+		kept++
+		if kept <= 2 { // newest two: belt and braces against a bad disk
+			continue
+		}
+		if err := s.fs.Remove(s.path(ckptName(v))); err != nil {
+			return s.fail(fmt.Errorf("durable: sweeping old checkpoint: %w", err))
+		}
+	}
+	for _, seq := range segs {
+		if seq < s.segSeq {
+			if err := s.fs.Remove(s.path(segName(seq))); err != nil {
+				return s.fail(fmt.Errorf("durable: sweeping old segment: %w", err))
+			}
+		}
+	}
+	if err := s.fs.SyncDir(s.dir); err != nil {
+		return s.fail(fmt.Errorf("durable: syncing sweep: %w", err))
+	}
+	return nil
+}
+
+// Adopt installs (labels, version) as the store's baseline — the warm-
+// cache attach path, where a cache that already holds published state
+// becomes durable. Only an empty store (fresh directory, no recovered
+// state) can adopt: adopting over existing durable history would let
+// the version counter regress, breaking the continuity rule.
+func (s *Store) Adopt(labels labelstore.Map, version uint64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.sticky != nil {
+		return s.sticky
+	}
+	if s.version != 0 || s.labels.Len() != 0 {
+		return fmt.Errorf("durable: %s already holds state at version %d; cannot adopt a different cache", s.dir, s.version)
+	}
+	s.labels, s.version = labels, version
+	return s.checkpointLocked()
+}
+
+// StateAt reconstructs the exact label map at a historical version by
+// replaying the on-disk log up to it. It fails closed with a typed
+// *labelstore.VersionError when the version is ahead of the store,
+// below the truncation horizon (no remaining checkpoint precedes it),
+// or not reconstructible from the surviving records — never returning
+// a different label set under the requested version number.
+func (s *Store) StateAt(version uint64) (labelstore.Map, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if version == s.version {
+		return s.labels, nil
+	}
+	if version > s.version {
+		return labelstore.Map{}, &labelstore.VersionError{
+			Version: version, Newest: s.version,
+			Reason: "version is ahead of the durable store",
+		}
+	}
+	ckpts, segs, err := s.listing()
+	if err != nil {
+		return labelstore.Map{}, &labelstore.VersionError{Version: version, Newest: s.version, Reason: err.Error()}
+	}
+	// Base from the newest checkpoint at or below the requested version.
+	// When none survives (the WAL behind the newest checkpoint was
+	// truncated), the replay from version 0 below succeeds only if the
+	// raw log still reaches the request — otherwise it is beyond the
+	// truncation horizon and fails closed.
+	labels, base := s.loadBase(ckpts, version)
+	labels, got, err := s.replay(segs, labels, base, version, false)
+	if err != nil || got != version {
+		reason := "version predates the truncation horizon"
+		if err != nil {
+			reason = err.Error()
+		}
+		return labelstore.Map{}, &labelstore.VersionError{
+			Version: version, Oldest: s.ckptVersion, Newest: s.version, Reason: reason,
+		}
+	}
+	return labels, nil
+}
+
+// Version returns the store's current version counter.
+func (s *Store) Version() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.version
+}
+
+// Close closes the active segment handle. The store's contents are
+// already durable per the sync policy; Close is hygiene, not a flush.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.seg != nil {
+		err := s.seg.Close()
+		s.seg = nil
+		return err
+	}
+	return nil
+}

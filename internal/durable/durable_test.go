@@ -1,0 +1,388 @@
+package durable
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/everest-project/everest/internal/labelstore"
+)
+
+// publishN appends n publish batches, batch i (1-based version) holding
+// frames {10i, 10i+1} with scores derived from the frame.
+func publishN(t *testing.T, s *Store, from, n int) {
+	t.Helper()
+	for i := from; i < from+n; i++ {
+		frames := []int{10 * i, 10*i + 1}
+		scores := []float64{float64(10 * i), float64(10*i + 1)}
+		if err := s.AppendPublish(uint64(i), frames, scores); err != nil {
+			t.Fatalf("publish %d: %v", i, err)
+		}
+	}
+}
+
+// stateMap flattens a labelstore.Map for comparison.
+func stateMap(m labelstore.Map) map[int]float64 {
+	out := make(map[int]float64)
+	m.Range(func(f int, v float64) bool {
+		out[f] = v
+		return true
+	})
+	return out
+}
+
+// wantState returns the expected flattened state after the first n
+// publishN batches.
+func wantState(n int) map[int]float64 {
+	out := make(map[int]float64)
+	for i := 1; i <= n; i++ {
+		out[10*i] = float64(10 * i)
+		out[10*i+1] = float64(10*i + 1)
+	}
+	return out
+}
+
+func assertState(t *testing.T, m labelstore.Map, version uint64, wantN int) {
+	t.Helper()
+	if version != uint64(wantN) {
+		t.Fatalf("version %d, want %d", version, wantN)
+	}
+	got, want := stateMap(m), wantState(wantN)
+	if len(got) != len(want) {
+		t.Fatalf("recovered %d labels, want %d", len(got), len(want))
+	}
+	for f, v := range want {
+		if got[f] != v {
+			t.Fatalf("frame %d: recovered %v, want %v", f, got[f], v)
+		}
+	}
+}
+
+func TestStoreRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	publishN(t, s, 1, 7)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	m, v := r.Recovered()
+	assertState(t, m, v, 7)
+	// Version continuity: the reopened store accepts exactly version 8.
+	if err := r.AppendPublish(9, []int{1}, []float64{1}); err == nil {
+		t.Fatal("version gap accepted")
+	}
+	if err := r.AppendPublish(8, []int{80}, []float64{80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStoreEvictionReplays(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	publishN(t, s, 1, 3) // versions 1..3
+	if err := s.AppendEvict(4, []int{10, 11}); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	r, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	m, v := r.Recovered()
+	if v != 4 {
+		t.Fatalf("version %d, want 4", v)
+	}
+	got := stateMap(m)
+	if _, ok := got[10]; ok {
+		t.Fatal("evicted frame 10 resurrected by replay")
+	}
+	if len(got) != 4 {
+		t.Fatalf("recovered %d labels, want 4 (batches 2,3)", len(got))
+	}
+}
+
+func TestStoreTornTailTruncated(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{CheckpointEvery: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	publishN(t, s, 1, 5)
+	s.Close()
+
+	// Tear the active segment: chop bytes off its end, then smear a few
+	// garbage bytes — a torn append.
+	seg := filepath.Join(dir, segName(1))
+	data, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	torn := append([]byte{}, data[:len(data)-9]...)
+	torn = append(torn, 0xde, 0xad)
+	if err := os.WriteFile(seg, torn, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	m, v := r.Recovered()
+	assertState(t, m, v, 4) // record 5 torn, 1..4 intact
+	// The tail was physically truncated: reopening again finds a clean log.
+	fi, err := os.Stat(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(len(torn)) == fi.Size() {
+		t.Fatal("torn tail not truncated")
+	}
+}
+
+func TestStoreCorruptMidSegmentDropsLaterSegments(t *testing.T) {
+	dir := t.TempDir()
+	// Tiny segments: every record rotates into its own segment.
+	s, err := Open(dir, Options{SegmentBytes: 1, CheckpointEvery: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	publishN(t, s, 1, 5)
+	s.Close()
+
+	// Flip a payload byte in segment 2 (record with version 2).
+	seg := filepath.Join(dir, segName(2))
+	data, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-1] ^= 0xff
+	if err := os.WriteFile(seg, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	m, v := r.Recovered()
+	assertState(t, m, v, 1) // consistent prefix ends before the corruption
+	// Segments past the corruption are unreachable and must be gone.
+	for seq := uint64(3); seq <= 5; seq++ {
+		if _, err := os.Stat(filepath.Join(dir, segName(seq))); !errors.Is(err, os.ErrNotExist) {
+			t.Fatalf("unreachable segment %d survived recovery", seq)
+		}
+	}
+}
+
+func TestStoreCheckpointTruncatesWAL(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{CheckpointEvery: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	publishN(t, s, 1, 10) // checkpoints at v4 and v8
+	s.Close()
+
+	names, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ckpts, segs := 0, 0
+	for _, e := range names {
+		if strings.HasSuffix(e.Name(), ckptSuffix) {
+			ckpts++
+		}
+		if strings.HasSuffix(e.Name(), segSuffix) {
+			segs++
+		}
+	}
+	if ckpts != 2 {
+		t.Fatalf("%d checkpoints on disk, want the newest 2", ckpts)
+	}
+	if segs != 1 {
+		t.Fatalf("%d segments on disk, want 1 (WAL truncated at checkpoint)", segs)
+	}
+
+	r, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	m, v := r.Recovered()
+	assertState(t, m, v, 10)
+}
+
+func TestStoreCorruptCheckpointFallsBack(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{CheckpointEvery: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	publishN(t, s, 1, 7) // checkpoints at v3 and v6; records 7 in WAL
+	s.Close()
+
+	// Corrupt the newest checkpoint (v6). Recovery must fall back to v3
+	// — but records 4..7 were truncated at the v6 checkpoint, so the
+	// consistent prefix is v3: stale, but a prefix, never garbage.
+	data, err := os.ReadFile(filepath.Join(dir, ckptName(6)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-1] ^= 0xff
+	if err := os.WriteFile(filepath.Join(dir, ckptName(6)), data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	_, v := r.Recovered()
+	if v != 3 {
+		t.Fatalf("recovered version %d, want fallback checkpoint 3", v)
+	}
+}
+
+func TestStoreStateAt(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{CheckpointEvery: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	publishN(t, s, 1, 6)
+
+	for _, v := range []uint64{1, 3, 6} {
+		m, err := s.StateAt(v)
+		if err != nil {
+			t.Fatalf("StateAt(%d): %v", v, err)
+		}
+		assertState(t, m, v, int(v))
+	}
+	// Version 0 is the empty store.
+	m, err := s.StateAt(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Len() != 0 {
+		t.Fatalf("StateAt(0) has %d labels", m.Len())
+	}
+	// Ahead of the store: fail closed.
+	var verr *labelstore.VersionError
+	if _, err := s.StateAt(7); !errors.As(err, &verr) {
+		t.Fatalf("StateAt(7) = %v, want *labelstore.VersionError", err)
+	}
+}
+
+func TestStoreStateAtHorizonFailsClosed(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{CheckpointEvery: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	publishN(t, s, 1, 8) // checkpoints at 3 and 6; WAL now holds 7,8 only
+
+	// v6 (exact checkpoint) and v7, v8 (checkpoint + surviving WAL) work.
+	for _, v := range []uint64{6, 7, 8} {
+		m, err := s.StateAt(v)
+		if err != nil {
+			t.Fatalf("StateAt(%d): %v", v, err)
+		}
+		assertState(t, m, v, int(v))
+	}
+	// v3 still works: its checkpoint file is one of the two kept.
+	if _, err := s.StateAt(3); err != nil {
+		t.Fatalf("StateAt(3): %v", err)
+	}
+	// v4 is beyond reconstruction: records 4,5 were truncated at the v6
+	// checkpoint and no kept checkpoint lands on it. Fail closed.
+	var verr *labelstore.VersionError
+	if _, err := s.StateAt(4); !errors.As(err, &verr) {
+		t.Fatalf("StateAt(4) = %v, want *labelstore.VersionError", err)
+	}
+	if verr.Version != 4 || verr.Newest != 8 {
+		t.Fatalf("VersionError fields off: %+v", verr)
+	}
+}
+
+func TestStoreAdopt(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var warm labelstore.Map
+	warm = warm.Set(5, 50).Set(9, 90)
+	if err := s.Adopt(warm, 12); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AppendPublish(13, []int{20}, []float64{2}); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	r, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, v := r.Recovered()
+	if v != 13 || m.Len() != 3 {
+		t.Fatalf("adopted store recovered v%d with %d labels, want v13 / 3", v, m.Len())
+	}
+	// A store that already holds state refuses a second adoption.
+	if err := r.Adopt(warm, 2); err == nil {
+		t.Fatal("non-empty store accepted Adopt")
+	}
+	r.Close()
+}
+
+func TestStoreGarbageDirectoryNeverPanics(t *testing.T) {
+	dir := t.TempDir()
+	// A garbage segment, a garbage checkpoint, a foreign file and a
+	// stale temp: recovery must shrug all of them off.
+	files := map[string][]byte{
+		segName(1):              []byte("not a wal segment at all"),
+		ckptName(9):             []byte("EVCKPT01 but not really"),
+		"README.txt":            []byte("hello"),
+		ckptName(3) + tmpSuffix: make([]byte, 100),
+		segName(2):              {},
+	}
+	for name, data := range files {
+		if err := os.WriteFile(filepath.Join(dir, name), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	m, v := s.Recovered()
+	if v != 0 || m.Len() != 0 {
+		t.Fatalf("garbage directory recovered v%d / %d labels, want empty", v, m.Len())
+	}
+	// And the store still works.
+	if err := s.AppendPublish(1, []int{1}, []float64{1}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,105 @@
+package durable
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// FS is the filesystem surface the durability layer writes through. It
+// exists so the crash-injection harness (internal/faultinject's
+// filesystem fault layer) can interpose torn writes, failed fsyncs and
+// crash-at-offset faults between the store and the disk; production
+// stores use OSFS. Every mutating operation a Store performs goes
+// through this interface — there is no side channel — which is what
+// makes "crash at the k-th write" a complete enumeration of the store's
+// failure points.
+type FS interface {
+	// MkdirAll creates dir (and parents) if absent.
+	MkdirAll(dir string) error
+	// ReadDir returns the names (not paths) of dir's entries, sorted.
+	ReadDir(dir string) ([]string, error)
+	// ReadFile returns name's full contents.
+	ReadFile(name string) ([]byte, error)
+	// Create opens name for writing, truncating any existing file.
+	Create(name string) (File, error)
+	// OpenAppend opens name for appending, creating it if absent.
+	OpenAppend(name string) (File, error)
+	// Rename atomically replaces newpath with oldpath.
+	Rename(oldpath, newpath string) error
+	// Remove deletes name.
+	Remove(name string) error
+	// Truncate cuts name to size bytes.
+	Truncate(name string, size int64) error
+	// SyncDir fsyncs the directory itself, making renames and removes
+	// durable.
+	SyncDir(dir string) error
+}
+
+// File is one writable file of an FS.
+type File interface {
+	io.Writer
+	// Sync flushes the file's data to stable storage.
+	Sync() error
+	// Close releases the handle (without an implicit Sync).
+	Close() error
+}
+
+// OSFS is the production FS: direct os calls.
+type OSFS struct{}
+
+// MkdirAll implements FS.
+func (OSFS) MkdirAll(dir string) error { return os.MkdirAll(dir, 0o755) }
+
+// ReadDir implements FS.
+func (OSFS) ReadDir(dir string) ([]string, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(ents))
+	for _, e := range ents {
+		names = append(names, e.Name())
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// ReadFile implements FS.
+func (OSFS) ReadFile(name string) ([]byte, error) { return os.ReadFile(name) }
+
+// Create implements FS.
+func (OSFS) Create(name string) (File, error) {
+	return os.OpenFile(name, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+}
+
+// OpenAppend implements FS.
+func (OSFS) OpenAppend(name string) (File, error) {
+	return os.OpenFile(name, os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o644)
+}
+
+// Rename implements FS.
+func (OSFS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+
+// Remove implements FS.
+func (OSFS) Remove(name string) error { return os.Remove(name) }
+
+// Truncate implements FS.
+func (OSFS) Truncate(name string, size int64) error { return os.Truncate(name, size) }
+
+// SyncDir implements FS. Directory fsync makes the metadata operations
+// (rename, remove, create) durable; on platforms where directories
+// cannot be fsynced the error is reported to the caller.
+func (OSFS) SyncDir(dir string) error {
+	d, err := os.Open(filepath.Clean(dir))
+	if err != nil {
+		return err
+	}
+	serr := d.Sync()
+	cerr := d.Close()
+	if serr != nil {
+		return serr
+	}
+	return cerr
+}

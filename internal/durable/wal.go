@@ -1,0 +1,146 @@
+package durable
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"math"
+)
+
+// WAL record wire format. Each record is self-delimiting and
+// self-validating, so recovery can walk a segment byte stream and stop
+// at the first record whose checksum or framing fails — the torn tail a
+// crash mid-append leaves behind:
+//
+//	uint32  CRC32 (IEEE) of the length field and the payload
+//	uint32  payload length (little-endian)
+//	payload:
+//	  byte     record type (1 = publish, 2 = evict)
+//	  uvarint  version — the cache version this record produced
+//	  uvarint  count   — number of frames in the record
+//	  publish: count × (uvarint frame delta, 8-byte score bits)
+//	  evict:   count × (uvarint frame delta)
+//
+// Frames are stored sorted ascending and delta-encoded (first frame
+// absolute, the rest as gaps), matching the sorted fold order
+// labelstore.SharedCache.Publish already guarantees. Scores are raw
+// IEEE-754 bits, so replay reproduces them bit-exactly.
+const (
+	recPublish byte = 1
+	recEvict   byte = 2
+
+	recHeaderLen = 8
+	// maxRecordLen bounds a single record's payload so an adversarial or
+	// corrupt length field can never drive a multi-gigabyte allocation
+	// during recovery: framing beyond it is treated as corruption.
+	maxRecordLen = 1 << 26
+)
+
+// Record is one decoded WAL record.
+type Record struct {
+	Type    byte
+	Version uint64
+	Frames  []int
+	Scores  []float64 // publish records only, parallel to Frames
+}
+
+// appendRecord encodes r onto buf and returns the extended slice.
+func appendRecord(buf []byte, r Record) []byte {
+	payload := make([]byte, 0, 16+len(r.Frames)*10)
+	payload = append(payload, r.Type)
+	payload = binary.AppendUvarint(payload, r.Version)
+	payload = binary.AppendUvarint(payload, uint64(len(r.Frames)))
+	prev := 0
+	for i, f := range r.Frames {
+		payload = binary.AppendUvarint(payload, uint64(f-prev))
+		prev = f
+		if r.Type == recPublish {
+			payload = binary.LittleEndian.AppendUint64(payload, math.Float64bits(r.Scores[i]))
+		}
+	}
+	var hdr [recHeaderLen]byte
+	binary.LittleEndian.PutUint32(hdr[4:], uint32(len(payload)))
+	crc := crc32.ChecksumIEEE(hdr[4:])
+	crc = crc32.Update(crc, crc32.IEEETable, payload)
+	binary.LittleEndian.PutUint32(hdr[:4], crc)
+	buf = append(buf, hdr[:]...)
+	return append(buf, payload...)
+}
+
+// decodeRecord reads the record starting at data[off]. It returns the
+// record and the offset just past it. A framing or checksum failure
+// returns an error and leaves next == off — recovery truncates there.
+func decodeRecord(data []byte, off int) (rec Record, next int, err error) {
+	if len(data)-off < recHeaderLen {
+		return Record{}, off, fmt.Errorf("durable: truncated record header at offset %d", off)
+	}
+	crc := binary.LittleEndian.Uint32(data[off:])
+	plen := int(binary.LittleEndian.Uint32(data[off+4:]))
+	if plen <= 0 || plen > maxRecordLen || len(data)-off-recHeaderLen < plen {
+		return Record{}, off, fmt.Errorf("durable: bad record length %d at offset %d", plen, off)
+	}
+	payload := data[off+recHeaderLen : off+recHeaderLen+plen]
+	got := crc32.ChecksumIEEE(data[off+4 : off+recHeaderLen])
+	got = crc32.Update(got, crc32.IEEETable, payload)
+	if got != crc {
+		return Record{}, off, fmt.Errorf("durable: record checksum mismatch at offset %d", off)
+	}
+	rec, err = parsePayload(payload)
+	if err != nil {
+		return Record{}, off, fmt.Errorf("durable: %w at offset %d", err, off)
+	}
+	return rec, off + recHeaderLen + plen, nil
+}
+
+// parsePayload decodes a checksum-valid payload. A payload that passes
+// the CRC but fails structural validation is still treated as
+// corruption — the checksum guards bit rot, not logic errors.
+func parsePayload(p []byte) (Record, error) {
+	if len(p) < 1 {
+		return Record{}, fmt.Errorf("empty record payload")
+	}
+	rec := Record{Type: p[0]}
+	if rec.Type != recPublish && rec.Type != recEvict {
+		return Record{}, fmt.Errorf("unknown record type %d", rec.Type)
+	}
+	p = p[1:]
+	version, n := binary.Uvarint(p)
+	if n <= 0 {
+		return Record{}, fmt.Errorf("bad record version field")
+	}
+	p = p[n:]
+	rec.Version = version
+	count, n := binary.Uvarint(p)
+	if n <= 0 || count > maxRecordLen {
+		return Record{}, fmt.Errorf("bad record frame count")
+	}
+	p = p[n:]
+	rec.Frames = make([]int, 0, count)
+	if rec.Type == recPublish {
+		rec.Scores = make([]float64, 0, count)
+	}
+	prev := uint64(0)
+	for i := uint64(0); i < count; i++ {
+		delta, n := binary.Uvarint(p)
+		if n <= 0 {
+			return Record{}, fmt.Errorf("bad frame delta")
+		}
+		p = p[n:]
+		prev += delta
+		if prev > math.MaxInt32 {
+			return Record{}, fmt.Errorf("frame index %d out of range", prev)
+		}
+		rec.Frames = append(rec.Frames, int(prev))
+		if rec.Type == recPublish {
+			if len(p) < 8 {
+				return Record{}, fmt.Errorf("truncated score")
+			}
+			rec.Scores = append(rec.Scores, math.Float64frombits(binary.LittleEndian.Uint64(p)))
+			p = p[8:]
+		}
+	}
+	if len(p) != 0 {
+		return Record{}, fmt.Errorf("%d trailing payload bytes", len(p))
+	}
+	return rec, nil
+}

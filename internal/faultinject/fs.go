@@ -1,0 +1,286 @@
+package faultinject
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"github.com/everest-project/everest/internal/durable"
+	"github.com/everest-project/everest/internal/xrand"
+)
+
+// ErrCrashed is what every filesystem operation returns once a FaultFS
+// crash has fired: the simulated process is dead, nothing it does
+// reaches the disk anymore. Recovery is modeled by reopening the same
+// directory through a fresh (fault-free) FS — exactly what a restarted
+// process would do.
+var ErrCrashed = errors.New("faultinject: simulated crash")
+
+// ErrInjectedIO is the non-fatal injected I/O failure (failed fsync,
+// short write): the operation reports an error but the process lives
+// on, so callers exercise their availability-over-durability path.
+var ErrInjectedIO = errors.New("faultinject: injected I/O failure")
+
+// FSStats counts what the filesystem fault layer observed and did.
+type FSStats struct {
+	// Ops is the number of mutating operations observed (the crash
+	// clock: crash-at-k kills the k-th of these).
+	Ops int
+	// TornBytes is how many bytes of the fatal torn write survived.
+	TornBytes int
+	// Crashed reports whether the crash fired.
+	Crashed bool
+}
+
+// FaultFS wraps a durable.FS with deterministic fault injection. Every
+// mutating operation — Write, Sync, Create, OpenAppend, Rename,
+// Remove, Truncate, SyncDir, MkdirAll — consumes one op slot from a
+// process-order counter; reads are free. Three fault kinds, each
+// pinned to an op index so a schedule is a pure function of
+// (CrashAt, SyncErrAt, ShortWriteAt, Seed), reproducible across runs:
+//
+//   - CrashAt k: the k-th mutating op is where the process dies. A
+//     Write persists only a prefix of its buffer first — the torn
+//     write a real crash mid-append leaves — with the prefix length
+//     drawn xrand-style from (Seed, k); any other op persists nothing.
+//     The op and every later one return ErrCrashed.
+//   - SyncErrAt k: the k-th op, if it is a Sync or SyncDir, fails with
+//     ErrInjectedIO; the process continues.
+//   - ShortWriteAt k: the k-th op, if it is a Write, persists a
+//     deterministic prefix and reports ErrInjectedIO; the process
+//     continues.
+//
+// The mutating-op counter is the complete enumeration of a
+// durable.Store's failure points (see durable.FS), so iterating
+// CrashAt over [0, Stats().Ops) crash-tests every prefix of the
+// store's write history.
+type FaultFS struct {
+	inner durable.FS
+	seed  uint64
+
+	// CrashAt, SyncErrAt, ShortWriteAt are mutating-op indices; -1
+	// disables that fault.
+	crashAt, syncErrAt, shortWriteAt int
+
+	mu    sync.Mutex
+	stats FSStats
+}
+
+// NewFaultFS wraps inner (nil means the real filesystem) with all
+// faults disabled; arm them with CrashAt/SyncErrAt/ShortWriteAt.
+func NewFaultFS(inner durable.FS, seed uint64) *FaultFS {
+	if inner == nil {
+		inner = durable.OSFS{}
+	}
+	return &FaultFS{inner: inner, seed: seed, crashAt: -1, syncErrAt: -1, shortWriteAt: -1}
+}
+
+// CrashAt arms the crash at mutating-op index k (-1 disarms). Returns
+// the FaultFS for chaining.
+func (f *FaultFS) CrashAt(k int) *FaultFS { f.crashAt = k; return f }
+
+// SyncErrAt arms a non-fatal fsync failure at op index k (-1 disarms).
+func (f *FaultFS) SyncErrAt(k int) *FaultFS { f.syncErrAt = k; return f }
+
+// ShortWriteAt arms a non-fatal short write at op index k (-1 disarms).
+func (f *FaultFS) ShortWriteAt(k int) *FaultFS { f.shortWriteAt = k; return f }
+
+// Stats returns what the fault layer saw so far. After a fault-free
+// run, Stats().Ops is the crash-point count a harness iterates over.
+func (f *FaultFS) Stats() FSStats {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.stats
+}
+
+// fsOp consumes one mutating-op slot and says how the op must behave.
+type fsVerdict int
+
+const (
+	fsOK       fsVerdict = iota
+	fsCrash              // the crash fires on this op
+	fsDead               // the process already crashed
+	fsSyncErr            // this op's Sync fails non-fatally
+	fsShortErr           // this op's Write goes short non-fatally
+)
+
+func (f *FaultFS) nextOp() (fsVerdict, int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.stats.Crashed {
+		return fsDead, 0
+	}
+	op := f.stats.Ops
+	f.stats.Ops++
+	switch {
+	case op == f.crashAt:
+		f.stats.Crashed = true
+		return fsCrash, op
+	case op == f.syncErrAt:
+		return fsSyncErr, op
+	case op == f.shortWriteAt:
+		return fsShortErr, op
+	}
+	return fsOK, op
+}
+
+// tornLen picks the surviving prefix of an n-byte write torn at op k:
+// a deterministic draw in [0, n) from the (seed, op) stream, so every
+// crash point also explores a different tear offset.
+func (f *FaultFS) tornLen(op, n int) int {
+	if n == 0 {
+		return 0
+	}
+	return xrand.New(f.seed).Split("fsfault").SplitIndex(uint64(op)).Intn(n)
+}
+
+// MkdirAll implements durable.FS.
+func (f *FaultFS) MkdirAll(dir string) error {
+	switch v, _ := f.nextOp(); v {
+	case fsCrash, fsDead:
+		return ErrCrashed
+	}
+	return f.inner.MkdirAll(dir)
+}
+
+// ReadDir implements durable.FS (reads are free of fault slots but die
+// with the process).
+func (f *FaultFS) ReadDir(dir string) ([]string, error) {
+	if f.dead() {
+		return nil, ErrCrashed
+	}
+	return f.inner.ReadDir(dir)
+}
+
+// ReadFile implements durable.FS.
+func (f *FaultFS) ReadFile(name string) ([]byte, error) {
+	if f.dead() {
+		return nil, ErrCrashed
+	}
+	return f.inner.ReadFile(name)
+}
+
+func (f *FaultFS) dead() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.stats.Crashed
+}
+
+// Create implements durable.FS.
+func (f *FaultFS) Create(name string) (durable.File, error) {
+	switch v, _ := f.nextOp(); v {
+	case fsCrash, fsDead:
+		return nil, ErrCrashed
+	}
+	inner, err := f.inner.Create(name)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{fs: f, inner: inner}, nil
+}
+
+// OpenAppend implements durable.FS.
+func (f *FaultFS) OpenAppend(name string) (durable.File, error) {
+	switch v, _ := f.nextOp(); v {
+	case fsCrash, fsDead:
+		return nil, ErrCrashed
+	}
+	inner, err := f.inner.OpenAppend(name)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{fs: f, inner: inner}, nil
+}
+
+// Rename implements durable.FS. A crash on the rename op models dying
+// just before it: the old name survives.
+func (f *FaultFS) Rename(oldpath, newpath string) error {
+	switch v, _ := f.nextOp(); v {
+	case fsCrash, fsDead:
+		return ErrCrashed
+	}
+	return f.inner.Rename(oldpath, newpath)
+}
+
+// Remove implements durable.FS.
+func (f *FaultFS) Remove(name string) error {
+	switch v, _ := f.nextOp(); v {
+	case fsCrash, fsDead:
+		return ErrCrashed
+	}
+	return f.inner.Remove(name)
+}
+
+// Truncate implements durable.FS.
+func (f *FaultFS) Truncate(name string, size int64) error {
+	switch v, _ := f.nextOp(); v {
+	case fsCrash, fsDead:
+		return ErrCrashed
+	}
+	return f.inner.Truncate(name, size)
+}
+
+// SyncDir implements durable.FS.
+func (f *FaultFS) SyncDir(dir string) error {
+	switch v, _ := f.nextOp(); v {
+	case fsCrash, fsDead:
+		return ErrCrashed
+	case fsSyncErr:
+		return fmt.Errorf("syncing %s: %w", dir, ErrInjectedIO)
+	}
+	return f.inner.SyncDir(dir)
+}
+
+// faultFile routes a file's Write/Sync through the fault layer.
+type faultFile struct {
+	fs    *FaultFS
+	inner durable.File
+}
+
+// Write implements durable.File: a crash here persists a deterministic
+// prefix of buf (the torn write), a short-write fault persists a
+// prefix and reports ErrInjectedIO, and a dead process persists
+// nothing.
+func (w *faultFile) Write(buf []byte) (int, error) {
+	switch v, op := w.fs.nextOp(); v {
+	case fsDead:
+		return 0, ErrCrashed
+	case fsCrash:
+		n := w.fs.tornLen(op, len(buf))
+		w.fs.mu.Lock()
+		w.fs.stats.TornBytes = n
+		w.fs.mu.Unlock()
+		if n > 0 {
+			_, _ = w.inner.Write(buf[:n])
+		}
+		return 0, ErrCrashed
+	case fsShortErr:
+		n := w.fs.tornLen(op, len(buf))
+		if n > 0 {
+			_, _ = w.inner.Write(buf[:n])
+		}
+		return n, fmt.Errorf("short write (%d of %d bytes): %w", n, len(buf), ErrInjectedIO)
+	}
+	return w.inner.Write(buf)
+}
+
+// Sync implements durable.File.
+func (w *faultFile) Sync() error {
+	switch v, _ := w.fs.nextOp(); v {
+	case fsCrash, fsDead:
+		return ErrCrashed
+	case fsSyncErr:
+		return fmt.Errorf("fsync: %w", ErrInjectedIO)
+	}
+	return w.inner.Sync()
+}
+
+// Close implements durable.File. Close consumes no op slot (it
+// persists nothing a crash could tear) but fails once the process is
+// dead.
+func (w *faultFile) Close() error {
+	if w.fs.dead() {
+		return ErrCrashed
+	}
+	return w.inner.Close()
+}

@@ -1,0 +1,157 @@
+package labelstore
+
+import "fmt"
+
+// WAL is the durability hook a SharedCache logs through when durable
+// mode is enabled (internal/durable.Store implements it; the interface
+// lives here so labelstore does not depend on the storage layer).
+// Append calls happen under the cache lock, after the cache has applied
+// the operation and bumped its version — so by the time any other
+// goroutine can observe version v, the record that produced v is on
+// disk (per the store's sync policy). Versions arrive strictly
+// contiguously: one Append per version bump, in order.
+type WAL interface {
+	// Dir identifies the backing directory (idempotent-attach checks).
+	Dir() string
+	// AppendPublish logs the publish batch that produced version.
+	// Frames are sorted ascending, parallel to scores.
+	AppendPublish(version uint64, frames []int, scores []float64) error
+	// AppendEvict logs the eviction pass that produced version.
+	AppendEvict(version uint64, frames []int) error
+	// Adopt installs a warm cache's current state as the store baseline
+	// (only valid on a store with no recovered state).
+	Adopt(labels Map, version uint64) error
+	// Recovered returns the state recovered when the store was opened.
+	Recovered() (Map, uint64)
+	// StateAt reconstructs the label map at a historical version, or
+	// fails closed with a *VersionError.
+	StateAt(version uint64) (Map, error)
+}
+
+// VersionError is the fail-closed answer to a version that cannot be
+// resolved to exactly the label set it originally named: it is ahead of
+// the store, behind the WAL-truncation horizon, or the cache is not
+// durable and the version is no longer current. Callers holding a
+// pinned version across a crash get this error — never a silently
+// different label set under the same number.
+type VersionError struct {
+	// Version is the requested version.
+	Version uint64
+	// Oldest and Newest bound what the store can still reconstruct
+	// (Oldest is the newest checkpoint's version — the truncation
+	// horizon; zero when unknown).
+	Oldest, Newest uint64
+	// Reason says why the version is unresolvable.
+	Reason string
+}
+
+// Error implements error.
+func (e *VersionError) Error() string {
+	return fmt.Sprintf("labelstore: version %d not resolvable (reconstructible range ~[%d,%d]): %s",
+		e.Version, e.Oldest, e.Newest, e.Reason)
+}
+
+// EnableDurable attaches a write-ahead log to the cache. On a cold
+// cache (nothing published yet) the store's recovered state is adopted
+// — labels AND version counter, so the version sequence continues
+// across the restart. On a warm cache the current state is installed
+// into the store as a baseline checkpoint instead (only a fresh store
+// can accept that). Attaching the same directory twice is a no-op;
+// attaching a second, different directory is an error. From the attach
+// on, every publish and eviction is logged before its version becomes
+// observable.
+func (c *SharedCache) EnableDurable(w WAL) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.wal != nil {
+		if c.wal.Dir() == w.Dir() {
+			return nil
+		}
+		return fmt.Errorf("labelstore: cache already durable in %s; cannot switch to %s", c.wal.Dir(), w.Dir())
+	}
+	if c.version == 0 && c.labels.Len() == 0 {
+		// Cold cache: resume exactly where the durable history ended.
+		// Recovered labels carry no publish-batch history, so they are
+		// policy-exempt (like pre-policy publishes): TTL/max-labels govern
+		// batches published from here on.
+		c.labels, c.version = w.Recovered()
+	} else {
+		if err := w.Adopt(c.labels, c.version); err != nil {
+			return err
+		}
+	}
+	c.wal = w
+	return nil
+}
+
+// DurableDir returns the attached WAL's directory, or "" when the cache
+// is RAM-only.
+func (c *SharedCache) DurableDir() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.wal == nil {
+		return ""
+	}
+	return c.wal.Dir()
+}
+
+// DurableErr returns the first WAL append failure, if any. The cache
+// keeps serving from RAM after a log failure (availability over
+// durability — the prefix logged before the failure is still intact on
+// disk), and this surfaces that the durable horizon stopped advancing.
+func (c *SharedCache) DurableErr() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.walErr
+}
+
+// SnapshotAt resolves a pinned version to exactly the label map that
+// version named when it was issued. The current version resolves from
+// RAM; historical versions are reconstructed from the durable log. When
+// the cache is not durable, or the version is outside what the log can
+// still reconstruct, it fails closed with a typed *VersionError — a
+// pinned version never silently rebinds to a different label set (the
+// determinism contract's recovery clause; see DESIGN.md "Durability &
+// crash recovery").
+func (c *SharedCache) SnapshotAt(version uint64) (Map, error) {
+	c.mu.Lock()
+	wal, cur, labels := c.wal, c.version, c.labels
+	c.mu.Unlock()
+	if version == cur {
+		return labels, nil
+	}
+	if wal == nil {
+		return Map{}, &VersionError{
+			Version: version, Newest: cur,
+			Reason: "cache is not durable; only the current version is resolvable",
+		}
+	}
+	// The store serializes against concurrent publishes internally; the
+	// cache lock is NOT held across the disk replay.
+	return wal.StateAt(version)
+}
+
+// logPublish forwards a publish to the WAL (caller holds c.mu and has
+// already bumped the version). Failures latch into walErr.
+func (c *SharedCache) logPublish(version uint64, frames []int, fresh map[int]float64) {
+	if c.wal == nil {
+		return
+	}
+	scores := make([]float64, len(frames))
+	for i, f := range frames {
+		scores[i] = fresh[f]
+	}
+	if err := c.wal.AppendPublish(version, frames, scores); err != nil && c.walErr == nil {
+		c.walErr = err
+	}
+}
+
+// logEvict forwards an eviction pass to the WAL (caller holds c.mu).
+func (c *SharedCache) logEvict(version uint64, frames []int) {
+	if c.wal == nil {
+		return
+	}
+	if err := c.wal.AppendEvict(version, frames); err != nil && c.walErr == nil {
+		c.walErr = err
+	}
+}

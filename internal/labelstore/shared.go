@@ -42,6 +42,14 @@ type SharedCache struct {
 	pubSeq  uint64
 	now     func() time.Time
 
+	// Durability hook (nil for RAM-only caches): every publish and
+	// eviction is logged, with the version it produced, before the
+	// version becomes observable outside the lock. walErr latches the
+	// first append failure — the cache then keeps serving from RAM with
+	// a frozen durable horizon. See durable.go.
+	wal    WAL
+	walErr error
+
 	// attachment is the serving layer's per-cache singleton slot (the
 	// coalescing scheduler); tying it to the cache gives it exactly the
 	// cache's lifetime — when a registry drops the cache, whatever was
@@ -138,6 +146,7 @@ func (c *SharedCache) Publish(fresh map[int]float64) uint64 {
 	}
 	c.labels = m
 	c.version++
+	c.logPublish(c.version, keys, fresh)
 	if c.policy.active() {
 		c.pubSeq++
 		c.pubs = append(c.pubs, publishRecord{seq: c.pubSeq, at: c.clock()(), keys: keys})
@@ -224,7 +233,7 @@ func (c *SharedCache) clock() func() time.Time {
 // evicted. Caller holds c.mu.
 func (c *SharedCache) evictLocked() {
 	now := c.clock()()
-	evicted := false
+	var removed []int
 	for len(c.pubs) > 0 {
 		// The newest batch is never size-evicted: the query that just
 		// published it (and anyone coalesced behind it) must be able to
@@ -248,11 +257,12 @@ func (c *SharedCache) evictLocked() {
 			}
 			c.labels = c.labels.Delete(f)
 			delete(c.lastPub, f)
-			evicted = true
+			removed = append(removed, f)
 		}
 	}
-	if evicted {
+	if len(removed) > 0 {
 		c.version++
+		c.logEvict(c.version, removed)
 	}
 }
 

@@ -175,6 +175,9 @@ func (s *Session) QueryCtx(ctx context.Context, cfg Config) (res *Result, err er
 			res, err = nil, oraclePanicError(s.udf, r)
 		}
 	}()
+	if err := ensureDurable(s.cache, cfg.DurableDir); err != nil {
+		return nil, err
+	}
 	s.applyCachePolicy(cfg)
 	if cfg.Coalesce {
 		results, err := s.queryCoalesced(ctx, []Config{cfg})
@@ -254,6 +257,9 @@ func (s *Session) QueryBatchCtx(ctx context.Context, cfgs []Config) (_ []*Result
 	}
 	coalesce := false
 	for _, cfg := range cfgs {
+		if err := ensureDurable(s.cache, cfg.DurableDir); err != nil {
+			return nil, err
+		}
 		s.applyCachePolicy(cfg)
 		coalesce = coalesce || cfg.Coalesce
 	}
