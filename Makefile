@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test testbuild vet race chaos crash fuzz bench bench-diff bench-smoke experiments
+.PHONY: build test testbuild vet race chaos crash fuzz bench bench-diff bench-smoke follow experiments
 
 build:
 	$(GO) build ./...
@@ -22,7 +22,7 @@ testbuild:
 # Race-check the concurrency packages and the engine determinism tests;
 # the full suite under -race is too slow for a quick gate.
 race:
-	$(GO) test -race ./internal/workpool/ ./internal/labelstore/ ./internal/engine/ ./internal/oraclemux/ ./internal/faultinject/ ./internal/durable/ ./internal/cmdn/ ./internal/phase1/ ./internal/nn/ ./internal/diffdet/ ./internal/windows/ ./internal/core/
+	$(GO) test -race ./internal/workpool/ ./internal/labelstore/ ./internal/engine/ ./internal/oraclemux/ ./internal/faultinject/ ./internal/durable/ ./internal/cmdn/ ./internal/phase1/ ./internal/nn/ ./internal/diffdet/ ./internal/windows/ ./internal/core/ ./internal/stream/
 	$(GO) test -race -run 'ProcsBitIdentical|GoldenConcurrent|GoldenCoalesced|SessionConcurrent|QueryBatch|SharedSession|AdmissionLimit|Coalesced|CoalesceWait|OracleMux' .
 
 # The fault-tolerance suite under the race detector: chaos-injected
@@ -54,6 +54,7 @@ crash:
 fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzMapOrdering -fuzztime 30s ./internal/workpool/
 	$(GO) test -run '^$$' -fuzz FuzzPlanNormalize -fuzztime 30s ./internal/engine/
+	$(GO) test -run '^$$' -fuzz FuzzArtifactAppend -fuzztime 30s ./internal/engine/
 	$(GO) test -run '^$$' -fuzz FuzzConsolidate -fuzztime 30s ./internal/oraclemux/
 	$(GO) test -run '^$$' -fuzz FuzzFaultSchedule -fuzztime 30s ./internal/faultinject/
 	$(GO) test -run '^$$' -fuzz FuzzWALReplay -fuzztime 30s ./internal/durable/
@@ -73,7 +74,14 @@ bench-diff:
 # but explode allocations (also the CI benchmark smoke job, which
 # additionally runs bench-diff against the committed baseline).
 bench-smoke:
-	$(GO) test -run '^$$' -bench 'SessionConcurrent|SessionSharedCache|SessionCoalesced|OracleMux' -benchtime 1x -benchmem .
+	$(GO) test -run '^$$' -bench 'SessionConcurrent|SessionSharedCache|SessionCoalesced|OracleMux|StreamingIngest|FollowDeltas' -benchtime 1x -benchmem .
+
+# Live-camera smoke run: replay a bounded feed through the streaming
+# ingestor with a continuous top-K follower and print the answer deltas
+# — exercises the chunked ingest, warm CMDN refresh, and delta paths
+# end to end from the CLI.
+follow:
+	$(GO) run ./cmd/everest -dataset Archie -k 5 -frames 3600 -follow -segment 1200 -chunk 300 -drift 3
 
 experiments:
 	$(GO) run ./cmd/experiments

@@ -15,6 +15,8 @@
 //	everest -dataset Archie -k 10 -deadline 50000 -degraded-ok  # bounded: best-effort answer if the simulated budget expires
 //	everest -dataset Archie -k 10 -chaos 'err:3' -retries 5     # inject transient oracle faults, retry through them
 //	everest -dataset Archie -k 10 -concurrent 4 -chaos 'err:2,slow:5:250' -retries 3 -degraded-ok
+//	everest -dataset Archie -k 10 -follow                      # live camera: chunked ingest, continuous top-K deltas
+//	everest -dataset Archie -k 10 -follow -chunk 150 -segment 900 -lag 4  # tighter staleness bound, faster model refresh
 //	everest -dataset Dashcam-California -udf tailgate -k 50
 //	everest -query 'SELECT TOP 10 WINDOWS OF 300 EVERY 30 FROM Archie RANK BY count(car)' [-explain]
 //	everest -query 'EXPLAIN ANALYZE SELECT TOP 10 FRAMES FROM Archie RANK BY count(car)'  # cost-based planner chooses the knobs, runs the plan, reports predicted vs actual
@@ -67,6 +69,12 @@ func main() {
 		saveIx       = flag.String("saveindex", "", "run Phase 1 only and save an ingestion index to this file (atomic write, checksummed format)")
 		useIx        = flag.String("useindex", "", "answer from a saved ingestion index (Phase 2 only)")
 		durableDir   = flag.String("durable-dir", "", "make the serving label cache crash-safe: log every published label to a checksummed WAL with atomic checkpoints in this directory, and recover the surviving labels on start (the query is then served from a shared session)")
+		follow       = flag.Bool("follow", false, "live-camera mode: replay the dataset as a chunked feed, ingest incrementally, and print continuous top-K answer deltas as segments close")
+		chunk        = flag.Int("chunk", 300, "with -follow: frames per arriving chunk (300 = 10 s at 30 fps)")
+		segment      = flag.Int("segment", 1800, "with -follow: frames per index segment — the model-refresh and answer-update granularity")
+		lag          = flag.Int("lag", 0, "with -follow: staleness bound in chunks — close the open segment early once the answer falls this many chunks behind the frontier (0 = update at segment closes only)")
+		coldStart    = flag.Bool("cold", false, "with -follow: retrain the full CMDN grid at every segment close instead of warm-refreshing the previous segment's model")
+		drift        = flag.Float64("drift", 0, "with -follow: warm-refresh drift tolerance in holdout NLL (0 = default 0.5); raise for feeds whose score distribution cycles")
 	)
 	flag.Parse()
 
@@ -167,6 +175,13 @@ func main() {
 		DurableDir:     *durableDir,
 	}
 
+	if *follow {
+		if err := runFollow(src, udf, cfg, *segment, *chunk, *lag, !*coldStart, *drift); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
 	if *saveIx != "" {
 		ix, err := everest.BuildIndex(src, udf, cfg)
 		if err != nil {
@@ -237,6 +252,89 @@ func main() {
 	printResult(res, src.FPS(), "")
 	maybePrintMuxStats(*mux)
 	maybePrintChaosStats(chaosUDF)
+}
+
+// runFollow replays the dataset as a live camera: frames arrive in
+// fixed-size chunks, Phase 1 runs incrementally as they land, and the
+// query's top-K answer is kept continuously updated — each segment
+// close prints how the answer changed rather than a from-scratch
+// result.
+func runFollow(src video.Source, udf vision.UDF, cfg everest.Config, segment, chunk, lag int, warm bool, drift float64) error {
+	fps := src.FPS()
+	mode := "warm CMDN refresh (auto drift fallback)"
+	if !warm {
+		mode = "full CMDN retrain per segment"
+	}
+	fmt.Printf("live follow: top-%d over %s, %d-frame chunks, %d-frame segments, %s\n\n",
+		cfg.K, src.Name(), chunk, segment, mode)
+	ls, err := everest.OpenLive(src, udf, cfg, everest.LiveConfig{
+		SegmentFrames: segment,
+		Warm:          warm,
+		MaxLagChunks:  lag,
+		DriftNLL:      drift,
+		OnDelta:       func(d everest.LiveDelta) { printDelta(d, fps) },
+	})
+	if err != nil {
+		return err
+	}
+	defer ls.Close()
+
+	n := src.NumFrames()
+	for sent := 0; sent < n; sent += chunk {
+		c := chunk
+		if sent+c > n {
+			c = n - sent
+		}
+		if err := ls.Append(c); err != nil {
+			return err
+		}
+	}
+	if err := ls.Seal(); err != nil {
+		return err
+	}
+
+	st := ls.Stats()
+	fmt.Printf("\nfeed sealed at frame %d: %d chunks, %d segments (%d warm refreshes, %d full trains, %d drift fallbacks), %d eager labels, %d answer updates\n",
+		ls.Frontier(), st.Chunks, st.Segments, st.WarmRefreshes, st.FullTrains, st.DriftFallbacks, st.EagerLabels, st.Deltas)
+	if st.ForcedCloses > 0 {
+		fmt.Printf("staleness bound forced %d early segment closes\n", st.ForcedCloses)
+	}
+	fmt.Printf("ingest cost %.0f sim-ms (%.2f sim-ms/frame amortized)\n",
+		ls.IngestMS(), ls.IngestMS()/float64(ls.Frontier()))
+	if a := ls.Answer(); a != nil {
+		fmt.Printf("\nconverged answer (confidence %.4f):\n", a.Confidence)
+		for i, id := range a.IDs {
+			fmt.Printf("  #%-3d frame %-8d t=%8.1fs  score %.2f\n",
+				i+1, id, float64(id)/float64(fps), a.Scores[i])
+		}
+	}
+	return nil
+}
+
+// printDelta renders one continuous-query update: what changed, then
+// the full answer it leaves behind.
+func printDelta(d everest.LiveDelta, fps int) {
+	fmt.Printf("t=%7.1fs  answer #%d", float64(d.Frontier)/float64(fps), d.Seq)
+	switch {
+	case d.Seq == 0:
+		fmt.Printf("  initial top-%d", len(d.IDs))
+	case len(d.Entered)+len(d.Left)+len(d.Reordered) == 0:
+		fmt.Printf("  unchanged")
+	default:
+		if len(d.Entered) > 0 {
+			fmt.Printf("  +%v", d.Entered)
+		}
+		if len(d.Left) > 0 {
+			fmt.Printf("  -%v", d.Left)
+		}
+		if len(d.Reordered) > 0 {
+			fmt.Printf("  ~%v", d.Reordered)
+		}
+	}
+	fmt.Printf("  (confidence %.4f, %.0f sim-ms)\n", d.Confidence, d.QueryMS)
+	for i, id := range d.IDs {
+		fmt.Printf("    #%-3d frame %-8d score %.2f\n", i+1, id, d.Scores[i])
+	}
 }
 
 // maybePrintChaosStats reports what the -chaos fault injector actually

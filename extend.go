@@ -49,11 +49,9 @@ func (ix *Index) Extend(src video.Source, udf vision.UDF, cfg Config) (tailMS fl
 		return 0, err
 	}
 	clock := simclock.NewClock()
-	plan := cfg.plan()
-	pool := plan.WorkerPool()
-	if pool != nil {
-		defer pool.Close()
-	}
+	// The resident pool outlives this call: nightly appends reuse the
+	// same workers instead of paying a pool build/teardown per Extend.
+	pool := ix.residentPool(cfg.plan())
 	// cfg.Seed ^ lo: a fresh stream per append.
 	opt := cfg.phase1Options(cfg.Seed ^ uint64(lo))
 	opt.Pool = pool
@@ -65,7 +63,9 @@ func (ix *Index) Extend(src video.Source, udf vision.UDF, cfg Config) (tailMS fl
 	// Merge in global coordinates. The difference detector never links
 	// across the append boundary; the first tail frame always starts a new
 	// segment, which at worst retains one redundant frame.
-	ix.art.Append(tailArt, lo)
+	if err := ix.art.Append(tailArt, lo); err != nil {
+		return 0, fmt.Errorf("everest: extending index: %w", err)
+	}
 	ix.info = phase1InfoOf(ix.art.Info)
 	tailMS = clock.TotalMS()
 	ix.ingestMS += tailMS

@@ -19,6 +19,7 @@ import (
 	"github.com/everest-project/everest/internal/uncertain"
 	"github.com/everest-project/everest/internal/video"
 	"github.com/everest-project/everest/internal/vision"
+	"github.com/everest-project/everest/internal/workpool"
 )
 
 // Index is a precomputed Phase 1 artifact: the difference-detector
@@ -38,7 +39,45 @@ type Index struct {
 	art      *engine.Artifact
 	info     Phase1Info
 	ingestMS float64
+
+	// appendPool is the resident worker pool shared by successive
+	// Extend calls — built lazily on the first append, rebuilt only when
+	// the configured width changes, released by Close. A zero-value
+	// (freshly loaded) index has none; nothing else reads these fields.
+	appendPool  *workpool.Pool
+	appendProcs int
 }
+
+// residentPool returns the index's resident append pool at the plan's
+// worker width, (re)building it only when the width changed since the
+// last append. Nil when the effective worker count is 1 — serial paths
+// are exact without a pool.
+func (ix *Index) residentPool(plan engine.Plan) *workpool.Pool {
+	procs := workpool.Procs(plan.Procs)
+	if procs == 1 {
+		ix.releasePool()
+		return nil
+	}
+	if ix.appendPool == nil || ix.appendProcs != procs {
+		ix.releasePool()
+		ix.appendPool = workpool.NewPool(plan.Procs)
+		ix.appendProcs = procs
+	}
+	return ix.appendPool
+}
+
+func (ix *Index) releasePool() {
+	if ix.appendPool != nil {
+		ix.appendPool.Close()
+		ix.appendPool = nil
+	}
+	ix.appendProcs = 0
+}
+
+// Close releases the resident append pool, if any. Queries never need
+// it; only call paths that Extend the index hold one. Idempotent, and
+// safe on a loaded or zero-value index.
+func (ix *Index) Close() { ix.releasePool() }
 
 // Dataset returns the indexed video's name.
 func (ix *Index) Dataset() string { return ix.art.Dataset }

@@ -51,10 +51,19 @@ func Ingest(src video.Source, udf vision.UDF, opt phase1.Options, clock *simcloc
 	if err != nil {
 		return nil, err
 	}
+	return Capture(st, udf, opt.Cost, clock), nil
+}
+
+// Capture assembles an Artifact from a completed Phase 1 State —
+// Ingest's second half, exported so the streaming ingestor can feed it
+// states whose proxy came from a warm refresh rather than phase1.Run.
+// Proxy inference for unlabeled retained frames runs on the state's
+// configured workers and its cost is charged here (PhasePopulateD0).
+func Capture(st *phase1.State, udf vision.UDF, cost simclock.CostModel, clock *simclock.Clock) *Artifact {
 	a := &Artifact{
-		Dataset:     src.Name(),
+		Dataset:     st.Src.Name(),
 		UDFName:     udf.Name(),
-		TotalFrames: src.NumFrames(),
+		TotalFrames: st.Src.NumFrames(),
 		RepOf:       append([]int32(nil), st.Diff.RepOf...),
 		Exact:       make(map[int32]float64),
 		Mixtures:    make(map[int32]uncertain.Mixture),
@@ -70,8 +79,8 @@ func Ingest(src video.Source, udf vision.UDF, opt phase1.Options, clock *simcloc
 	for k, f := range inferIDs {
 		a.Mixtures[int32(f)] = mixes[k]
 	}
-	clock.Charge(simclock.PhasePopulateD0, float64(len(inferIDs))*opt.Cost.ProxyMS)
-	return a, nil
+	clock.Charge(simclock.PhasePopulateD0, float64(len(inferIDs))*cost.ProxyMS)
+	return a
 }
 
 // ValidateFor checks that (src, udf) is what the artifact was ingested
@@ -93,8 +102,19 @@ func (a *Artifact) ValidateFor(src video.Source, udf vision.UDF) error {
 // Append merges the artifact of an ingested tail into a, shifting the
 // tail's frame coordinates by lo (the frame count a covered before the
 // append). The difference detector never links across the append
-// boundary, so the merge is a pure coordinate translation.
-func (a *Artifact) Append(tail *Artifact, lo int) {
+// boundary, so the merge is a pure coordinate translation. The tail's
+// invariants are validated before a is touched: on error a is
+// unchanged.
+func (a *Artifact) Append(tail *Artifact, lo int) error {
+	if tail == nil {
+		return errors.New("everest: append of nil artifact")
+	}
+	if lo != a.TotalFrames {
+		return fmt.Errorf("everest: append at frame %d, artifact covers %d", lo, a.TotalFrames)
+	}
+	if err := tail.check(); err != nil {
+		return fmt.Errorf("everest: append tail: %w", err)
+	}
 	for _, rep := range tail.RepOf {
 		a.RepOf = append(a.RepOf, int32(lo)+rep)
 	}
@@ -112,4 +132,41 @@ func (a *Artifact) Append(tail *Artifact, lo int) {
 	a.Info.TrainSamples += tail.Info.TrainSamples
 	a.Info.HoldoutSamples += tail.Info.HoldoutSamples
 	a.Info.Retained += tail.Info.Retained
+	return nil
+}
+
+// check verifies the structural invariants every ingested artifact
+// holds: RepOf covers every frame, Retained is strictly ascending and
+// in range, and every labelled or mixture-scored frame is a real frame.
+func (a *Artifact) check() error {
+	n := a.TotalFrames
+	if n < 0 {
+		return fmt.Errorf("negative frame count %d", n)
+	}
+	if len(a.RepOf) != n {
+		return fmt.Errorf("RepOf covers %d of %d frames", len(a.RepOf), n)
+	}
+	for i, rep := range a.RepOf {
+		if rep < 0 || int(rep) >= n {
+			return fmt.Errorf("frame %d has out-of-range representative %d", i, rep)
+		}
+	}
+	prev := int32(-1)
+	for _, f := range a.Retained {
+		if f <= prev || int(f) >= n {
+			return fmt.Errorf("retained frame %d out of order or range (after %d, total %d)", f, prev, n)
+		}
+		prev = f
+	}
+	for f := range a.Exact {
+		if f < 0 || int(f) >= n {
+			return fmt.Errorf("exact label for out-of-range frame %d", f)
+		}
+	}
+	for f := range a.Mixtures {
+		if f < 0 || int(f) >= n {
+			return fmt.Errorf("mixture for out-of-range frame %d", f)
+		}
+	}
+	return nil
 }

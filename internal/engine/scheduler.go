@@ -69,6 +69,22 @@ func NewScheduler(snapshot func() *labelstore.Overlay, publish func(fresh map[in
 	return &Scheduler{snapshot: snapshot, publish: publish, admit: admit, wait: time.Sleep}
 }
 
+// NewCacheScheduler wires a scheduler to a shared label cache the
+// standard way: groups snapshot one overlay from the cache, publish
+// once when they finish, and count as one unit against the cache's
+// admission gate. Shared sessions and streaming followers both attach
+// their scheduler with this wiring.
+func NewCacheScheduler(cache *labelstore.SharedCache) *Scheduler {
+	return NewScheduler(
+		func() *labelstore.Overlay {
+			snap, _ := cache.Snapshot()
+			return labelstore.NewOverlay(snap)
+		},
+		func(fresh map[int]float64) { cache.Publish(fresh) },
+		cache.Admit,
+	)
+}
+
 // SetWaitClockForTest replaces the leader's wait clock (nil restores
 // time.Sleep) — the labelstore.SetClockForTest pattern. Tests inject a
 // clock that blocks until the submissions they launched are queued, so

@@ -74,6 +74,16 @@ func (m *MDN) cloneForInference() *MDN {
 	}
 }
 
+// clone returns a deep copy of the head: fresh dense parameters with
+// the trained weights copied, private scratch. The clone may keep
+// training independently of the original.
+func (m *MDN) clone() *MDN {
+	c := m.cloneForInference()
+	c.dense.w = m.dense.w.clone()
+	c.dense.b = m.dense.b.clone()
+	return c
+}
+
 // Components returns g.
 func (m *MDN) Components() int { return m.g }
 

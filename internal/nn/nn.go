@@ -43,6 +43,14 @@ func (p *Param) ZeroGrad() {
 	}
 }
 
+// clone returns a deep copy: fresh tensors with the weights copied and
+// the gradient accumulator cleared.
+func (p *Param) clone() *Param {
+	c := newParam(len(p.W))
+	copy(c.W, p.W)
+	return c
+}
+
 // Layer is a differentiable transform. Forward caches whatever Backward
 // needs, so a Layer instance processes one sample at a time. Forward and
 // Backward return layer-owned scratch, valid until the next call.
@@ -92,6 +100,32 @@ func cloneLayerForInference(l Layer) Layer {
 		layers := make([]Layer, len(v.layers))
 		for i, l := range v.layers {
 			layers[i] = cloneLayerForInference(l)
+		}
+		return &Sequential{layers: layers}
+	default:
+		panic(fmt.Sprintf("nn: cannot clone layer of type %T", l))
+	}
+}
+
+// cloneLayerForTraining returns a deep copy of a layer: fresh parameter
+// tensors with the trained weights copied, so the clone can keep
+// training (warm-start fine-tuning) without mutating the original. All
+// layer types defined in this package are supported; cloning an unknown
+// Layer implementation panics.
+func cloneLayerForTraining(l Layer) Layer {
+	switch v := l.(type) {
+	case *Dense:
+		return &Dense{in: v.in, out: v.out, w: v.w.clone(), b: v.b.clone()}
+	case *ReLU:
+		return NewReLU(v.n)
+	case *Conv2D:
+		return &Conv2D{inC: v.inC, inH: v.inH, inW: v.inW, outC: v.outC, k: v.k, w: v.w.clone(), b: v.b.clone()}
+	case *MaxPool2D:
+		return NewMaxPool2D(v.c, v.h, v.w)
+	case *Sequential:
+		layers := make([]Layer, len(v.layers))
+		for i, l := range v.layers {
+			layers[i] = cloneLayerForTraining(l)
 		}
 		return &Sequential{layers: layers}
 	default:

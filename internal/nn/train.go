@@ -38,6 +38,21 @@ func (m *Model) CloneForInference() *Model {
 	return c
 }
 
+// Clone returns a deep copy of the model: fresh parameter tensors with
+// the trained weights copied and gradients cleared. Unlike
+// CloneForInference the clone owns its weights, so it can keep training
+// — the warm-start path of streaming ingestion fine-tunes a clone of
+// the previous segment's model without mutating the original. Optimizer
+// state is not part of a Model; a subsequent Fit starts fresh Adam
+// moments, as any Fit does.
+func (m *Model) Clone() *Model {
+	c := &Model{Head: m.Head.clone()}
+	if m.Backbone != nil {
+		c.Backbone = cloneLayerForTraining(m.Backbone)
+	}
+	return c
+}
+
 // params collects all trainable parameters.
 func (m *Model) params() []*Param {
 	var ps []*Param

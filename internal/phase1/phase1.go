@@ -106,13 +106,22 @@ type State struct {
 	pool  *workpool.Pool
 }
 
-// Run executes Phase 1.
-func Run(src video.Source, udf vision.UDF, opt Options, clock *simclock.Clock) (*State, error) {
+// SamplePlan is the deterministic labelling plan for a video of a given
+// length: which frames Phase 1 labels for training and holdout. It is a
+// pure function of (n, Options.Seed and the sampling knobs) — see
+// PlanSamples — so streaming ingestion can compute it the moment a
+// segment's span is fixed and label eagerly as chunks arrive, knowing a
+// batch ingest of the same span will label exactly the same frames.
+type SamplePlan struct {
+	// TrainIdx and HoldIdx are frame indices, in labelling order.
+	TrainIdx, HoldIdx []int
+}
+
+// PlanSamples computes the labelling plan Run uses for an n-frame
+// video: sample-fraction sizing with cap/floor, the tiny-video
+// fallback, and the seed-derived draw and train/holdout split.
+func PlanSamples(n int, opt Options) (SamplePlan, error) {
 	opt = opt.withDefaults()
-	if clock == nil {
-		clock = simclock.NewClock()
-	}
-	n := src.NumFrames()
 	rng := xrand.New(opt.Seed).Split("everest/phase1")
 
 	trainN := int(opt.SampleFrac * float64(n))
@@ -130,7 +139,7 @@ func Run(src video.Source, udf vision.UDF, opt Options, clock *simclock.Clock) (
 		// Tiny videos: label at most half the video, split 80/20.
 		total := n / 2
 		if total < 5 {
-			return nil, fmt.Errorf("phase1: video of %d frames is too short", n)
+			return SamplePlan{}, fmt.Errorf("phase1: video of %d frames is too short", n)
 		}
 		trainN = total * 4 / 5
 		holdN = total - trainN
@@ -147,42 +156,103 @@ func Run(src video.Source, udf vision.UDF, opt Options, clock *simclock.Clock) (
 			holdIdx = append(holdIdx, all[p])
 		}
 	}
+	return SamplePlan{TrainIdx: trainIdx, HoldIdx: holdIdx}, nil
+}
 
-	udfCost := udf.OracleCostMS(opt.Cost)
-	label := func(ids []int) []float64 {
-		scores := udf.Score(src, ids)
-		clock.Charge(simclock.PhaseLabelSamples, float64(len(ids))*(udfCost+opt.Cost.DecodeMS))
-		return scores
+// Label scores the given frames with the oracle and charges the
+// per-sample labelling cost (oracle plus decode) to clock — the one
+// labelling path, shared by Run and by the streaming ingestor, which
+// labels a segment's plan chunk by chunk as frames arrive. The total
+// charge depends only on how many frames are labelled, not on how the
+// calls are batched.
+func Label(src video.Source, udf vision.UDF, ids []int, opt Options, clock *simclock.Clock) []float64 {
+	if len(ids) == 0 {
+		return nil
 	}
-	trainScores := label(trainIdx)
-	holdScores := label(holdIdx)
+	opt = opt.withDefaults()
+	scores := udf.Score(src, ids)
+	if clock != nil {
+		clock.Charge(simclock.PhaseLabelSamples, float64(len(ids))*(udf.OracleCostMS(opt.Cost)+opt.Cost.DecodeMS))
+	}
+	return scores
+}
 
+// Samples renders and featurizes the given labelled frames into CMDN
+// training samples, fanned out over the configured workers with
+// index-ordered emission — a pure function of (src, idx, scores). No
+// cost is charged: labelling cost was charged where the scores were
+// obtained, and feature extraction rides the training charge.
+func Samples(src video.Source, arch cmdn.Arch, idx []int, scores []float64, procs int, pool *workpool.Pool) []cmdn.Sample {
+	return workpool.MapOn(pool, procs, len(idx), func(_, k int) cmdn.Sample {
+		i := idx[k]
+		return cmdn.Sample{Frame: i, X: cmdn.InputFor(arch, src.Render(i)), Y: scores[k]}
+	})
+}
+
+// Run executes Phase 1: plan the samples, label them, train the CMDN
+// grid, run the difference detector and assemble the State. It is the
+// composition PlanSamples → Label → RunLabelled, exported separately so
+// the streaming ingestor can interleave the stages with chunk arrival
+// and still produce bit-identical output.
+func Run(src video.Source, udf vision.UDF, opt Options, clock *simclock.Clock) (*State, error) {
+	opt = opt.withDefaults()
+	if clock == nil {
+		clock = simclock.NewClock()
+	}
+	plan, err := PlanSamples(src.NumFrames(), opt)
+	if err != nil {
+		return nil, err
+	}
+	trainScores := Label(src, udf, plan.TrainIdx, opt, clock)
+	holdScores := Label(src, udf, plan.HoldIdx, opt, clock)
+	return RunLabelled(src, opt, plan, trainScores, holdScores, clock)
+}
+
+// RunLabelled is Run with the labelling already done: plan names the
+// labelled frames (from PlanSamples over the same Options) and
+// trainScores/holdScores their oracle scores, charged by the caller as
+// they were obtained. Given the plan and scores Run would produce, it
+// returns a bit-identical State with bit-identical remaining charges.
+func RunLabelled(src video.Source, opt Options, plan SamplePlan, trainScores, holdScores []float64, clock *simclock.Clock) (*State, error) {
+	opt = opt.withDefaults()
+	if clock == nil {
+		clock = simclock.NewClock()
+	}
 	arch := opt.Proxy.Arch
-	// Feature extraction is a pure function of the frame index, so samples
-	// can be rendered and featurized on all cores with index-ordered
-	// emission.
-	mkSamples := func(idx []int, scores []float64) []cmdn.Sample {
-		return workpool.MapOn(opt.Pool, opt.Procs, len(idx), func(_, k int) cmdn.Sample {
-			i := idx[k]
-			return cmdn.Sample{Frame: i, X: cmdn.InputFor(arch, src.Render(i)), Y: scores[k]}
-		})
-	}
-
 	proxyCfg := opt.Proxy
 	w, h := src.Resolution()
 	proxyCfg.FrameW, proxyCfg.FrameH = w, h
 	if proxyCfg.Seed == 0 {
-		proxyCfg.Seed = rng.Split("cmdn").Uint64()
+		// Derived exactly as in the pre-split Run: the "cmdn" child of the
+		// phase-1 stream (Split never advances its parent, so deriving it
+		// here is bit-identical to deriving it alongside the sample draw).
+		proxyCfg.Seed = xrand.New(opt.Seed).Split("everest/phase1").Split("cmdn").Uint64()
 	}
 	if proxyCfg.Procs == 0 {
 		proxyCfg.Procs = opt.Procs
 	}
-	proxy, _, err := cmdn.Train(mkSamples(trainIdx, trainScores), mkSamples(holdIdx, holdScores), proxyCfg, clock, opt.Cost)
+	train := Samples(src, arch, plan.TrainIdx, trainScores, opt.Procs, opt.Pool)
+	hold := Samples(src, arch, plan.HoldIdx, holdScores, opt.Procs, opt.Pool)
+	proxy, _, err := cmdn.Train(train, hold, proxyCfg, clock, opt.Cost)
 	if err != nil {
 		return nil, err
 	}
+	return AssembleState(src, proxy, opt, plan, trainScores, holdScores, clock)
+}
+
+// AssembleState runs the difference detector and packages a trained
+// proxy with its labelled samples into the State Phase 2 consumes — the
+// shared tail of Run and of warm-start streaming ingestion, whose proxy
+// came from cmdn.Refresh instead of a full grid train.
+func AssembleState(src video.Source, proxy *cmdn.Proxy, opt Options, plan SamplePlan, trainScores, holdScores []float64, clock *simclock.Clock) (*State, error) {
+	opt = opt.withDefaults()
+	if clock == nil {
+		clock = simclock.NewClock()
+	}
+	n := src.NumFrames()
 
 	var diff diffdet.Result
+	var err error
 	if opt.DisableDiff {
 		rep := make([]int32, n)
 		retained := make([]int, n)
@@ -208,11 +278,11 @@ func Run(src video.Source, udf vision.UDF, opt Options, clock *simclock.Clock) (
 		}
 	}
 
-	labeled := make(map[int]float64, len(trainIdx)+len(holdIdx))
-	for k, i := range trainIdx {
+	labeled := make(map[int]float64, len(plan.TrainIdx)+len(plan.HoldIdx))
+	for k, i := range plan.TrainIdx {
 		labeled[i] = trainScores[k]
 	}
-	for k, i := range holdIdx {
+	for k, i := range plan.HoldIdx {
 		labeled[i] = holdScores[k]
 	}
 
@@ -221,15 +291,15 @@ func Run(src video.Source, udf vision.UDF, opt Options, clock *simclock.Clock) (
 		Proxy:   proxy,
 		Diff:    diff,
 		Labeled: labeled,
-		arch:    arch,
+		arch:    opt.Proxy.Arch,
 		clock:   clock,
 		cost:    opt.Cost,
 		procs:   opt.Procs,
 		pool:    opt.Pool,
 		Info: Info{
 			TotalFrames:    n,
-			TrainSamples:   len(trainIdx),
-			HoldoutSamples: len(holdIdx),
+			TrainSamples:   len(plan.TrainIdx),
+			HoldoutSamples: len(plan.HoldIdx),
 			Retained:       len(diff.Retained),
 			Hyper:          proxy.Hyper(),
 			HoldoutNLL:     proxy.HoldoutNLL(),

@@ -1,0 +1,70 @@
+package phase1
+
+import (
+	"reflect"
+	"testing"
+
+	"github.com/everest-project/everest/internal/simclock"
+	"github.com/everest-project/everest/internal/video"
+	"github.com/everest-project/everest/internal/vision"
+)
+
+// TestStagedMatchesRun: composing the exported stages by hand —
+// PlanSamples, chunked Label calls, RunLabelled — produces a State and
+// clock bit-identical to the one-shot Run. This is the invariant the
+// streaming ingestor's eager labelling rests on.
+func TestStagedMatchesRun(t *testing.T) {
+	src := testSource(t, 6000)
+	udf := vision.CountUDF{Class: video.ClassCar}
+	opt := testOpts()
+
+	batchClock := simclock.NewClock()
+	batch, err := Run(src, udf, opt, batchClock)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	stagedClock := simclock.NewClock()
+	plan, err := PlanSamples(src.NumFrames(), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Label the plan in uneven chunks to mimic chunk-granular streaming.
+	chunked := func(ids []int) []float64 {
+		out := make([]float64, 0, len(ids))
+		for lo := 0; lo < len(ids); {
+			hi := lo + 1 + lo%7
+			if hi > len(ids) {
+				hi = len(ids)
+			}
+			out = append(out, Label(src, udf, ids[lo:hi], opt, stagedClock)...)
+			lo = hi
+		}
+		return out
+	}
+	staged, err := RunLabelled(src, opt, plan, chunked(plan.TrainIdx), chunked(plan.HoldIdx), stagedClock)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if !reflect.DeepEqual(batch.Info, staged.Info) {
+		t.Fatalf("Info diverged:\n batch  %+v\n staged %+v", batch.Info, staged.Info)
+	}
+	if !reflect.DeepEqual(batch.Labeled, staged.Labeled) {
+		t.Fatal("labelled maps diverged")
+	}
+	if !reflect.DeepEqual(batch.Diff, staged.Diff) {
+		t.Fatal("difference-detector results diverged")
+	}
+	if !reflect.DeepEqual(batchClock.Breakdown(), stagedClock.Breakdown()) {
+		t.Fatalf("charges diverged:\n batch  %v\n staged %v", batchClock.Breakdown(), stagedClock.Breakdown())
+	}
+	// Proxies must predict identically, not just score identically.
+	for _, f := range []int{0, 17, 2999, 5999} {
+		a := batch.MixtureOf(f)
+		b := staged.MixtureOf(f)
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("proxy mixtures diverged at frame %d", f)
+		}
+	}
+}

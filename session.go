@@ -97,20 +97,6 @@ func sharedCacheKey(ix *Index) string {
 	return fmt.Sprintf("%s\x00%d\x00%s", ix.art.Dataset, ix.art.TotalFrames, ix.art.UDFName)
 }
 
-// newSchedulerFor wires a coalescing scheduler to a label cache: groups
-// snapshot one overlay from the cache, publish once when they finish,
-// and count as one unit against the cache's admission gate.
-func newSchedulerFor(cache *labelstore.SharedCache) *engine.Scheduler {
-	return engine.NewScheduler(
-		func() *labelstore.Overlay {
-			snap, _ := cache.Snapshot()
-			return labelstore.NewOverlay(snap)
-		},
-		func(fresh map[int]float64) { cache.Publish(fresh) },
-		cache.Admit,
-	)
-}
-
 // scheduler returns the coalescing scheduler of the session's label
 // cache. The scheduler lives on the cache itself (one per cache, the
 // cache's lifetime), so every shared session on one (video, UDF) pair
@@ -118,7 +104,7 @@ func newSchedulerFor(cache *labelstore.SharedCache) *engine.Scheduler {
 // private one.
 func (s *Session) scheduler() *engine.Scheduler {
 	return s.cache.Attachment(func() any {
-		return newSchedulerFor(s.cache)
+		return engine.NewCacheScheduler(s.cache)
 	}).(*engine.Scheduler)
 }
 
