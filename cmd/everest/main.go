@@ -20,6 +20,9 @@
 //	everest -dataset Dashcam-California -udf tailgate -k 50
 //	everest -query 'SELECT TOP 10 WINDOWS OF 300 EVERY 30 FROM Archie RANK BY count(car)' [-explain]
 //	everest -query 'EXPLAIN ANALYZE SELECT TOP 10 FRAMES FROM Archie RANK BY count(car)'  # cost-based planner chooses the knobs, runs the plan, reports predicted vs actual
+//	everest -query 'SELECT TOP 5 FRAMES FROM Archie RANK BY count(car); SELECT TOP 3 WINDOWS OF 30 FROM Archie RANK BY count(car)'  # script: shared sub-plans, one budget
+//	everest -script queries.eql                            # run a ';'-separated statement file on one shared session
+//	everest -script queries.eql -explain                   # whole-script plan: units, shared relations, one-budget cost table
 //	everest -repl
 //	everest -list
 package main
@@ -63,8 +66,9 @@ func main() {
 		degradedOK   = flag.Bool("degraded-ok", false, "permit explicitly marked best-effort answers when the oracle stays down past the retry budget or the deadline expires")
 		chaos        = flag.String("chaos", "", "fault-injection schedule on the oracle dispatch path: comma-separated [start@]kind[:count][:ms][~prob] items, kind err|panic|slow (e.g. 'err:3,5@panic,slow:10:250'); deterministic per -seed")
 		list         = flag.Bool("list", false, "list datasets and exit")
-		query        = flag.String("query", "", `EQL statement, e.g. 'SELECT TOP 50 FRAMES FROM "Taipei-bus" RANK BY count(car) THRESHOLD 0.9'`)
-		explain      = flag.Bool("explain", false, "describe the EQL query's plan without running it")
+		query        = flag.String("query", "", `EQL statement or ';'-separated script, e.g. 'SELECT TOP 50 FRAMES FROM "Taipei-bus" RANK BY count(car) THRESHOLD 0.9'`)
+		script       = flag.String("script", "", "run an EQL statement file (';'-separated statements) as one coordinated script on a shared session")
+		explain      = flag.Bool("explain", false, "describe the EQL query's (or script's) plan without running it")
 		shell        = flag.Bool("repl", false, "interactive EQL shell (ingest-once, session-shared queries)")
 		saveIx       = flag.String("saveindex", "", "run Phase 1 only and save an ingestion index to this file (atomic write, checksummed format)")
 		useIx        = flag.String("useindex", "", "answer from a saved ingestion index (Phase 2 only)")
@@ -85,32 +89,51 @@ func main() {
 		return
 	}
 
+	if *script != "" {
+		data, err := os.ReadFile(*script)
+		if err != nil {
+			fatal(err)
+		}
+		runScript(string(data), *explain)
+		return
+	}
+
 	if *query != "" {
-		q, err := eql.Parse(*query)
+		sc, err := eql.ParseScript(*query)
 		if err != nil {
 			fatal(err)
 		}
-		if q.Analyze {
-			rep, err := eql.Analyze(*query)
-			if err != nil {
-				fatal(err)
+		if len(sc.Statements) == 1 {
+			q := sc.Statements[0]
+			single := !q.Stream && len(q.Sources) == 1 && len(q.Predicates) == 1
+			if q.Analyze {
+				rep, err := eql.Analyze(*query)
+				if err != nil {
+					fatal(err)
+				}
+				fmt.Print(rep.String())
+				return
 			}
-			fmt.Print(rep.String())
-			return
-		}
-		if q.Explain || *explain {
-			out, err := eql.Explain(*query)
-			if err != nil {
-				fatal(err)
+			if single && (q.Explain || *explain) {
+				out, err := eql.Explain(*query)
+				if err != nil {
+					fatal(err)
+				}
+				fmt.Print(out)
+				return
 			}
-			fmt.Print(out)
-			return
+			if single && !q.Explain {
+				res, plan, err := eql.Execute(*query)
+				if err != nil {
+					fatal(err)
+				}
+				printResult(res, plan.Source.FPS(), *query)
+				return
+			}
 		}
-		res, plan, err := eql.Execute(*query)
-		if err != nil {
-			fatal(err)
-		}
-		printResult(res, plan.Source.FPS(), *query)
+		// Scripts and multi-unit statements run as one coordinated plan
+		// graph on a shared script session.
+		runScript(*query, *explain)
 		return
 	}
 
@@ -579,6 +602,24 @@ func printResult(res *everest.Result, fps int, query string) {
 			res.Retries, res.RetryBackoffMS)
 	}
 	fmt.Printf("\nsimulated cost:\n%s", res.Clock)
+}
+
+// runScript executes (or, with explainOnly, describes) an EQL script on
+// one shared script session: statements over the same (dataset, frames,
+// UDF, seed) share one ingestion and one label cache under a single
+// serving budget, bit-identical to running them one at a time in order.
+func runScript(src string, explainOnly bool) {
+	if explainOnly {
+		out, err := eql.ExplainScript(src)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(out)
+		return
+	}
+	if err := repl.New(os.Stdout).ExecLine(src); err != nil {
+		fatal(err)
+	}
 }
 
 func fatal(err error) {

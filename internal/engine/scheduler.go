@@ -57,6 +57,20 @@ type Scheduler struct {
 	mu    sync.Mutex
 	busy  bool
 	queue []*submission
+	// inflight counts submissions accepted and not yet delivered (queued
+	// or executing) — the observed-arrivals signal the EQL set planner
+	// reads to size its concurrency budget.
+	inflight int
+}
+
+// InFlight reports how many submissions are currently queued or
+// executing. It is the scheduler's observed-load signal: the EQL
+// planner's ChooseSet derives its concurrency budget from this instead
+// of a caller-supplied hint.
+func (s *Scheduler) InFlight() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.inflight
 }
 
 // NewScheduler wires a scheduler to one label cache. snapshot and
@@ -178,6 +192,7 @@ func (s *Scheduler) withdraw(sub *submission) bool {
 			last := len(s.queue) - 1
 			s.queue[last] = nil
 			s.queue = s.queue[:last]
+			s.inflight--
 			return true
 		}
 	}
@@ -223,6 +238,7 @@ func (s *Scheduler) SubmitGroup(ps []Plan, bs []Binding) ([]*Outcome, error) {
 func (s *Scheduler) enqueue(subs []*submission) []*submission {
 	s.mu.Lock()
 	s.queue = append(s.queue, subs...)
+	s.inflight += len(subs)
 	if s.busy {
 		s.mu.Unlock()
 		return subs
@@ -353,6 +369,9 @@ func (s *Scheduler) runGroup(group []*submission) {
 		// overlay — so publishing after a partial failure is always safe.
 		// A nil overlay (snapshot itself failed) publishes nothing.
 		s.publish(overlay.Fresh())
+		s.mu.Lock()
+		s.inflight -= len(group)
+		s.mu.Unlock()
 		for _, sub := range group {
 			sub.deliver()
 		}

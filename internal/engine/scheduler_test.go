@@ -546,3 +546,56 @@ func TestSchedulerCancelledMemberInsideGroup(t *testing.T) {
 		t.Fatalf("repeat cleaned %d frames, want 0 via the published cache", repeat.Stats.Cleaned)
 	}
 }
+
+// TestSchedulerInFlight locks the observed-load signal the EQL set
+// planner consumes: submissions count from acceptance to delivery, so
+// a blocked group is visible as backlog while it runs and invisible
+// once drained.
+func TestSchedulerInFlight(t *testing.T) {
+	art, src, udf := fixture(t)
+	cache := labelstore.NewSharedCache()
+	started := make(chan struct{})
+	release := make(chan struct{})
+	var once sync.Once
+	s := NewScheduler(
+		func() *labelstore.Overlay {
+			// Block the first group at its snapshot so the test can
+			// observe the queue mid-flight.
+			once.Do(func() { close(started); <-release })
+			snap, _ := cache.Snapshot()
+			return labelstore.NewOverlay(snap)
+		},
+		func(fresh map[int]float64) { cache.Publish(fresh) },
+		cache.Admit,
+	)
+	if got := s.InFlight(); got != 0 {
+		t.Fatalf("idle scheduler reports %d in flight", got)
+	}
+
+	p1, err := NewPlan(testPlan(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := NewPlan(testPlan(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bind := Binding{Src: src, UDF: udf, Artifact: art}
+	done := make(chan error, 1)
+	go func() {
+		_, err := s.SubmitGroup([]Plan{p1, p2}, []Binding{bind, bind})
+		done <- err
+	}()
+
+	<-started
+	if got := s.InFlight(); got != 2 {
+		t.Fatalf("blocked group reports %d in flight, want 2", got)
+	}
+	close(release)
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if got := s.InFlight(); got != 0 {
+		t.Fatalf("drained scheduler reports %d in flight", got)
+	}
+}

@@ -15,7 +15,7 @@ func ExampleParse() {
 		log.Fatal(err)
 	}
 	fmt.Printf("top %d windows of %d from %s by %s(%s) at %.2f\n",
-		q.K, q.Window, q.Dataset, q.UDF, q.UDFArg, q.Threshold)
+		q.K, q.Window, q.Dataset(), q.UDF(), q.UDFArg(), q.Threshold)
 	// Output:
 	// top 50 windows of 150 from Taipei-bus by count(car) at 0.95
 }

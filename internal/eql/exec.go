@@ -8,8 +8,9 @@ import (
 	"github.com/everest-project/everest/internal/vision"
 )
 
-// Plan is a validated, executable query: the bound dataset, UDF and
-// engine configuration.
+// Plan is a validated, executable single-unit query: the bound dataset,
+// UDF and engine configuration. Scripts, cross-video and AND-predicate
+// statements bind to a ScriptPlan of many units instead (BindScript).
 type Plan struct {
 	// Source is the bound video.
 	Source *video.Synthetic
@@ -21,40 +22,131 @@ type Plan struct {
 	Workers int
 }
 
-// Bind resolves the query's dataset and ranking function against the
-// built-in catalog and produces an executable plan.
-func Bind(q *Query) (*Plan, error) {
-	spec, err := video.DatasetByName(q.Dataset)
-	if err != nil {
-		return nil, fmt.Errorf("eql: %w", err)
-	}
-	src, err := spec.Build(q.Frames)
-	if err != nil {
-		return nil, fmt.Errorf("eql: %w", err)
-	}
+// RelationKey identifies a shared ingest/relation sub-plan: statements
+// over the same (video, frame count, UDF, seed) bind to one relation,
+// pay Phase 1 once, and share every oracle label through one session
+// cache. Seed is part of the identity because Phase 1's sample set —
+// and therefore the artifact — depends on it (the REPL has always
+// keyed its sessions the same way).
+type RelationKey struct {
+	Dataset string
+	Frames  int
+	UDF     string
+	Seed    uint64
+}
 
-	var udf vision.UDF
-	switch q.UDF {
+func (k RelationKey) String() string {
+	return fmt.Sprintf("%s|%d|%s|%d", k.Dataset, k.Frames, k.UDF, k.Seed)
+}
+
+// Relation is one common sub-plan of a script: the bound (video, UDF)
+// pair every unit with the same RelationKey executes against.
+type Relation struct {
+	Key    RelationKey
+	Source *video.Synthetic
+	UDF    vision.UDF
+	// Units are the script's executable units bound to this relation, in
+	// statement order — the coalesced group the executor submits over
+	// the relation's shared cache.
+	Units []*Unit
+}
+
+// Unit is one executable engine plan of a script: one (statement,
+// source, predicate) combination.
+type Unit struct {
+	// Stmt, SourceIdx and PredIdx locate the unit in the script.
+	Stmt      int
+	SourceIdx int
+	PredIdx   int
+	// Rel is the shared relation the unit runs against; nil for
+	// scale-out (PARALLEL) units, which bypass the session machinery.
+	Rel *Relation
+	// Source and UDF are the unit's own bindings (== Rel's when set).
+	Source *video.Synthetic
+	UDF    vision.UDF
+	// Config is the engine configuration derived from the statement.
+	Config everest.Config
+	// Workers is the scale-out degree (1 = serial).
+	Workers int
+}
+
+// StatementPlan is one statement's bound form: its executable units in
+// (source-major, predicate-minor) order, or its follower units for a
+// STREAM statement.
+type StatementPlan struct {
+	Stmt *Statement
+	// Units is empty for STREAM statements; stream units live in
+	// StreamUnits and compile to follower registrations instead of
+	// batch runs.
+	Units       []*Unit
+	StreamUnits []*Unit
+}
+
+// ScriptPlan is a script bound to a coordinated plan graph: every
+// statement's units plus the deduplicated relations they share.
+type ScriptPlan struct {
+	Script     *Script
+	Statements []*StatementPlan
+	// Relations lists the distinct (video, frames, UDF, seed) sub-plans
+	// in first-appearance order — the script's shared work.
+	Relations []*Relation
+	// Units lists every batch-executable unit in statement order.
+	Units []*Unit
+}
+
+// SharedUnits counts units beyond the first on each relation — the
+// ingest stages the script binds once instead of repeatedly.
+func (sp *ScriptPlan) SharedUnits() int {
+	n := 0
+	for _, rel := range sp.Relations {
+		if len(rel.Units) > 1 {
+			n += len(rel.Units) - 1
+		}
+	}
+	return n
+}
+
+// bindSource resolves one FROM operand against the dataset catalog.
+func bindSource(ref SourceRef, frames int) (*video.Synthetic, video.DatasetSpec, error) {
+	spec, err := video.DatasetByName(ref.Name)
+	if err != nil {
+		return nil, spec, &ParseError{Pos: ref.Pos, Msg: err.Error()}
+	}
+	src, err := spec.Build(frames)
+	if err != nil {
+		return nil, spec, &ParseError{Pos: ref.Pos, Msg: err.Error()}
+	}
+	return src, spec, nil
+}
+
+// bindUDF resolves one RANK BY predicate against the catalog for a
+// bound source.
+func bindUDF(pred Predicate, spec video.DatasetSpec, src *video.Synthetic) (vision.UDF, error) {
+	switch pred.UDF {
 	case "count":
-		class := q.UDFArg
+		class := pred.Arg
 		if class == "" {
 			class = src.TargetClass()
 		}
-		udf = vision.CountUDF{Class: class}
+		return vision.CountUDF{Class: class}, nil
 	case "tailgate":
 		if spec.Config.Kind != video.KindDashcam {
-			return nil, fmt.Errorf("eql: tailgate() requires a dashcam dataset, %s is not one", q.Dataset)
+			return nil, &ParseError{Pos: pred.Pos, Msg: fmt.Sprintf("tailgate() requires a dashcam dataset, %s is not one", spec.Name)}
 		}
-		udf = vision.TailgateUDF{}
+		return vision.TailgateUDF{}, nil
 	case "sentiment":
 		if spec.Config.Kind != video.KindStreet {
-			return nil, fmt.Errorf("eql: sentiment() requires a street dataset, %s is not one", q.Dataset)
+			return nil, &ParseError{Pos: pred.Pos, Msg: fmt.Sprintf("sentiment() requires a street dataset, %s is not one", spec.Name)}
 		}
-		udf = vision.SentimentUDF{}
+		return vision.SentimentUDF{}, nil
 	default:
-		return nil, fmt.Errorf("eql: unknown ranking function %q (count, tailgate, sentiment)", q.UDF)
+		return nil, &ParseError{Pos: pred.Pos, Msg: fmt.Sprintf("unknown ranking function %q (count, tailgate, sentiment)", pred.UDF)}
 	}
+}
 
+// statementConfig derives the engine configuration common to all of a
+// statement's units.
+func statementConfig(q *Statement) everest.Config {
 	cfg := everest.Config{
 		K:                q.K,
 		Threshold:        q.Threshold,
@@ -66,15 +158,129 @@ func Bind(q *Query) (*Plan, error) {
 	if cfg.Seed == 0 {
 		cfg.Seed = 1
 	}
+	return cfg
+}
+
+// BindScript resolves every statement of a script against the catalog
+// and produces the coordinated plan set: one Unit per (statement,
+// source, predicate) combination, with units over the same (video,
+// frames, UDF, seed) identity bound to one shared Relation. Binding is
+// all-or-nothing — a script with any unresolvable name fails as a
+// whole, before anything runs.
+func BindScript(s *Script) (*ScriptPlan, error) {
+	sp := &ScriptPlan{Script: s}
+	rels := make(map[RelationKey]*Relation)
+	for si, stmt := range s.Statements {
+		stp := &StatementPlan{Stmt: stmt}
+		if stmt.Stream {
+			if stmt.Parallel > 1 {
+				return nil, &ParseError{Pos: stmt.Pos, Msg: "STREAM statements cannot use PARALLEL scale-out"}
+			}
+			if stmt.Analyze {
+				return nil, &ParseError{Pos: stmt.Pos, Msg: "EXPLAIN ANALYZE is not supported for STREAM statements"}
+			}
+		}
+		if stmt.Analyze {
+			// EXPLAIN ANALYZE prices and measures one plan; reject the
+			// unsupported shapes here so a bad statement costs nothing.
+			if stmt.Parallel > 1 {
+				return nil, &ParseError{Pos: stmt.Pos,
+					Msg: "EXPLAIN ANALYZE does not support PARALLEL scale-out; the planner sets procs itself"}
+			}
+			if len(stmt.Sources) > 1 || len(stmt.Predicates) > 1 {
+				return nil, &ParseError{Pos: stmt.Pos,
+					Msg: "EXPLAIN ANALYZE supports single-source, single-predicate statements"}
+			}
+		}
+		workers := stmt.Parallel
+		if workers == 0 {
+			workers = 1
+		}
+		cfg := statementConfig(stmt)
+		for srcIdx, ref := range stmt.Sources {
+			src, spec, err := bindSource(ref, stmt.Frames)
+			if err != nil {
+				return nil, err
+			}
+			for predIdx, pred := range stmt.Predicates {
+				udf, err := bindUDF(pred, spec, src)
+				if err != nil {
+					return nil, err
+				}
+				u := &Unit{
+					Stmt:      si,
+					SourceIdx: srcIdx,
+					PredIdx:   predIdx,
+					Source:    src,
+					UDF:       udf,
+					Config:    cfg,
+					Workers:   workers,
+				}
+				if stmt.Stream {
+					// Followers run against a live stream's own ingestor;
+					// they never join a batch relation.
+					stp.StreamUnits = append(stp.StreamUnits, u)
+					continue
+				}
+				if workers <= 1 {
+					key := RelationKey{
+						Dataset: src.Name(),
+						Frames:  src.NumFrames(),
+						UDF:     udf.Name(),
+						Seed:    cfg.Seed,
+					}
+					rel, ok := rels[key]
+					if !ok {
+						rel = &Relation{Key: key, Source: src, UDF: udf}
+						rels[key] = rel
+						sp.Relations = append(sp.Relations, rel)
+					}
+					// All units of one relation run over the relation's own
+					// bound source/UDF instance, so the shared session sees
+					// one identity.
+					u.Rel = rel
+					u.Source = rel.Source
+					u.UDF = rel.UDF
+					rel.Units = append(rel.Units, u)
+				}
+				stp.Units = append(stp.Units, u)
+				sp.Units = append(sp.Units, u)
+			}
+		}
+		sp.Statements = append(sp.Statements, stp)
+	}
+	return sp, nil
+}
+
+// Bind resolves a single-unit statement — one source, one predicate, no
+// STREAM — and produces an executable plan. Multi-unit statements must
+// go through BindScript.
+func Bind(q *Statement) (*Plan, error) {
+	if q.Stream {
+		return nil, &ParseError{Pos: q.Pos, Msg: "STREAM statements compile to follower registrations; execute them through a ScriptSession with an attached live stream"}
+	}
+	if len(q.Sources) != 1 || len(q.Predicates) != 1 {
+		return nil, &ParseError{Pos: q.Pos,
+			Msg: fmt.Sprintf("statement has %d sources and %d predicates; multi-unit statements bind through BindScript", len(q.Sources), len(q.Predicates))}
+	}
+	src, spec, err := bindSource(q.Sources[0], q.Frames)
+	if err != nil {
+		return nil, err
+	}
+	udf, err := bindUDF(q.Predicates[0], spec, src)
+	if err != nil {
+		return nil, err
+	}
 	workers := q.Parallel
 	if workers == 0 {
 		workers = 1
 	}
-	return &Plan{Source: src, UDF: udf, Config: cfg, Workers: workers}, nil
+	return &Plan{Source: src, UDF: udf, Config: statementConfig(q), Workers: workers}, nil
 }
 
-// Execute parses, binds and runs an EQL statement. EXPLAIN statements are
-// rejected here; use Explain.
+// Execute parses, binds and runs a single-unit EQL statement. EXPLAIN
+// statements are rejected here (use Explain); scripts and multi-unit
+// statements are rejected too (use ScriptSession).
 func Execute(src string) (*everest.Result, *Plan, error) {
 	q, err := Parse(src)
 	if err != nil {

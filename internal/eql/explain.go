@@ -59,6 +59,12 @@ func plannerInput(plan *Plan) planner.Input {
 	}
 }
 
+// unitPlannerInput assembles the planner's view of one script plan
+// unit.
+func unitPlannerInput(u *Unit) planner.Input {
+	return plannerInput(&Plan{Source: u.Source, UDF: u.UDF, Config: u.Config, Workers: u.Workers})
+}
+
 // candidateTable renders a planner enumeration as the table EXPLAIN and
 // EXPLAIN ANALYZE share.
 func candidateTable(b *strings.Builder, cands []planner.Candidate) {
@@ -144,4 +150,167 @@ func Explain(src string) (string, error) {
 		fmt.Fprintf(&b, "    - %s\n", w)
 	}
 	return b.String(), nil
+}
+
+// ExplainScript parses and binds a whole script and renders its
+// coordinated plan graph without running it: every statement's units,
+// the relations they share, the one serving budget the set planner
+// chose, and the predicted coordinated-vs-independent cost with the
+// shared-work breakdown. Observed in-flight arrivals are 0 here (no
+// session is attached); ExecScript re-prices with the live count.
+func ExplainScript(src string) (string, error) {
+	script, err := ParseScript(src)
+	if err != nil {
+		return "", err
+	}
+	sp, err := BindScript(script)
+	if err != nil {
+		return "", err
+	}
+	return explainScriptPlan(sp), nil
+}
+
+// explainScriptPlan renders a bound script's plan graph with the joint
+// budget and shared-work cost table.
+func explainScriptPlan(sp *ScriptPlan) string {
+	// Every relation-bound unit participates: the whole script is being
+	// explained, so EXPLAIN statements inside it price like the rest.
+	var units []*Unit
+	idx := make(map[*Unit]int)
+	in := planner.SetInput{}
+	for _, u := range sp.Units {
+		if u.Rel == nil {
+			continue
+		}
+		idx[u] = len(units)
+		units = append(units, u)
+		in.Units = append(in.Units, unitPlannerInput(u))
+	}
+	for _, rel := range sp.Relations {
+		var g []int
+		for _, u := range rel.Units {
+			if i, ok := idx[u]; ok {
+				g = append(g, i)
+			}
+		}
+		if len(g) > 0 {
+			in.Shared = append(in.Shared, g)
+		}
+	}
+	setPlan := planner.ChooseSet(in)
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "script: %d statement(s), %d plan unit(s), %d relation(s), %d shared\n",
+		len(sp.Statements), len(sp.Units)+streamUnitCount(sp), len(sp.Relations), sp.SharedUnits())
+	b.WriteString(budgetLine(setPlan))
+	for si, stp := range sp.Statements {
+		fmt.Fprintf(&b, "  [%d] %s\n", si+1, stp.Stmt.String())
+		for _, u := range stp.Units {
+			switch {
+			case u.Workers > 1:
+				fmt.Fprintf(&b, "      %s rank-by %s: scale-out %d workers, runs standalone\n",
+					u.Source.Name(), u.UDF.Name(), u.Workers)
+			case u.Rel != nil:
+				c := setPlan.Units[idx[u]]
+				shared := ""
+				if len(u.Rel.Units) > 1 {
+					shared = fmt.Sprintf("  [shares relation %s with %d more]", u.Rel.Key.String(), len(u.Rel.Units)-1)
+				}
+				fmt.Fprintf(&b, "      %s rank-by %s: batch %d, cascade %s, predicted ≈%.0f ms%s\n",
+					u.Source.Name(), u.UDF.Name(), c.Knobs.BatchSize,
+					planner.CascadeName(c.Knobs.DisableDiff), c.Pred.TotalMS, shared)
+			}
+		}
+		for _, u := range stp.StreamUnits {
+			fmt.Fprintf(&b, "      %s rank-by %s: continuous — compiles to a follower registration on the attached live stream\n",
+				u.Source.Name(), u.UDF.Name())
+		}
+		if len(stp.Stmt.Predicates) > 1 {
+			b.WriteString("      AND: per source, IDs in every predicate's top-K, ordered by the first predicate's rank\n")
+		}
+	}
+	if sp.SharedUnits() > 0 {
+		b.WriteString("  shared work:\n")
+		for _, rel := range sp.Relations {
+			if len(rel.Units) > 1 {
+				fmt.Fprintf(&b, "    relation %s: %d units — ingest bound once, overlapping confirmations charged once\n",
+					rel.Key.String(), len(rel.Units))
+			}
+		}
+	}
+	fmt.Fprintf(&b, "  totals: coordinated ≈%.0f ms vs independent ≈%.0f ms (saved ≈%.0f ms: ingest %.0f, confirmations %.0f)\n",
+		setPlan.TotalMS, setPlan.IndependentMS, setPlan.SavedMS(),
+		setPlan.SharedIngestMS, setPlan.SharedConfirmMS)
+	for _, w := range setPlan.Why {
+		fmt.Fprintf(&b, "  - %s\n", w)
+	}
+	return b.String()
+}
+
+func streamUnitCount(sp *ScriptPlan) int {
+	n := 0
+	for _, stp := range sp.Statements {
+		n += len(stp.StreamUnits)
+	}
+	return n
+}
+
+// budgetLine renders the set planner's one-budget choice.
+func budgetLine(setPlan planner.SetPlan) string {
+	return fmt.Sprintf("  one budget: concurrency %d, coalesce %s, mux %s\n",
+		setPlan.Concurrency, onOff(setPlan.Coalesce), onOff(setPlan.UseMux))
+}
+
+func onOff(v bool) string {
+	if v {
+		return "on"
+	}
+	return "off"
+}
+
+// explainStatementPlan renders an EXPLAIN statement inside a script:
+// single-unit statements get the full single-statement rendering plus
+// the script's budget; multi-unit statements a per-unit plan listing.
+func explainStatementPlan(stp *StatementPlan, sp *ScriptPlan, setPlan planner.SetPlan) string {
+	stmt := stp.Stmt
+	if stmt.Stream {
+		return fmt.Sprintf("plan: continuous query — compiles to %d follower registration(s) on the attached live stream; no batch plan\n",
+			len(stp.StreamUnits))
+	}
+	if len(stp.Units) == 1 {
+		text, err := Explain(stmt.String())
+		if err != nil {
+			return "explain: " + err.Error() + "\n"
+		}
+		if u := stp.Units[0]; u.Rel != nil && len(u.Rel.Units) > 1 {
+			text += fmt.Sprintf("  shares relation %s with %d more unit(s) in this script\n",
+				u.Rel.Key.String(), len(u.Rel.Units)-1)
+		}
+		return text + budgetLine(setPlan)
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "plan: %d coordinated units (%d sources × %d predicates)\n",
+		len(stp.Units), len(stmt.Sources), len(stmt.Predicates))
+	for i, u := range stp.Units {
+		if u.Workers > 1 {
+			fmt.Fprintf(&b, "  [%d] %s rank-by %s: scale-out %d workers, runs standalone\n",
+				i+1, u.Source.Name(), u.UDF.Name(), u.Workers)
+			continue
+		}
+		in := unitPlannerInput(u)
+		in.Concurrency = setPlan.Concurrency
+		c := planner.Choose(in)
+		shared := ""
+		if u.Rel != nil && len(u.Rel.Units) > 1 {
+			shared = fmt.Sprintf("  [shares relation %s with %d more]", u.Rel.Key.String(), len(u.Rel.Units)-1)
+		}
+		fmt.Fprintf(&b, "  [%d] %s rank-by %s: batch %d, cascade %s, predicted ≈%.0f ms%s\n",
+			i+1, u.Source.Name(), u.UDF.Name(), c.Knobs.BatchSize,
+			planner.CascadeName(c.Knobs.DisableDiff), c.Pred.TotalMS, shared)
+	}
+	if len(stmt.Predicates) > 1 {
+		b.WriteString("  AND: per source, IDs in every predicate's top-K, ordered by the first predicate's rank\n")
+	}
+	b.WriteString(budgetLine(setPlan))
+	return b.String()
 }

@@ -10,8 +10,16 @@
 //	SELECT TOP 10 WINDOWS OF 150 FROM "Dashcam-California"
 //	RANK BY tailgate() THRESHOLD 0.9 SAMPLE 0.1
 //
-// Clauses: SELECT TOP k (FRAMES | WINDOWS OF n) FROM dataset
-// RANK BY udf[(arg)] [THRESHOLD p] [SAMPLE f] [LIMIT FRAMES n] [SEED s].
+// Statement grammar: [EXPLAIN [ANALYZE]] SELECT [STREAM] TOP k
+// (FRAMES | WINDOWS OF n [EVERY m]) FROM source ("," source)*
+// RANK BY udf[(arg)] (AND udf[(arg)])*
+// [THRESHOLD p] [SAMPLE f] [LIMIT FRAMES n] [SEED s] [PARALLEL w].
+//
+// Semicolon-separated statements form a script (ParseScript) that is
+// bound to a coordinated plan set (BindScript) and executed over shared
+// sub-plans with one scheduling budget (ScriptSession) — statements
+// over the same (video, frames, UDF, seed) relation ingest once and
+// share oracle labels, bit-identical to running them one at a time.
 package eql
 
 import (
@@ -31,6 +39,7 @@ const (
 	tokLParen
 	tokRParen
 	tokComma
+	tokSemi
 )
 
 type token struct {
@@ -42,7 +51,7 @@ type token struct {
 func (t token) String() string {
 	switch t.kind {
 	case tokEOF:
-		return "end of query"
+		return "end of statement"
 	case tokString:
 		return fmt.Sprintf("%q", t.text)
 	default:
@@ -58,7 +67,7 @@ type lexer struct {
 }
 
 func (l *lexer) errf(pos int, format string, args ...any) error {
-	return fmt.Errorf("eql: position %d: %s", pos, fmt.Sprintf(format, args...))
+	return &ParseError{Pos: pos, Msg: fmt.Sprintf(format, args...)}
 }
 
 func (l *lexer) next() (token, error) {
@@ -80,6 +89,9 @@ func (l *lexer) next() (token, error) {
 	case c == ',':
 		l.pos++
 		return token{tokComma, ",", start}, nil
+	case c == ';':
+		l.pos++
+		return token{tokSemi, ";", start}, nil
 	case c == '"' || c == '\'':
 		quote := c
 		l.pos++
@@ -89,7 +101,9 @@ func (l *lexer) next() (token, error) {
 			l.pos++
 		}
 		if l.pos >= len(l.src) {
-			return token{}, l.errf(start, "unterminated string")
+			// AtEOF: a later input line may supply the closing quote — the
+			// REPL treats this as a continuation, not a fatal error.
+			return token{}, &ParseError{Pos: start, AtEOF: true, Msg: "unterminated string"}
 		}
 		l.pos++ // closing quote
 		return token{tokString, b.String(), start}, nil

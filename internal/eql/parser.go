@@ -6,38 +6,6 @@ import (
 	"strings"
 )
 
-// Query is the parsed form of an EQL statement.
-type Query struct {
-	// Explain marks an EXPLAIN statement: bind and describe, do not run.
-	Explain bool
-	// Analyze marks an EXPLAIN ANALYZE statement: plan, run the chosen
-	// plan, and report predicted vs actual cost. Implies Explain.
-	Analyze bool
-	// K is the result size.
-	K int
-	// Window is the window length in frames; 0 for frame queries.
-	Window int
-	// Stride is the window start offset (WINDOWS OF n EVERY m); 0 means
-	// Window (tumbling).
-	Stride int
-	// Parallel is the scale-out worker count; 0 or 1 means serial.
-	Parallel int
-	// Dataset names the video source.
-	Dataset string
-	// UDF is the ranking function name: count, tailgate or sentiment.
-	UDF string
-	// UDFArg is the argument (the class for count).
-	UDFArg string
-	// Threshold is the probabilistic guarantee; 0 means the 0.9 default.
-	Threshold float64
-	// SampleFrac overrides window confirmation sampling; 0 means default.
-	SampleFrac float64
-	// Frames overrides the dataset's frame count; 0 means default.
-	Frames int
-	// Seed fixes the query's randomness; 0 means default.
-	Seed uint64
-}
-
 // parser consumes the token stream.
 type parser struct {
 	toks []token
@@ -54,11 +22,18 @@ func (p *parser) next() token {
 	return t
 }
 
+// errf builds a positioned parse error anchored at t. AtEOF is set when
+// the source simply ended too early — the incomplete-statement signal
+// the REPL's multi-line continuation keys on.
+func (p *parser) errf(t token, format string, args ...any) error {
+	return &ParseError{Pos: t.pos, AtEOF: t.kind == tokEOF, Msg: fmt.Sprintf(format, args...)}
+}
+
 // keyword consumes an identifier matching word (case-insensitive).
 func (p *parser) keyword(word string) error {
 	t := p.next()
 	if t.kind != tokIdent || !strings.EqualFold(t.text, word) {
-		return fmt.Errorf("eql: expected %s, got %s", word, t)
+		return p.errf(t, "expected %s, got %s", word, t)
 	}
 	return nil
 }
@@ -75,11 +50,11 @@ func (p *parser) tryKeyword(word string) bool {
 func (p *parser) integer(what string) (int, error) {
 	t := p.next()
 	if t.kind != tokNumber {
-		return 0, fmt.Errorf("eql: expected %s, got %s", what, t)
+		return 0, p.errf(t, "expected %s, got %s", what, t)
 	}
 	v, err := strconv.Atoi(t.text)
 	if err != nil {
-		return 0, fmt.Errorf("eql: %s must be an integer, got %q", what, t.text)
+		return 0, p.errf(t, "%s must be an integer, got %q", what, t.text)
 	}
 	return v, nil
 }
@@ -87,31 +62,70 @@ func (p *parser) integer(what string) (int, error) {
 func (p *parser) number(what string) (float64, error) {
 	t := p.next()
 	if t.kind != tokNumber {
-		return 0, fmt.Errorf("eql: expected %s, got %s", what, t)
+		return 0, p.errf(t, "expected %s, got %s", what, t)
 	}
 	v, err := strconv.ParseFloat(t.text, 64)
 	if err != nil {
-		return 0, fmt.Errorf("eql: invalid %s %q", what, t.text)
+		return 0, p.errf(t, "invalid %s %q", what, t.text)
 	}
 	return v, nil
 }
 
-func (p *parser) name(what string) (string, error) {
+func (p *parser) name(what string) (string, token, error) {
 	t := p.next()
 	if t.kind != tokIdent && t.kind != tokString {
-		return "", fmt.Errorf("eql: expected %s, got %s", what, t)
+		return "", t, p.errf(t, "expected %s, got %s", what, t)
 	}
-	return t.text, nil
+	return t.text, t, nil
 }
 
-// Parse parses one EQL statement.
-func Parse(src string) (*Query, error) {
+// ParseScript parses a semicolon-separated EQL script. Empty statements
+// (stray or trailing semicolons) are skipped; every parse error carries
+// the byte position of the offending token (*ParseError).
+func ParseScript(src string) (*Script, error) {
 	toks, err := lexAll(src)
 	if err != nil {
 		return nil, err
 	}
 	p := &parser{toks: toks}
-	q := &Query{}
+	script := &Script{}
+	for {
+		for p.peek().kind == tokSemi {
+			p.next()
+		}
+		if p.peek().kind == tokEOF {
+			return script, nil
+		}
+		stmt, err := p.statement()
+		if err != nil {
+			return nil, err
+		}
+		script.Statements = append(script.Statements, stmt)
+	}
+}
+
+// Parse parses exactly one EQL statement (a script of length one).
+func Parse(src string) (*Statement, error) {
+	script, err := ParseScript(src)
+	if err != nil {
+		return nil, err
+	}
+	switch len(script.Statements) {
+	case 0:
+		return nil, &ParseError{Pos: len(src), AtEOF: true, Msg: "expected SELECT, got end of statement"}
+	case 1:
+		return script.Statements[0], nil
+	default:
+		return nil, &ParseError{Pos: script.Statements[1].Pos,
+			Msg: fmt.Sprintf("expected one statement, script has %d (use ParseScript)", len(script.Statements))}
+	}
+}
+
+// statement parses one statement up to (not including) its terminating
+// semicolon or EOF.
+func (p *parser) statement() (*Statement, error) {
+	q := &Statement{Pos: p.peek().pos}
+	var err error
 
 	if p.tryKeyword("EXPLAIN") {
 		q.Explain = true
@@ -122,6 +136,9 @@ func Parse(src string) (*Query, error) {
 	if err := p.keyword("SELECT"); err != nil {
 		return nil, err
 	}
+	if p.tryKeyword("STREAM") {
+		q.Stream = true
+	}
 	if err := p.keyword("TOP"); err != nil {
 		return nil, err
 	}
@@ -129,7 +146,7 @@ func Parse(src string) (*Query, error) {
 		return nil, err
 	}
 	if q.K <= 0 {
-		return nil, fmt.Errorf("eql: TOP %d must be positive", q.K)
+		return nil, p.errf(p.toks[p.i-1], "TOP %d must be positive", q.K)
 	}
 
 	switch {
@@ -143,25 +160,33 @@ func Parse(src string) (*Query, error) {
 			return nil, err
 		}
 		if q.Window <= 0 {
-			return nil, fmt.Errorf("eql: WINDOWS OF %d must be positive", q.Window)
+			return nil, p.errf(p.toks[p.i-1], "WINDOWS OF %d must be positive", q.Window)
 		}
 		if p.tryKeyword("EVERY") {
 			if q.Stride, err = p.integer("window stride"); err != nil {
 				return nil, err
 			}
 			if q.Stride <= 0 {
-				return nil, fmt.Errorf("eql: EVERY %d must be positive", q.Stride)
+				return nil, p.errf(p.toks[p.i-1], "EVERY %d must be positive", q.Stride)
 			}
 		}
 	default:
-		return nil, fmt.Errorf("eql: expected FRAMES or WINDOWS, got %s", p.peek())
+		return nil, p.errf(p.peek(), "expected FRAMES or WINDOWS, got %s", p.peek())
 	}
 
 	if err := p.keyword("FROM"); err != nil {
 		return nil, err
 	}
-	if q.Dataset, err = p.name("dataset name"); err != nil {
-		return nil, err
+	for {
+		name, tok, err := p.name("dataset name")
+		if err != nil {
+			return nil, err
+		}
+		q.Sources = append(q.Sources, SourceRef{Pos: tok.pos, Name: name})
+		if p.peek().kind != tokComma {
+			break
+		}
+		p.next()
 	}
 
 	if err := p.keyword("RANK"); err != nil {
@@ -170,19 +195,14 @@ func Parse(src string) (*Query, error) {
 	if err := p.keyword("BY"); err != nil {
 		return nil, err
 	}
-	if q.UDF, err = p.name("ranking function"); err != nil {
-		return nil, err
-	}
-	q.UDF = strings.ToLower(q.UDF)
-	if p.peek().kind == tokLParen {
-		p.next()
-		if p.peek().kind != tokRParen {
-			if q.UDFArg, err = p.name("function argument"); err != nil {
-				return nil, err
-			}
+	for {
+		pred, err := p.predicate()
+		if err != nil {
+			return nil, err
 		}
-		if t := p.next(); t.kind != tokRParen {
-			return nil, fmt.Errorf("eql: expected ), got %s", t)
+		q.Predicates = append(q.Predicates, pred)
+		if !p.tryKeyword("AND") {
+			break
 		}
 	}
 
@@ -193,14 +213,14 @@ func Parse(src string) (*Query, error) {
 				return nil, err
 			}
 			if q.Threshold <= 0 || q.Threshold > 1 {
-				return nil, fmt.Errorf("eql: THRESHOLD %v must be in (0,1]", q.Threshold)
+				return nil, p.errf(p.toks[p.i-1], "THRESHOLD %v must be in (0,1]", q.Threshold)
 			}
 		case p.tryKeyword("SAMPLE"):
 			if q.SampleFrac, err = p.number("sample fraction"); err != nil {
 				return nil, err
 			}
 			if q.SampleFrac <= 0 || q.SampleFrac > 1 {
-				return nil, fmt.Errorf("eql: SAMPLE %v must be in (0,1]", q.SampleFrac)
+				return nil, p.errf(p.toks[p.i-1], "SAMPLE %v must be in (0,1]", q.SampleFrac)
 			}
 		case p.tryKeyword("LIMIT"):
 			if err := p.keyword("FRAMES"); err != nil {
@@ -220,13 +240,35 @@ func Parse(src string) (*Query, error) {
 				return nil, err
 			}
 			if q.Parallel <= 0 {
-				return nil, fmt.Errorf("eql: PARALLEL %d must be positive", q.Parallel)
+				return nil, p.errf(p.toks[p.i-1], "PARALLEL %d must be positive", q.Parallel)
 			}
 		default:
-			if t := p.next(); t.kind != tokEOF {
-				return nil, fmt.Errorf("eql: unexpected trailing %s", t)
+			if t := p.peek(); t.kind != tokEOF && t.kind != tokSemi {
+				return nil, p.errf(t, "unexpected trailing %s", t)
 			}
 			return q, nil
 		}
 	}
+}
+
+// predicate parses one ranking-function application: udf, udf() or
+// udf(arg).
+func (p *parser) predicate() (Predicate, error) {
+	name, tok, err := p.name("ranking function")
+	if err != nil {
+		return Predicate{}, err
+	}
+	pred := Predicate{Pos: tok.pos, UDF: strings.ToLower(name)}
+	if p.peek().kind == tokLParen {
+		p.next()
+		if p.peek().kind != tokRParen {
+			if pred.Arg, _, err = p.name("function argument"); err != nil {
+				return Predicate{}, err
+			}
+		}
+		if t := p.next(); t.kind != tokRParen {
+			return Predicate{}, p.errf(t, "expected ), got %s", t)
+		}
+	}
+	return pred, nil
 }

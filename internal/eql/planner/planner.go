@@ -27,6 +27,12 @@
 // Every prediction uses the same pricing rules the engine charges its
 // simclock with (see the cost-prediction helpers in internal/simclock),
 // so predicted and actual cost differ only by tuple-count estimation.
+//
+// ChooseSet extends the same pricing to a coordinated statement set (an
+// EQL script): per-unit knobs are chosen per unit, but the serving
+// knobs become one budget for the whole set, with Concurrency derived
+// from the set's own width plus the scheduler's observed in-flight
+// arrivals instead of a caller hint, and shared relations priced once.
 package planner
 
 import (
@@ -395,6 +401,124 @@ func Choose(in Input) Candidate {
 	why = append(why, servingWhy...)
 	chosen.Why = why
 	return chosen
+}
+
+// SetInput is a coordinated statement set to price jointly: one script
+// (or one scheduler backlog) of units that will execute together over
+// shared relations.
+type SetInput struct {
+	// Units are the per-unit planner inputs, in statement order. Each
+	// unit's Concurrency field is ignored — the set derives one value.
+	Units []Input
+	// Shared groups unit indices bound to one relation (same video,
+	// frames, UDF, seed): each group pays its Phase 1 ingest once and
+	// shares confirmations through one session cache. Units absent from
+	// every group are priced alone. Groups must not overlap.
+	Shared [][]int
+	// Observed is the scheduler's in-flight submission count at plan
+	// time (engine.Scheduler.InFlight via Session.ObservedInFlight):
+	// queries already queued or running that the set's members will
+	// coalesce with. It replaces the caller-supplied concurrency hint.
+	Observed int
+}
+
+// SetPlan is the jointly priced outcome: one serving budget for the
+// whole set plus per-unit chosen candidates.
+type SetPlan struct {
+	// Concurrency is the derived expected in-flight count: the set's own
+	// unit count plus the observed scheduler backlog.
+	Concurrency int
+	// Coalesce/CoalesceWait/UseMux is the one scheduling budget every
+	// unit of the set shares — scheduling only, never results or
+	// charges.
+	Coalesce     bool
+	CoalesceWait time.Duration
+	UseMux       bool
+	// Units are the chosen candidates, aligned with SetInput.Units.
+	Units []Candidate
+	// IndependentMS prices the set as isolated runs: every unit pays its
+	// own ingest and full confirmation bill.
+	IndependentMS float64
+	// TotalMS prices the coordinated execution: each shared group pays
+	// one ingest, and its confirmation bill is charged once (the
+	// group's widest member) instead of per member.
+	TotalMS float64
+	// SharedIngestMS and SharedConfirmMS break down the predicted
+	// saving: ingest stages bound once instead of per unit, and
+	// confirmations shared through the group overlay.
+	SharedIngestMS  float64
+	SharedConfirmMS float64
+	// Why explains the set-level decisions.
+	Why []string
+}
+
+// SavedMS is the predicted total saving of coordinated over independent
+// execution.
+func (sp SetPlan) SavedMS() float64 { return sp.IndependentMS - sp.TotalMS }
+
+// ChooseSet prices a statement set jointly. Per-unit knobs (batch,
+// cascade, procs) are chosen per unit as usual, but the serving knobs
+// are decided once for the whole set from its own width plus the
+// scheduler's observed in-flight arrivals — no caller hint. The shared
+// groups are priced under the coalesced-group contract: one ingest per
+// relation, and each group's confirmation bill charged once (later
+// members ride the shared overlay; the golden suite locks the
+// bit-identity of that sharing, this prices it).
+func ChooseSet(in SetInput) SetPlan {
+	sp := SetPlan{Concurrency: len(in.Units) + in.Observed}
+	if sp.Concurrency > 1 {
+		sp.Coalesce, sp.CoalesceWait, sp.UseMux = true, ServingWait, true
+		sp.Why = append(sp.Why, fmt.Sprintf(
+			"one budget: %d units + %d observed in flight → coalesce on, mux on (scheduling only; results and charges identical)",
+			len(in.Units), in.Observed))
+	} else {
+		sp.Why = append(sp.Why, "one budget: lone unit and idle scheduler → coalesce off, mux off")
+	}
+
+	grouped := make(map[int]bool)
+	for i := range in.Units {
+		u := in.Units[i]
+		u.Concurrency = sp.Concurrency
+		c := Choose(u)
+		sp.Units = append(sp.Units, c)
+		sp.IndependentMS += c.Pred.TotalMS
+		grouped[i] = false
+	}
+	// Shared groups: one ingest, one confirmation bill (the widest
+	// member's), every member's own select pass.
+	for _, group := range in.Shared {
+		if len(group) == 0 {
+			continue
+		}
+		var ingest, maxConfirm, sumIngest, sumConfirm float64
+		for _, i := range group {
+			grouped[i] = true
+			p := sp.Units[i].Pred
+			if p.Phase1MS > ingest {
+				ingest = p.Phase1MS
+			}
+			if p.ConfirmMS > maxConfirm {
+				maxConfirm = p.ConfirmMS
+			}
+			sumIngest += p.Phase1MS
+			sumConfirm += p.ConfirmMS
+			sp.TotalMS += p.SelectMS
+		}
+		sp.TotalMS += ingest + maxConfirm
+		sp.SharedIngestMS += sumIngest - ingest
+		sp.SharedConfirmMS += sumConfirm - maxConfirm
+		if len(group) > 1 {
+			sp.Why = append(sp.Why, fmt.Sprintf(
+				"%d units share one relation: ingest bound once (%.0f ms saved), confirmations charged once (%.0f ms saved)",
+				len(group), sumIngest-ingest, sumConfirm-maxConfirm))
+		}
+	}
+	for i, c := range sp.Units {
+		if !grouped[i] {
+			sp.TotalMS += c.Pred.TotalMS
+		}
+	}
+	return sp
 }
 
 func withBatch(kn Knobs, b int) Knobs        { kn.BatchSize = b; return kn }

@@ -1,6 +1,7 @@
 package planner
 
 import (
+	"math"
 	"reflect"
 	"strings"
 	"testing"
@@ -199,5 +200,84 @@ func TestChooseIsDeterministic(t *testing.T) {
 	}
 	if len(a.Why) == 0 {
 		t.Fatal("chosen candidate has no reasoning")
+	}
+}
+
+// freshInput is a pre-ingest unit (no index yet): the set planner must
+// price its Phase 1 and share it within a relation group.
+func freshInput() Input {
+	return Input{
+		Frames:       3000,
+		K:            10,
+		UDFFrameMS:   simclock.Default().OracleMS,
+		Cost:         simclock.Default(),
+		TrainSamples: 760,
+	}
+}
+
+// TestChooseSetOneBudget locks the joint serving budget: the set's own
+// width plus the observed scheduler backlog decides coalesce and mux
+// once for every unit — never a caller hint.
+func TestChooseSetOneBudget(t *testing.T) {
+	lone := ChooseSet(SetInput{Units: []Input{freshInput()}})
+	if lone.Concurrency != 1 || lone.Coalesce || lone.UseMux {
+		t.Fatalf("lone unit budget wrong: %+v", lone)
+	}
+	if lone.SavedMS() != 0 || lone.TotalMS != lone.IndependentMS {
+		t.Fatalf("lone unit must price as an independent run: %+v", lone)
+	}
+
+	// The same lone unit with an observed backlog turns the serving
+	// knobs on: arrivals are facts, not hints.
+	busy := ChooseSet(SetInput{Units: []Input{freshInput()}, Observed: 2})
+	if busy.Concurrency != 3 || !busy.Coalesce || !busy.UseMux {
+		t.Fatalf("observed backlog ignored: %+v", busy)
+	}
+	if busy.CoalesceWait != ServingWait {
+		t.Fatalf("CoalesceWait = %v, want ServingWait", busy.CoalesceWait)
+	}
+}
+
+// TestChooseSetSharedGroupPricing locks the shared-relation pricing:
+// a group pays one ingest and one confirmation bill, so the coordinated
+// total is strictly below the independent sum, with the saving split
+// into its ingest and confirmation parts.
+func TestChooseSetSharedGroupPricing(t *testing.T) {
+	set := ChooseSet(SetInput{
+		Units:  []Input{freshInput(), freshInput(), freshInput()},
+		Shared: [][]int{{0, 1}},
+	})
+	if set.Concurrency != 3 || !set.Coalesce || !set.UseMux {
+		t.Fatalf("set budget wrong: %+v", set)
+	}
+	if len(set.Units) != 3 {
+		t.Fatalf("%d unit candidates, want 3", len(set.Units))
+	}
+	if set.TotalMS >= set.IndependentMS {
+		t.Fatalf("coordinated %v must undercut independent %v", set.TotalMS, set.IndependentMS)
+	}
+	if set.SharedIngestMS <= 0 || set.SharedConfirmMS <= 0 {
+		t.Fatalf("shared savings not priced: ingest %v, confirm %v", set.SharedIngestMS, set.SharedConfirmMS)
+	}
+	if got, want := set.SavedMS(), set.SharedIngestMS+set.SharedConfirmMS; math.Abs(got-want) > 1e-6 {
+		t.Fatalf("SavedMS %v != shared ingest %v + shared confirm %v", got, set.SharedIngestMS, set.SharedConfirmMS)
+	}
+	foundShare := false
+	for _, w := range set.Why {
+		if strings.Contains(w, "share one relation") {
+			foundShare = true
+		}
+	}
+	if !foundShare {
+		t.Fatalf("set reasoning missing the sharing line: %v", set.Why)
+	}
+
+	// Determinism: same input, same plan.
+	again := ChooseSet(SetInput{
+		Units:  []Input{freshInput(), freshInput(), freshInput()},
+		Shared: [][]int{{0, 1}},
+	})
+	if !reflect.DeepEqual(set, again) {
+		t.Fatal("ChooseSet is not deterministic")
 	}
 }

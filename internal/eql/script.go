@@ -1,0 +1,563 @@
+package eql
+
+import (
+	"fmt"
+	"sort"
+
+	everest "github.com/everest-project/everest"
+	"github.com/everest-project/everest/internal/eql/planner"
+)
+
+// ScriptOptions tunes script execution.
+type ScriptOptions struct {
+	// Procs pins the engine worker count for every unit (0 = engine
+	// default). Wall-clock only: results and simulated charges are
+	// bit-identical for any value.
+	Procs int
+	// MaxLagChunks is the staleness bound handed to STREAM follower
+	// registrations (0 = segment cadence only).
+	MaxLagChunks int
+}
+
+// ScriptSession executes EQL scripts over persistent shared sub-plans:
+// one ingestion index + session per (dataset, frames, UDF, seed)
+// relation, built lazily on first use and reused by every later
+// statement — in the same script or a later Exec call. It is the EQL
+// layer's serving surface: the REPL and `cmd/everest -script` both run
+// on one ScriptSession. Not safe for concurrent use.
+//
+// Script execution contract (locked by the script golden test):
+//
+//   - Statements bound to one relation execute in statement order as
+//     one coalesced scheduler group over the relation's shared cache
+//     (Scheduler.SubmitGroup), so results AND per-statement simulated
+//     charges are bit-identical to executing the statements one at a
+//     time in script order — coalescing changes who pays, never what
+//     anyone gets.
+//   - Overlapping confirmations are charged once to the first statement
+//     that needs them, so a script's total oracle bill is strictly
+//     below the sum of independent single-statement runs whenever
+//     statements share a relation.
+//   - Relations are independent label domains (different video or UDF),
+//     so their groups never interact; the executor runs them in
+//     first-appearance order.
+type ScriptSession struct {
+	entries map[RelationKey]*scriptEntry
+	live    map[string]*everest.LiveStream
+
+	// OnIngestStart/OnIngestDone, when set, observe relation ingests
+	// (the REPL's "(ingesting …)" messages).
+	OnIngestStart func(dataset, udf string)
+	OnIngestDone  func(dataset, udf string, ingestMS float64)
+}
+
+type scriptEntry struct {
+	ix       *everest.Index
+	sess     *everest.Session
+	ingestMS float64
+}
+
+// NewScriptSession returns an empty script session.
+func NewScriptSession() *ScriptSession {
+	return &ScriptSession{
+		entries: make(map[RelationKey]*scriptEntry),
+		live:    make(map[string]*everest.LiveStream),
+	}
+}
+
+// AttachLive registers a live stream under a source name: `SELECT
+// STREAM … FROM name …` statements compile to follower registrations
+// on it. The stream stays owned by the caller (Append/Seal/Close).
+func (ss *ScriptSession) AttachLive(name string, ls *everest.LiveStream) {
+	ss.live[name] = ls
+}
+
+// UnitResult is one executed plan unit of a statement.
+type UnitResult struct {
+	// Dataset and Predicate identify the unit within its statement; FPS
+	// is the source's frame rate (for rendering frame times).
+	Dataset   string
+	Predicate string
+	FPS       int
+	// Result is the unit's answer; nil when the unit failed.
+	Result *everest.Result
+}
+
+// AndResult is the AND-combination of a multi-predicate statement for
+// one source: the IDs present in every predicate's top-K, ordered by
+// the first predicate's ranking.
+type AndResult struct {
+	Dataset string
+	IDs     []int
+}
+
+// StatementResult is one statement's outcome within a script.
+type StatementResult struct {
+	// Stmt is the statement AST; Text its canonical rendering.
+	Stmt *Statement
+	Text string
+	// Explain holds the rendered plan for EXPLAIN statements (which do
+	// not execute); Analyze the report for EXPLAIN ANALYZE statements.
+	Explain string
+	Analyze *AnalyzeReport
+	// Units are the executed units in (source-major, predicate-minor)
+	// order; empty for EXPLAIN and STREAM statements.
+	Units []*UnitResult
+	// And is the per-source AND-combination, filled only for statements
+	// with more than one predicate.
+	And []AndResult
+	// Followers are the continuous-query registrations of a STREAM
+	// statement, one per predicate.
+	Followers []*everest.LiveFollower
+}
+
+// ScriptResult is the outcome of executing a script.
+type ScriptResult struct {
+	Statements []*StatementResult
+	// Relations and SharedUnits describe the coordinated plan graph:
+	// distinct sub-plans bound, and units beyond the first on each (the
+	// ingest stages the script did not repeat).
+	Relations   int
+	SharedUnits int
+	// Concurrency, Coalesce and UseMux echo the joint serving budget the
+	// set planner chose (script width + observed in-flight arrivals).
+	Concurrency int
+	Coalesce    bool
+	UseMux      bool
+	// PredictedSavedMS is the planner's forecast of what coordination
+	// saves over independent runs.
+	PredictedSavedMS float64
+	// OracleCalls, Cleaned and TotalMS sum the executed units' charges.
+	OracleCalls int
+	Cleaned     int
+	TotalMS     float64
+}
+
+// Exec parses and executes a script with default options.
+func (ss *ScriptSession) Exec(src string) (*ScriptResult, error) {
+	return ss.ExecWith(src, ScriptOptions{})
+}
+
+// ExecWith parses and executes a script.
+func (ss *ScriptSession) ExecWith(src string, opt ScriptOptions) (*ScriptResult, error) {
+	script, err := ParseScript(src)
+	if err != nil {
+		return nil, err
+	}
+	return ss.ExecScript(script, opt)
+}
+
+// ExecScript binds and executes a parsed script. Binding is
+// all-or-nothing; execution failures cost only the failing unit (its
+// slot stays nil) and the first error is returned alongside the
+// results, mirroring Session.QueryBatch.
+func (ss *ScriptSession) ExecScript(script *Script, opt ScriptOptions) (*ScriptResult, error) {
+	sp, err := BindScript(script)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &ScriptResult{
+		Relations:   len(sp.Relations),
+		SharedUnits: sp.SharedUnits(),
+	}
+	for _, stp := range sp.Statements {
+		res.Statements = append(res.Statements, &StatementResult{
+			Stmt: stp.Stmt,
+			Text: stp.Stmt.String(),
+		})
+	}
+
+	// Ensure the shared sub-plans: one index + session per relation that
+	// some statement will actually run against (EXPLAIN statements
+	// describe, they never ingest).
+	var firstErr error
+	keep := func(err error) {
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	needed := ss.neededRelations(sp)
+	entries := make(map[*Relation]*scriptEntry, len(needed))
+	for _, rel := range needed {
+		ent, err := ss.entryFor(rel, opt)
+		if err != nil {
+			return res, err
+		}
+		entries[rel] = ent
+	}
+
+	// One scheduling budget for the whole set: concurrency derived from
+	// the script's own unit count plus the scheduler's observed
+	// in-flight arrivals — never a caller hint.
+	units := runnableUnits(sp)
+	observed := 0
+	for _, ent := range entries {
+		if n := ent.sess.ObservedInFlight(); n > observed {
+			observed = n
+		}
+	}
+	setPlan := planner.ChooseSet(setInput(sp, units, observed))
+	res.Concurrency = setPlan.Concurrency
+	res.Coalesce = setPlan.Coalesce
+	res.UseMux = setPlan.UseMux
+	res.PredictedSavedMS = setPlan.SavedMS()
+
+	// EXPLAIN statements render without executing.
+	for i, stp := range sp.Statements {
+		if stp.Stmt.Explain && !stp.Stmt.Analyze {
+			res.Statements[i].Explain = explainStatementPlan(stp, sp, setPlan)
+		}
+	}
+
+	// Execute each relation's units in statement order as coalesced
+	// groups; EXPLAIN ANALYZE units break the group at their position so
+	// the whole per-relation sequence stays bit-identical to serial
+	// statement order.
+	for _, rel := range needed {
+		keep(ss.runRelation(rel, entries[rel], sp, res, setPlan, opt))
+	}
+
+	// Scale-out (PARALLEL) units bypass the session machinery, exactly
+	// like the REPL's scale-out path.
+	for _, stp := range sp.Statements {
+		for ui, u := range stp.Units {
+			if u.Workers <= 1 {
+				continue
+			}
+			pres, err := everest.RunParallel(u.Source, u.UDF, u.Config, u.Workers)
+			if err != nil {
+				keep(err)
+				setUnitResult(res.Statements[u.Stmt], ui, u, nil)
+				continue
+			}
+			setUnitResult(res.Statements[u.Stmt], ui, u, &pres.Result)
+		}
+	}
+
+	// STREAM statements register followers on attached live streams.
+	for i, stp := range sp.Statements {
+		if !stp.Stmt.Stream {
+			continue
+		}
+		keep(ss.registerFollowers(stp, res.Statements[i], opt))
+	}
+
+	// Statement-level post-processing: AND-combinations and totals.
+	for _, sr := range res.Statements {
+		sr.And = andCombine(sr)
+		for _, ur := range sr.Units {
+			if ur != nil && ur.Result != nil {
+				res.OracleCalls += ur.Result.EngineStats.OracleCalls
+				res.Cleaned += ur.Result.EngineStats.Cleaned
+				res.TotalMS += ur.Result.Clock.TotalMS()
+			}
+		}
+		if sr.Analyze != nil && sr.Analyze.Result != nil {
+			res.OracleCalls += sr.Analyze.Result.EngineStats.OracleCalls
+			res.Cleaned += sr.Analyze.Result.EngineStats.Cleaned
+			res.TotalMS += sr.Analyze.Result.Clock.TotalMS()
+		}
+	}
+	return res, firstErr
+}
+
+// neededRelations filters a plan's relations to those with at least one
+// unit that will execute (EXPLAIN-only relations never ingest),
+// preserving first-appearance order.
+func (ss *ScriptSession) neededRelations(sp *ScriptPlan) []*Relation {
+	var out []*Relation
+	for _, rel := range sp.Relations {
+		for _, u := range rel.Units {
+			stmt := sp.Statements[u.Stmt].Stmt
+			if !stmt.Explain || stmt.Analyze {
+				out = append(out, rel)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// runnableUnits lists the units the batch executor will submit (bound
+// to a relation, not EXPLAIN-only, not EXPLAIN ANALYZE — those run via
+// the analyze path but still share the relation's cache and budget).
+func runnableUnits(sp *ScriptPlan) []*Unit {
+	var out []*Unit
+	for _, u := range sp.Units {
+		if u.Rel == nil {
+			continue
+		}
+		stmt := sp.Statements[u.Stmt].Stmt
+		if stmt.Explain && !stmt.Analyze {
+			continue
+		}
+		out = append(out, u)
+	}
+	return out
+}
+
+// setInput assembles the joint planner's view of the runnable set.
+func setInput(sp *ScriptPlan, units []*Unit, observed int) planner.SetInput {
+	in := planner.SetInput{Observed: observed}
+	idx := make(map[*Unit]int, len(units))
+	for i, u := range units {
+		idx[u] = i
+		in.Units = append(in.Units, unitPlannerInput(u))
+	}
+	for _, rel := range sp.Relations {
+		var group []int
+		for _, u := range rel.Units {
+			if i, ok := idx[u]; ok {
+				group = append(group, i)
+			}
+		}
+		if len(group) > 0 {
+			in.Shared = append(in.Shared, group)
+		}
+	}
+	return in
+}
+
+// entryFor returns the session for a relation, ingesting its index on
+// first use. Entries persist across Exec calls — the script session's
+// relations are its long-lived shared sub-plans.
+func (ss *ScriptSession) entryFor(rel *Relation, opt ScriptOptions) (*scriptEntry, error) {
+	if ent, ok := ss.entries[rel.Key]; ok {
+		return ent, nil
+	}
+	cfg := rel.Units[0].Config
+	if opt.Procs > 0 {
+		cfg.Procs = opt.Procs
+	}
+	if ss.OnIngestStart != nil {
+		ss.OnIngestStart(rel.Source.Name(), rel.UDF.Name())
+	}
+	ix, err := everest.BuildIndex(rel.Source, rel.UDF, cfg)
+	if err != nil {
+		return nil, err
+	}
+	sess, err := everest.NewSession(ix, rel.Source, rel.UDF)
+	if err != nil {
+		return nil, err
+	}
+	ent := &scriptEntry{ix: ix, sess: sess, ingestMS: ix.IngestMS()}
+	ss.entries[rel.Key] = ent
+	if ss.OnIngestDone != nil {
+		ss.OnIngestDone(rel.Source.Name(), rel.UDF.Name(), ent.ingestMS)
+	}
+	return ent, nil
+}
+
+// SessionFor exposes the (index, session) pair for a bound single-unit
+// plan, ingesting on first use — the REPL's EXPLAIN ANALYZE hook.
+func (ss *ScriptSession) SessionFor(plan *Plan, opt ScriptOptions) (*everest.Index, *everest.Session, error) {
+	rel := &Relation{
+		Key: RelationKey{
+			Dataset: plan.Source.Name(),
+			Frames:  plan.Source.NumFrames(),
+			UDF:     plan.UDF.Name(),
+			Seed:    plan.Config.Seed,
+		},
+		Source: plan.Source,
+		UDF:    plan.UDF,
+		Units:  []*Unit{{Source: plan.Source, UDF: plan.UDF, Config: plan.Config, Workers: plan.Workers}},
+	}
+	ent, err := ss.entryFor(rel, opt)
+	if err != nil {
+		return nil, nil, err
+	}
+	return ent.ix, ent.sess, nil
+}
+
+// runRelation executes one relation's units in statement order:
+// consecutive plain units form one coalesced group (SubmitGroup over
+// the shared cache — bit-identical to running them serially), and an
+// EXPLAIN ANALYZE unit flushes the pending group and runs at its exact
+// position, so the relation's full sequence equals serial statement
+// order.
+func (ss *ScriptSession) runRelation(rel *Relation, ent *scriptEntry, sp *ScriptPlan, res *ScriptResult, setPlan planner.SetPlan, opt ScriptOptions) error {
+	var firstErr error
+	keep := func(err error) {
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	var pending []*Unit
+	flush := func() {
+		if len(pending) == 0 {
+			return
+		}
+		cfgs := make([]everest.Config, len(pending))
+		for i, u := range pending {
+			cfg := u.Config
+			if opt.Procs > 0 {
+				cfg.Procs = opt.Procs
+			}
+			// The group is pre-formed, so Coalesce routes it through
+			// SubmitGroup; no CoalesceWait — there is nothing to hold the
+			// group open for. UseMux is the set's one budget.
+			cfg.Coalesce = true
+			cfg.UseMux = setPlan.UseMux
+			cfgs[i] = cfg
+		}
+		results, err := ent.sess.QueryBatch(cfgs)
+		keep(err)
+		for i, u := range pending {
+			var r *everest.Result
+			if results != nil {
+				r = results[i]
+			}
+			setUnitResult(res.Statements[u.Stmt], unitIndexIn(sp.Statements[u.Stmt], u), u, r)
+		}
+		pending = pending[:0]
+	}
+
+	for _, u := range rel.Units {
+		stmt := sp.Statements[u.Stmt].Stmt
+		switch {
+		case stmt.Explain && !stmt.Analyze:
+			continue
+		case stmt.Analyze:
+			flush()
+			rep, err := AnalyzeOnSession(stmt.String(), ent.ix, ent.sess,
+				AnalyzeOptions{Procs: opt.Procs, Concurrency: setPlan.Concurrency})
+			if err != nil {
+				keep(err)
+				continue
+			}
+			res.Statements[u.Stmt].Analyze = rep
+		default:
+			pending = append(pending, u)
+		}
+	}
+	flush()
+	return firstErr
+}
+
+// registerFollowers compiles a STREAM statement to follower
+// registrations on the attached live stream.
+func (ss *ScriptSession) registerFollowers(stp *StatementPlan, sr *StatementResult, opt ScriptOptions) error {
+	stmt := stp.Stmt
+	for _, u := range stp.StreamUnits {
+		ls, ok := ss.live[stmt.Sources[u.SourceIdx].Name]
+		if !ok {
+			return &ParseError{Pos: stmt.Sources[u.SourceIdx].Pos,
+				Msg: fmt.Sprintf("no live stream attached as %q (ScriptSession.AttachLive)", stmt.Sources[u.SourceIdx].Name)}
+		}
+		fol, err := ls.Follow(u.Config, opt.MaxLagChunks, nil)
+		if err != nil {
+			return err
+		}
+		sr.Followers = append(sr.Followers, fol)
+	}
+	return nil
+}
+
+// unitIndexIn locates a unit within its statement plan's unit list.
+func unitIndexIn(stp *StatementPlan, u *Unit) int {
+	for i, v := range stp.Units {
+		if v == u {
+			return i
+		}
+	}
+	return -1
+}
+
+// setUnitResult records a unit's outcome at its slot in the statement's
+// result, growing the slice to the statement's unit count on first use.
+func setUnitResult(sr *StatementResult, idx int, u *Unit, r *everest.Result) {
+	if idx < 0 {
+		return
+	}
+	for len(sr.Units) <= idx {
+		sr.Units = append(sr.Units, nil)
+	}
+	sr.Units[idx] = &UnitResult{
+		Dataset:   u.Source.Name(),
+		Predicate: u.UDF.Name(),
+		FPS:       u.Source.FPS(),
+		Result:    r,
+	}
+}
+
+// andCombine computes the AND-combination of a multi-predicate
+// statement: per source, the IDs present in every predicate's top-K,
+// ordered by the first predicate's ranking. It is deterministic pure
+// post-processing over the per-unit answers — the engine's per-unit
+// guarantees are untouched.
+func andCombine(sr *StatementResult) []AndResult {
+	stmt := sr.Stmt
+	if stmt == nil || len(stmt.Predicates) < 2 || len(sr.Units) == 0 {
+		return nil
+	}
+	np := len(stmt.Predicates)
+	var out []AndResult
+	for si := range stmt.Sources {
+		base := si * np
+		if base+np > len(sr.Units) {
+			return out
+		}
+		first := sr.Units[base]
+		if first == nil || first.Result == nil {
+			continue
+		}
+		ok := true
+		inAll := make(map[int]int, len(first.Result.IDs)) // id -> count of predicate sets containing it
+		for _, id := range first.Result.IDs {
+			inAll[id] = 1
+		}
+		for p := 1; p < np; p++ {
+			ur := sr.Units[base+p]
+			if ur == nil || ur.Result == nil {
+				ok = false
+				break
+			}
+			for _, id := range ur.Result.IDs {
+				if c, present := inAll[id]; present && c == p {
+					inAll[id] = p + 1
+				}
+			}
+		}
+		if !ok {
+			continue
+		}
+		ids := make([]int, 0, len(inAll))
+		for _, id := range first.Result.IDs {
+			if inAll[id] == np {
+				ids = append(ids, id)
+			}
+		}
+		out = append(out, AndResult{Dataset: first.Dataset, IDs: ids})
+	}
+	return out
+}
+
+// Entries lists the session's open relations, sorted by key — the
+// REPL's `sessions` command.
+type EntryInfo struct {
+	Key          string
+	Queries      int
+	CachedLabels int
+	IngestMS     float64
+}
+
+// Entries returns the open relations' serving statistics.
+func (ss *ScriptSession) Entries() []EntryInfo {
+	keys := make([]RelationKey, 0, len(ss.entries))
+	for k := range ss.entries {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i].String() < keys[j].String() })
+	out := make([]EntryInfo, 0, len(keys))
+	for _, k := range keys {
+		ent := ss.entries[k]
+		out = append(out, EntryInfo{
+			Key:          k.String(),
+			Queries:      ent.sess.Queries(),
+			CachedLabels: ent.sess.CachedLabels(),
+			IngestMS:     ent.ingestMS,
+		})
+	}
+	return out
+}

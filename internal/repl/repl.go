@@ -1,19 +1,23 @@
 // Package repl implements the interactive EQL shell behind
 // `cmd/everest -repl`. It is where the repository's multi-query machinery
-// composes into a workflow: the first query against a (dataset, UDF) pair
-// pays Phase 1 once by building an ingestion Index, and every later query
-// in the same shell runs through a Session over that index — Phase 2
-// only, sharing all previously revealed oracle labels. EXPLAIN statements
-// describe plans without running them; EXPLAIN ANALYZE statements let the
-// cost-based planner choose the engine knobs, run the chosen plan on the
-// pair's session, and report predicted vs actual simulated cost.
+// composes into a workflow: the shell is one eql.ScriptSession, so the
+// first query against a (dataset, UDF) pair pays Phase 1 once by building
+// an ingestion Index, and every later statement — in the same input or a
+// later one — runs through a Session over that index, sharing all
+// previously revealed oracle labels. Input is a script: `;`-separated
+// statements execute as one coordinated plan graph (common sub-plans
+// bound once, one serving budget), and an incomplete statement continues
+// onto the next line. EXPLAIN statements describe plans without running
+// them; EXPLAIN ANALYZE statements let the cost-based planner choose the
+// engine knobs, run the chosen plan on the pair's session, and report
+// predicted vs actual simulated cost.
 package repl
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
 	"io"
-	"sort"
 	"strings"
 
 	everest "github.com/everest-project/everest"
@@ -21,53 +25,116 @@ import (
 	"github.com/everest-project/everest/internal/video"
 )
 
-// REPL holds the shell's state: one ingestion index + session per
-// (dataset, frame count, UDF, seed) key, built lazily.
+// REPL holds the shell's state: one ScriptSession whose relations (one
+// ingestion index + session per (dataset, frame count, UDF, seed) key)
+// are built lazily and persist across inputs.
 type REPL struct {
-	out      io.Writer
-	sessions map[string]*entry
-}
-
-type entry struct {
-	ix       *everest.Index
-	sess     *everest.Session
-	ingestMS float64
+	out io.Writer
+	ss  *eql.ScriptSession
 }
 
 // New returns an empty shell writing results to out.
 func New(out io.Writer) *REPL {
-	return &REPL{out: out, sessions: make(map[string]*entry)}
+	r := &REPL{out: out, ss: eql.NewScriptSession()}
+	r.ss.OnIngestStart = func(dataset, udf string) {
+		fmt.Fprintf(r.out, "(ingesting %s for %s — one-off Phase 1)\n", dataset, udf)
+	}
+	r.ss.OnIngestDone = func(dataset, udf string, ingestMS float64) {
+		fmt.Fprintf(r.out, "(ingested in %.0f sim-ms; later queries pay Phase 2 only)\n", ingestMS)
+	}
+	return r
 }
 
-// Sessions returns how many (dataset, UDF) sessions the shell has opened.
-func (r *REPL) Sessions() int { return len(r.sessions) }
+// AttachLive registers a live stream so `SELECT STREAM …` statements can
+// compile to follower registrations on it.
+func (r *REPL) AttachLive(name string, ls *everest.LiveStream) { r.ss.AttachLive(name, ls) }
 
-// Run reads statements from in until EOF or a quit command, executing
-// each line. Errors are printed, not fatal — a shell keeps going.
+// Sessions returns how many (dataset, UDF) sessions the shell has opened.
+func (r *REPL) Sessions() int { return len(r.ss.Entries()) }
+
+// Run reads statements from in until EOF or a quit command. Statements
+// end at `;` or end of line; an input that stops mid-statement (or
+// inside an unterminated string) continues onto the next line, and a
+// blank line forces the pending text out. Errors are printed, not fatal
+// — a shell keeps going.
 func (r *REPL) Run(in io.Reader) error {
 	sc := bufio.NewScanner(in)
-	sc.Buffer(make([]byte, 64*1024), 64*1024)
-	fmt.Fprint(r.out, "everest> ")
-	for sc.Scan() {
-		line := strings.TrimSpace(sc.Text())
-		switch strings.ToLower(line) {
-		case "quit", "exit", `\q`:
-			fmt.Fprintln(r.out, "bye")
-			return nil
+	sc.Buffer(make([]byte, 64*1024), 1024*1024)
+	var buf []string
+	prompt := func() {
+		if len(buf) == 0 {
+			fmt.Fprint(r.out, "everest> ")
+		} else {
+			fmt.Fprint(r.out, "      -> ")
 		}
-		if line != "" {
-			if err := r.ExecLine(line); err != nil {
-				fmt.Fprintf(r.out, "error: %v\n", err)
+	}
+	exec := func(src string) {
+		if err := r.ExecLine(src); err != nil {
+			fmt.Fprintf(r.out, "error: %v\n", err)
+		}
+	}
+	prompt()
+	for sc.Scan() {
+		line := sc.Text()
+		trimmed := strings.TrimSpace(line)
+		if len(buf) == 0 {
+			switch strings.ToLower(trimmed) {
+			case "quit", "exit", `\q`:
+				fmt.Fprintln(r.out, "bye")
+				return nil
+			}
+			if trimmed == "" {
+				prompt()
+				continue
+			}
+			if isCommand(trimmed) {
+				exec(trimmed)
+				prompt()
+				continue
 			}
 		}
-		fmt.Fprint(r.out, "everest> ")
+		if trimmed == "" {
+			// A blank line forces the pending statement out as-is.
+			src := strings.Join(buf, "\n")
+			buf = nil
+			exec(src)
+			prompt()
+			continue
+		}
+		buf = append(buf, line)
+		src := strings.Join(buf, "\n")
+		if _, err := eql.ParseScript(src); err != nil {
+			var pe *eql.ParseError
+			if errors.As(err, &pe) && pe.AtEOF {
+				// The statement is incomplete, not wrong: keep reading.
+				prompt()
+				continue
+			}
+		}
+		buf = nil
+		exec(src)
+		prompt()
+	}
+	if len(buf) > 0 {
+		exec(strings.Join(buf, "\n"))
 	}
 	fmt.Fprintln(r.out)
 	return sc.Err()
 }
 
-// ExecLine executes one shell line: a dot-command (help, datasets,
-// sessions), an EXPLAIN statement, or an EQL query.
+// isCommand reports whether a line is a dot-command rather than EQL.
+func isCommand(line string) bool {
+	switch strings.ToLower(line) {
+	case "help", `\h`, "?", "datasets", `\d`, "sessions", `\s`:
+		return true
+	}
+	return false
+}
+
+// ExecLine executes one complete shell input: a dot-command (help,
+// datasets, sessions) or an EQL script — one statement or several
+// separated by `;`, run as one coordinated plan graph on the shell's
+// script session.
 func (r *REPL) ExecLine(line string) error {
 	switch strings.ToLower(strings.TrimSpace(line)) {
 	case "help", `\h`, "?":
@@ -80,93 +147,65 @@ func (r *REPL) ExecLine(line string) error {
 		r.listSessions()
 		return nil
 	}
-	q, err := eql.Parse(line)
-	if err != nil {
+	res, err := r.ss.ExecWith(line, eql.ScriptOptions{})
+	if res == nil {
 		return err
 	}
-	if q.Analyze {
-		// EXPLAIN ANALYZE runs on the shell's session for the bound pair,
-		// ingesting it first if this is its first query — the planner then
-		// inherits the index's cascade and chooses the Phase 2 knobs.
-		plan, err := eql.Bind(q)
-		if err != nil {
-			return err
-		}
-		if plan.Workers > 1 {
-			return fmt.Errorf("eql: EXPLAIN ANALYZE does not support PARALLEL scale-out; the planner sets procs itself")
-		}
-		ent, err := r.entryFor(plan)
-		if err != nil {
-			return err
-		}
-		rep, err := eql.AnalyzeOnSession(line, ent.ix, ent.sess, eql.AnalyzeOptions{})
-		if err != nil {
-			return err
-		}
-		fmt.Fprint(r.out, rep.String())
-		return nil
-	}
-	if q.Explain {
-		out, err := eql.Explain(line)
-		if err != nil {
-			return err
-		}
-		fmt.Fprint(r.out, out)
-		return nil
-	}
-	plan, err := eql.Bind(q)
-	if err != nil {
-		return err
-	}
-	if plan.Workers > 1 {
-		// Scale-out runs partitioned Phase 1 per query; it does not share
-		// an index, so it bypasses the session machinery.
-		res, err := everest.RunParallel(plan.Source, plan.UDF, plan.Config, plan.Workers)
-		if err != nil {
-			return err
-		}
-		fmt.Fprintf(r.out, "(scale-out: %d workers)\n", plan.Workers)
-		r.printResult(&res.Result, plan)
-		return nil
-	}
-
-	ent, err := r.entryFor(plan)
-	if err != nil {
-		return err
-	}
-	res, err := ent.sess.Query(plan.Config)
-	if err != nil {
-		return err
-	}
-	r.printResult(res, plan)
-	return nil
+	r.printScript(res)
+	return err
 }
 
-// entryFor returns the shell's session for a bound plan's (dataset,
-// frame count, UDF, seed) key, ingesting the pair's index on first use.
-func (r *REPL) entryFor(plan *eql.Plan) (*entry, error) {
-	key := fmt.Sprintf("%s|%d|%s|%d",
-		plan.Source.Name(), plan.Source.NumFrames(), plan.UDF.Name(), plan.Config.Seed)
-	if ent, ok := r.sessions[key]; ok {
-		return ent, nil
+// printScript renders a script's results. Single-statement inputs print
+// exactly as the pre-script shell did; multi-statement inputs add a
+// coordination header and per-statement banners.
+func (r *REPL) printScript(res *eql.ScriptResult) {
+	multi := len(res.Statements) > 1
+	if multi {
+		fmt.Fprintf(r.out, "(script: %d statements over %d relation(s), %d shared sub-plan unit(s); concurrency %d, coalesce %s, mux %s)\n",
+			len(res.Statements), res.Relations, res.SharedUnits,
+			res.Concurrency, onOff(res.Coalesce), onOff(res.UseMux))
 	}
-	fmt.Fprintf(r.out, "(ingesting %s for %s — one-off Phase 1)\n",
-		plan.Source.Name(), plan.UDF.Name())
-	ix, err := everest.BuildIndex(plan.Source, plan.UDF, plan.Config)
-	if err != nil {
-		return nil, err
+	for i, sr := range res.Statements {
+		if multi {
+			fmt.Fprintf(r.out, "[%d] %s\n", i+1, sr.Text)
+		}
+		switch {
+		case sr.Explain != "":
+			fmt.Fprint(r.out, sr.Explain)
+		case sr.Analyze != nil:
+			fmt.Fprint(r.out, sr.Analyze.String())
+		case len(sr.Followers) > 0:
+			fmt.Fprintf(r.out, "(continuous: %d follower(s) registered on the live stream; deltas accumulate as footage arrives)\n",
+				len(sr.Followers))
+		default:
+			if sr.Stmt != nil && sr.Stmt.Parallel > 1 {
+				fmt.Fprintf(r.out, "(scale-out: %d workers)\n", sr.Stmt.Parallel)
+			}
+			for _, ur := range sr.Units {
+				if ur == nil || ur.Result == nil {
+					continue
+				}
+				if len(sr.Units) > 1 {
+					fmt.Fprintf(r.out, "%s rank-by %s:\n", ur.Dataset, ur.Predicate)
+				}
+				r.printResult(ur.Result, ur.FPS)
+			}
+			for _, ar := range sr.And {
+				fmt.Fprintf(r.out, "AND (%s): %d ids in every predicate's top-K: %v\n",
+					ar.Dataset, len(ar.IDs), ar.IDs)
+			}
+		}
 	}
-	sess, err := everest.NewSession(ix, plan.Source, plan.UDF)
-	if err != nil {
-		return nil, err
-	}
-	ent := &entry{ix: ix, sess: sess, ingestMS: ix.IngestMS()}
-	r.sessions[key] = ent
-	fmt.Fprintf(r.out, "(ingested in %.0f sim-ms; later queries pay Phase 2 only)\n", ent.ingestMS)
-	return ent, nil
 }
 
-func (r *REPL) printResult(res *everest.Result, plan *eql.Plan) {
+func onOff(v bool) string {
+	if v {
+		return "on"
+	}
+	return "off"
+}
+
+func (r *REPL) printResult(res *everest.Result, fps int) {
 	unit := "frame"
 	if res.IsWindow {
 		unit = "window"
@@ -174,7 +213,9 @@ func (r *REPL) printResult(res *everest.Result, plan *eql.Plan) {
 	fmt.Fprintf(r.out, "confidence %.4f (%s bound), %d %ss, cleaned %d, cost %.0f sim-ms\n",
 		res.Confidence, res.Bound, len(res.IDs), unit,
 		res.EngineStats.Cleaned, res.Clock.TotalMS())
-	fps := plan.Source.FPS()
+	if fps <= 0 {
+		fps = 30
+	}
 	for i, id := range res.IDs {
 		sec := float64(id) / float64(fps)
 		if res.IsWindow {
@@ -188,9 +229,19 @@ func (r *REPL) help() {
 	fmt.Fprint(r.out, `statements:
   SELECT TOP k FRAMES FROM dataset RANK BY udf(arg) [THRESHOLD p] [LIMIT FRAMES n] [SEED s] [PARALLEL w]
   SELECT TOP k WINDOWS OF n [EVERY m] FROM dataset RANK BY udf(arg) [...]
+  SELECT STREAM TOP k ... FROM live-stream ...
+                            register a continuous query on an attached live stream
+  RANK BY udf(a) AND udf(b) per-source AND of the predicates' top-K sets
+  FROM a, b                 run the same query over several videos
   EXPLAIN SELECT ...        describe the plan without running it
   EXPLAIN ANALYZE SELECT ...plan with the cost-based optimizer, run the
                             chosen plan, report predicted vs actual cost
+scripts:
+  statements separated by ';' execute as one coordinated plan graph:
+  statements over the same (dataset, frames, udf, seed) share one
+  ingestion and one label cache under a single serving budget, with
+  results bit-identical to running them one at a time in order.
+  an incomplete statement continues onto the next line.
 commands:
   datasets                  list built-in datasets
   sessions                  list open ingestion sessions
@@ -209,18 +260,13 @@ func (r *REPL) datasets() {
 }
 
 func (r *REPL) listSessions() {
-	if len(r.sessions) == 0 {
+	entries := r.ss.Entries()
+	if len(entries) == 0 {
 		fmt.Fprintln(r.out, "no sessions yet")
 		return
 	}
-	keys := make([]string, 0, len(r.sessions))
-	for key := range r.sessions {
-		keys = append(keys, key)
-	}
-	sort.Strings(keys)
-	for _, key := range keys {
-		ent := r.sessions[key]
+	for _, e := range entries {
 		fmt.Fprintf(r.out, "%s: %d queries, %d cached labels, ingest %.0f sim-ms\n",
-			key, ent.sess.Queries(), ent.sess.CachedLabels(), ent.ingestMS)
+			e.Key, e.Queries, e.CachedLabels, e.IngestMS)
 	}
 }

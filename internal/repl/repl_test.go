@@ -158,3 +158,81 @@ func TestRunLoopEOF(t *testing.T) {
 		t.Fatal("dataset listing missing")
 	}
 }
+
+func TestScriptStatementOnOneLine(t *testing.T) {
+	var out bytes.Buffer
+	r := New(&out)
+	err := r.ExecLine("SELECT TOP 5 FRAMES FROM Archie RANK BY count(car) LIMIT FRAMES 3000 SEED 3; " +
+		"SELECT TOP 3 WINDOWS OF 30 FROM Archie RANK BY count(car) LIMIT FRAMES 3000 SEED 3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{
+		"script: 2 statements over 1 relation(s), 1 shared sub-plan unit(s)",
+		"[1] SELECT TOP 5 FRAMES",
+		"[2] SELECT TOP 3 WINDOWS OF 30",
+		"frames, cleaned",
+		"windows, cleaned",
+	} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("script output missing %q:\n%s", want, got)
+		}
+	}
+	if r.Sessions() != 1 {
+		t.Fatalf("%d sessions after a shared-relation script, want 1", r.Sessions())
+	}
+	// The shared ingest is announced exactly once.
+	if strings.Count(got, "ingesting") != 1 {
+		t.Fatalf("shared relation must ingest once:\n%s", got)
+	}
+}
+
+// TestRunLoopMultiLineContinuation: an incomplete statement keeps
+// buffering across lines until the parser stops reporting
+// end-of-input, then the whole buffer executes as one script.
+func TestRunLoopMultiLineContinuation(t *testing.T) {
+	var out bytes.Buffer
+	r := New(&out)
+	in := strings.NewReader(strings.Join([]string{
+		"SELECT TOP 5 FRAMES FROM Archie",
+		"RANK BY count(car) LIMIT FRAMES",
+		"3000 SEED 3",
+		"quit",
+	}, "\n") + "\n")
+	if err := r.Run(in); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if strings.Contains(got, "error:") {
+		t.Fatalf("continuation lines must not surface as errors:\n%s", got)
+	}
+	if !strings.Contains(got, "5 frames, cleaned") {
+		t.Fatalf("continued statement never ran:\n%s", got)
+	}
+	if r.Sessions() != 1 {
+		t.Fatalf("%d sessions after the continued statement, want 1", r.Sessions())
+	}
+}
+
+// TestRunLoopBlankLineFlushesBuffer: a blank line forces the pending
+// buffer through the parser, so a genuinely broken statement errors
+// out instead of trapping the shell in continuation mode.
+func TestRunLoopBlankLineFlushesBuffer(t *testing.T) {
+	var out bytes.Buffer
+	r := New(&out)
+	in := strings.NewReader("SELECT TOP 5 FRAMES FROM Archie\n\nquit\n")
+	if err := r.Run(in); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "error:") {
+		t.Fatalf("force-flushed incomplete statement should error:\n%s", got)
+	}
+	if !strings.Contains(got, "bye") {
+		t.Fatalf("shell must keep going after the flush error:\n%s", got)
+	}
+	if r.Sessions() != 0 {
+		t.Fatal("failed statement must not ingest")
+	}
+}

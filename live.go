@@ -138,6 +138,58 @@ func liveDeltaOf(d stream.Delta) LiveDelta {
 	}
 }
 
+// LiveFollower is an additional continuous query registered on a
+// LiveStream with Follow: its own top-K plan kept answered as the one
+// shared feed advances. Followers due at the same segment close
+// evaluate as one coalesced scheduler group, sharing confirmations.
+type LiveFollower struct {
+	fol *stream.Follower
+}
+
+// Deltas returns every answer update the follower has received.
+func (lf *LiveFollower) Deltas() []LiveDelta {
+	ds := lf.fol.Deltas()
+	out := make([]LiveDelta, len(ds))
+	for i, d := range ds {
+		out[i] = liveDeltaOf(d)
+	}
+	return out
+}
+
+// Answer is the follower's most recent full answer, or nil before its
+// first evaluation.
+func (lf *LiveFollower) Answer() *LiveDelta {
+	ds := lf.fol.Deltas()
+	if len(ds) == 0 {
+		return nil
+	}
+	d := liveDeltaOf(ds[len(ds)-1])
+	return &d
+}
+
+// Follow registers an additional continuous top-K query on the live
+// stream — the `SELECT STREAM TOP K …` EQL statement compiles to
+// exactly this registration. The new follower shares the stream's
+// ingestor, artifact and label cache with the original query and every
+// other follower; all followers due at a segment close evaluate as one
+// coalesced group. Follow fails once the stream is sealed.
+func (ls *LiveStream) Follow(cfg Config, maxLagChunks int, onDelta func(LiveDelta)) (*LiveFollower, error) {
+	cfg = cfg.withDefaults()
+	var cb func(stream.Delta)
+	if onDelta != nil {
+		cb = func(d stream.Delta) { onDelta(liveDeltaOf(d)) }
+	}
+	fol, err := ls.ing.Follow(stream.FollowConfig{
+		Plan:         cfg.plan(),
+		MaxLagChunks: maxLagChunks,
+		OnDelta:      cb,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &LiveFollower{fol: fol}, nil
+}
+
 // Append delivers the next chunk of the feed: frames more frames of the
 // underlying source become visible, eagerly labelled, and any segments
 // they complete close (refreshing the model and updating the answer).

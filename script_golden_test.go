@@ -1,0 +1,134 @@
+package everest_test
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"github.com/everest-project/everest/internal/eql"
+)
+
+// goldenScript mixes frame and window statements over two videos.
+// Statements 1–3 share the (Archie, 3000 frames, count(car), seed 3)
+// sub-plan, so the compiled script binds them to one relation; the
+// Grand-Canal statement is its own relation in the same budget.
+const goldenScript = `
+SELECT TOP 5 FRAMES FROM Archie RANK BY count(car) LIMIT FRAMES 3000 SEED 3;
+SELECT TOP 3 WINDOWS OF 30 FROM Archie RANK BY count(car) LIMIT FRAMES 3000 SEED 3;
+SELECT TOP 4 FRAMES FROM Archie RANK BY count(car) THRESHOLD 0.95 LIMIT FRAMES 3000 SEED 3;
+SELECT TOP 3 FRAMES FROM "Grand-Canal" RANK BY count(boat) LIMIT FRAMES 2000 SEED 3
+`
+
+func goldenStatements(t testing.TB) []string {
+	var stmts []string
+	for _, s := range strings.Split(goldenScript, ";") {
+		if s = strings.TrimSpace(s); s != "" {
+			stmts = append(stmts, s)
+		}
+	}
+	if len(stmts) != 4 {
+		t.Fatalf("golden script has %d statements, want 4", len(stmts))
+	}
+	return stmts
+}
+
+// TestScriptGolden is the repo's script determinism contract: the
+// coordinated script produces bit-identical results and simulated
+// charges to executing its statements one at a time in order on a
+// fresh shared session, at every worker-pool width — and its total
+// oracle bill is strictly below the sum of fully independent runs.
+func TestScriptGolden(t *testing.T) {
+	stmts := goldenStatements(t)
+
+	// Serial reference: one fresh session, statements executed alone in
+	// script order.
+	serial := eql.NewScriptSession()
+	var want []*eql.UnitResult
+	for _, stmt := range stmts {
+		r, err := serial.Exec(stmt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, r.Statements[0].Units[0])
+	}
+
+	// Independent baseline: every statement pays its own Phase 1 and
+	// oracle bill on a private session.
+	independentCalls := 0
+	for _, stmt := range stmts {
+		r, err := eql.NewScriptSession().Exec(stmt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		independentCalls += r.OracleCalls
+	}
+
+	for _, procs := range []int{1, 2, 8} {
+		res, err := eql.NewScriptSession().ExecWith(goldenScript, eql.ScriptOptions{Procs: procs})
+		if err != nil {
+			t.Fatalf("procs=%d: %v", procs, err)
+		}
+		if res.Relations != 2 || res.SharedUnits != 2 {
+			t.Fatalf("procs=%d: compiled to %d relations / %d shared units, want 2 / 2",
+				procs, res.Relations, res.SharedUnits)
+		}
+		for i, sr := range res.Statements {
+			got := sr.Units[0].Result
+			ref := want[i].Result
+			if !reflect.DeepEqual(got.IDs, ref.IDs) || !reflect.DeepEqual(got.Scores, ref.Scores) {
+				t.Fatalf("procs=%d statement %d: answers differ from serial\n got %v\nwant %v",
+					procs, i, got.IDs, ref.IDs)
+			}
+			if got.Confidence != ref.Confidence {
+				t.Fatalf("procs=%d statement %d: confidence %v vs serial %v",
+					procs, i, got.Confidence, ref.Confidence)
+			}
+			if got.EngineStats.OracleCalls != ref.EngineStats.OracleCalls ||
+				got.EngineStats.Cleaned != ref.EngineStats.Cleaned {
+				t.Fatalf("procs=%d statement %d: charges differ from serial: %+v vs %+v",
+					procs, i, got.EngineStats, ref.EngineStats)
+			}
+			if got.Clock.TotalMS() != ref.Clock.TotalMS() {
+				t.Fatalf("procs=%d statement %d: simulated cost %v vs serial %v",
+					procs, i, got.Clock.TotalMS(), ref.Clock.TotalMS())
+			}
+		}
+		if res.OracleCalls >= independentCalls {
+			t.Fatalf("procs=%d: coordinated script paid %d oracle calls, independent sum is %d — sharing must cut the bill",
+				procs, res.OracleCalls, independentCalls)
+		}
+	}
+}
+
+// BenchmarkEQLScript measures the whole multi-statement pipeline —
+// parse, bind, joint planning, coordinated execution — from a cold
+// session each iteration, against the precomputed independent baseline.
+func BenchmarkEQLScript(b *testing.B) {
+	stmts := goldenStatements(b)
+	independentCalls := 0
+	for _, stmt := range stmts {
+		r, err := eql.NewScriptSession().Exec(stmt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		independentCalls += r.OracleCalls
+	}
+	b.ResetTimer()
+	var res *eql.ScriptResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = eql.NewScriptSession().Exec(goldenScript)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(res.OracleCalls), "oracle-calls-script")
+	b.ReportMetric(float64(independentCalls), "oracle-calls-independent")
+	b.ReportMetric(res.PredictedSavedMS, "predicted-saved-ms")
+	b.ReportMetric(res.TotalMS, "sim-ms")
+	if res.OracleCalls >= independentCalls {
+		b.Fatalf("script paid %d oracle calls, independent sum is %d",
+			res.OracleCalls, independentCalls)
+	}
+}
